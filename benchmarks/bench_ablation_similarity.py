@@ -1,0 +1,74 @@
+"""Ablation — the weighted similarity rule of §2.
+
+The paper's nomination weights two factors: meta-feature distance *and* the
+performance magnitude of algorithms on the neighbours ("it may be better to
+select the top n top performing algorithms on a single very similar dataset
+than selecting the first outperforming algorithm for n similar datasets").
+
+The ablation compares that weighted rule against a distance-only control on
+nomination quality over the 10 evaluation datasets.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.data import eval_dataset_names, load_eval_dataset
+from repro.kb import KnowledgeBase
+from repro.metafeatures import extract_metafeatures
+
+TOP_K = 3
+
+
+def run_similarity_ablation(kb_path, oracle) -> dict[str, dict]:
+    kb = KnowledgeBase(kb_path)
+    try:
+        results = {}
+        for mode in ("weighted", "distance"):
+            hits = 0
+            ranks = []
+            for key in eval_dataset_names():
+                metafeatures = extract_metafeatures(load_eval_dataset(key))
+                nominations = kb.nominate(metafeatures, n_algorithms=TOP_K, mode=mode)
+                nominated = [n.algorithm for n in nominations]
+                if set(nominated) & set(oracle[key][:TOP_K]):
+                    hits += 1
+                if nominated:
+                    ranks.append(min(oracle[key].index(a) for a in nominated) + 1)
+            results[mode] = {
+                "hit_rate": hits / len(eval_dataset_names()),
+                "mean_best_rank": sum(ranks) / len(ranks) if ranks else float("inf"),
+            }
+        return results
+    finally:
+        kb.close()
+
+
+def test_similarity_ablation(benchmark, kb50_path, oracle, results_dir):
+    results = benchmark.pedantic(
+        lambda: run_similarity_ablation(kb50_path, oracle), rounds=1, iterations=1
+    )
+
+    lines = [
+        "Ablation: weighted nomination (paper) vs distance-only control",
+        f"(hit = nominated top-{TOP_K} intersects oracle top-{TOP_K})",
+        "",
+        f"{'mode':10s} {'hit rate':>9s} {'mean best oracle rank':>22s}",
+        "-" * 45,
+    ]
+    for mode, row in results.items():
+        lines.append(
+            f"{mode:10s} {row['hit_rate']:9.2f} {row['mean_best_rank']:22.2f}"
+        )
+    write_result(results_dir, "ablation_similarity.txt", "\n".join(lines))
+
+    # The paper's rule must not be systematically worse than the naive
+    # control: at least as good on one metric, and within a one-dataset
+    # margin (0.1 hit rate / 1 rank) on the other.  Ten evaluation datasets
+    # leave room for single-dataset noise in either direction.
+    weighted, distance = results["weighted"], results["distance"]
+    hit_ok = weighted["hit_rate"] >= distance["hit_rate"] - 1e-9
+    rank_ok = weighted["mean_best_rank"] <= distance["mean_best_rank"] + 1e-9
+    assert hit_ok or rank_ok, f"weighted rule worse on both metrics: {results}"
+    assert weighted["hit_rate"] >= distance["hit_rate"] - 0.1 - 1e-9
+    assert weighted["mean_best_rank"] <= distance["mean_best_rank"] + 1.0

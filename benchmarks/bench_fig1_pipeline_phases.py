@@ -1,0 +1,68 @@
+"""Figure 1 — the SmartML architecture, regenerated as phase timings.
+
+The figure shows the pipeline: input definition -> dataset preprocessing
+(split, meta-features) -> algorithm selection -> parameter tuning ->
+computing output / updating the knowledge base.  This bench runs the
+pipeline and reports measured wall-clock per phase in the figure's order,
+asserting the structural properties the figure encodes (tuning dominates;
+the KB is both read and written).
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro import SmartML, SmartMLConfig
+from repro.data import load_eval_dataset
+
+PHASE_ORDER = [
+    "preprocessing",
+    "metafeatures",
+    "algorithm_selection",
+    "hyperparameter_tuning",
+    "computing_output",
+    "kb_update",
+]
+
+
+def run_pipeline():
+    smartml = SmartML()
+    dataset = load_eval_dataset("yeast")
+    # Prior run populates the KB so the timed run exercises retrieval too.
+    smartml.run(dataset, SmartMLConfig(time_budget_s=2.0, seed=0))
+    result = smartml.run(
+        dataset,
+        SmartMLConfig(time_budget_s=4.0, ensemble=True, interpretability=True, seed=1),
+    )
+    return smartml, result
+
+
+def test_fig1_phase_breakdown(benchmark, results_dir):
+    smartml, result = benchmark.pedantic(run_pipeline, rounds=1, iterations=1)
+
+    total = sum(result.phase_seconds.values())
+    lines = [
+        "Figure 1: SmartML framework architecture — measured phase breakdown",
+        "",
+        f"{'phase':26s} {'seconds':>9s} {'share':>7s}",
+        "-" * 46,
+    ]
+    for phase in PHASE_ORDER:
+        seconds = result.phase_seconds[phase]
+        lines.append(f"{phase:26s} {seconds:9.3f} {100 * seconds / total:6.1f}%")
+    lines += [
+        "-" * 46,
+        f"{'total':26s} {total:9.3f}",
+        "",
+        f"KB after run: {smartml.kb.n_datasets()} datasets, "
+        f"{smartml.kb.n_runs()} runs (retrieve -> update loop closed)",
+    ]
+    write_result(results_dir, "fig1_pipeline_phases.txt", "\n".join(lines))
+
+    assert set(result.phase_seconds) == set(PHASE_ORDER)
+    # The figure's central box: hyper-parameter tuning is where time goes.
+    assert result.phase_seconds["hyperparameter_tuning"] == max(
+        result.phase_seconds.values()
+    )
+    assert result.used_meta_learning  # retrieval happened
+    assert smartml.kb.n_datasets() == 2  # update happened after both runs

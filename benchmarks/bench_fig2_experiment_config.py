@@ -1,0 +1,77 @@
+"""Figure 2 — configuring an experiment (the web-form screenshot).
+
+The screenshot shows the input-definition surface: dataset upload, feature
+preprocessing choices, interpretability/ensembling toggles, and the time
+budget.  This bench drives the same surface through the REST API (our
+substitute for the Shiny UI) and renders the resulting configuration panel
+as text.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.api import SmartMLClient, SmartMLServer
+from repro.core import SmartML, SmartMLConfig
+
+CSV = "x1,x2,x3,label\n" + "\n".join(
+    f"{i % 9},{(i * 7) % 11},{(i * 3) % 5},{'pos' if (i % 9) > 4 else 'neg'}"
+    for i in range(120)
+)
+
+FORM = {
+    "preprocessing": ["center", "scale", "pca"],
+    "validation_fraction": 0.25,
+    "time_budget_s": 3.0,
+    "n_algorithms": 3,
+    "ensemble": True,
+    "interpretability": True,
+    "seed": 0,
+}
+
+
+def render_config_panel(upload: dict, config: SmartMLConfig) -> str:
+    lines = [
+        "Figure 2: Configuring an experiment for a dataset",
+        "",
+        "  Dataset",
+        f"    name            : {upload['name']}",
+        f"    instances       : {upload['n_instances']}",
+        f"    features        : {upload['n_features']}",
+        f"    classes         : {upload['n_classes']}",
+        "  Options",
+        f"    preprocessing   : {', '.join(config.preprocessing) or '(none)'}",
+        f"    validation split: {config.validation_fraction:.0%}",
+        f"    time budget     : {config.time_budget_s}s",
+        f"    algorithms      : top {config.n_algorithms} nominated",
+        f"    ensembling      : {'on' if config.ensemble else 'off'}",
+        f"    interpretability: {'on' if config.interpretability else 'off'}",
+    ]
+    return "\n".join(lines)
+
+
+def roundtrip_experiment_config():
+    server = SmartMLServer(SmartML())
+    server.serve_background()
+    try:
+        client = SmartMLClient(port=server.port)
+        upload = client.upload_csv(CSV, target="label", name="figure2-demo")
+        # The wire format is exactly SmartMLConfig.to_dict(); a client in any
+        # language posts this JSON object.
+        config = SmartMLConfig.from_dict(FORM)
+        assert SmartMLConfig.from_dict(config.to_dict()).to_dict() == config.to_dict()
+        return upload, config
+    finally:
+        server.shutdown()
+
+
+def test_fig2_experiment_configuration(benchmark, results_dir):
+    upload, config = benchmark.pedantic(
+        roundtrip_experiment_config, rounds=1, iterations=1
+    )
+    panel = render_config_panel(upload, config)
+    write_result(results_dir, "fig2_experiment_config.txt", panel)
+
+    assert upload["n_instances"] == 120
+    assert "time budget" in panel
+    assert "center, scale, pca" in panel

@@ -1,0 +1,53 @@
+"""Figure 3 — sample experiment output.
+
+The screenshot shows SmartML's result panel: the chosen classifier, its
+tuned hyperparameters, the achieved accuracy, and the interpretability
+output.  This bench runs a complete experiment (with ensembling and
+interpretability enabled) and renders the same panel as text.
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro import SmartML, SmartMLConfig
+from repro.data import load_eval_dataset
+from repro.kb import KnowledgeBase
+
+
+def run_sample_experiment(kb_path):
+    kb = KnowledgeBase(kb_path)
+    try:
+        smartml = SmartML(kb)
+        dataset = load_eval_dataset("madelon")
+        result = smartml.run(
+            dataset,
+            SmartMLConfig(
+                time_budget_s=6.0,
+                ensemble=True,
+                interpretability=True,
+                update_kb=False,
+                seed=3,
+            ),
+        )
+        return result
+    finally:
+        kb.close()
+
+
+def test_fig3_sample_output(benchmark, kb50_path, results_dir):
+    result = benchmark.pedantic(
+        lambda: run_sample_experiment(kb50_path), rounds=1, iterations=1
+    )
+    panel = result.describe()
+    write_result(results_dir, "fig3_experiment_output.txt", panel)
+
+    # The panel must show everything the screenshot shows.
+    assert "recommended algorithm" in panel
+    assert "hyperparameters" in panel
+    assert "validation accuracy" in panel
+    assert "most important features" in panel
+    assert result.used_meta_learning
+    assert result.ensemble_validation_accuracy is not None
+    assert result.importance is not None
+    assert 0.0 <= result.validation_accuracy <= 1.0

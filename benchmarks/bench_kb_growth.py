@@ -1,0 +1,98 @@
+"""KB-growth sweep — the paper's "SmartML gets smarter over time" claim.
+
+"SmartML has the advantage that its performance can be continuously
+improved over time by running more tasks which makes SmartML smarter by
+getting more experience based on the growing knowledge base."
+
+The bench sweeps the knowledge-base size (0, 10, 25, 50 stored datasets)
+and measures nomination quality on the 10 evaluation datasets: how often
+the nominated top-3 algorithms intersect the oracle's true top-3 (oracle =
+exhaustive default-config ranking of all 15 classifiers).
+"""
+
+from __future__ import annotations
+
+from conftest import write_result
+
+from repro.core.config import SmartMLConfig
+from repro.data import eval_dataset_names, load_eval_dataset
+from repro.kb import KnowledgeBase
+from repro.metafeatures import extract_metafeatures
+
+KB_SIZES = [0, 10, 25, 50]
+TOP_K = 3
+
+
+def _sub_kb(kb_path, n_datasets: int) -> KnowledgeBase:
+    """In-memory KB containing only the first ``n_datasets`` stored datasets."""
+    full = KnowledgeBase(kb_path)
+    sub = KnowledgeBase()
+    try:
+        kept: dict[int, int] = {}
+        for old_id, data in full.store.scan("datasets")[:n_datasets]:
+            from repro.metafeatures import MetaFeatures
+            new_id = sub.add_dataset(data["name"], MetaFeatures.from_dict(data["metafeatures"]))
+            kept[old_id] = new_id
+        for _, run in full.store.scan("runs"):
+            if run["dataset_id"] in kept:
+                sub.add_run(
+                    kept[run["dataset_id"]], run["algorithm"], run["config"],
+                    accuracy=run["accuracy"],
+                )
+        return sub
+    finally:
+        full.close()
+
+
+def run_kb_growth(kb_path, oracle) -> list[dict]:
+    fallback = SmartMLConfig(time_budget_s=1.0).fallback_portfolio
+    rows = []
+    for size in KB_SIZES:
+        kb = _sub_kb(kb_path, size)
+        hits = 0
+        ranks = []
+        for key in eval_dataset_names():
+            metafeatures = extract_metafeatures(load_eval_dataset(key))
+            nominations = kb.nominate(metafeatures, n_algorithms=TOP_K)
+            nominated = [n.algorithm for n in nominations] or fallback[:TOP_K]
+            oracle_top = oracle[key][:TOP_K]
+            if set(nominated) & set(oracle_top):
+                hits += 1
+            best_rank = min(oracle[key].index(a) for a in nominated) + 1
+            ranks.append(best_rank)
+        rows.append(
+            {
+                "kb_size": size,
+                "hit_rate": hits / len(eval_dataset_names()),
+                "mean_best_rank": sum(ranks) / len(ranks),
+            }
+        )
+    return rows
+
+
+def test_kb_growth(benchmark, kb50_path, oracle, results_dir):
+    rows = benchmark.pedantic(
+        lambda: run_kb_growth(kb50_path, oracle), rounds=1, iterations=1
+    )
+
+    lines = [
+        "KB growth: nomination quality vs knowledge-base size",
+        f"(hit = nominated top-{TOP_K} intersects oracle top-{TOP_K} of 15; "
+        "size 0 = cold-start fallback portfolio)",
+        "",
+        f"{'KB datasets':>11s} {'hit rate':>9s} {'mean best oracle rank':>22s}",
+        "-" * 46,
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['kb_size']:11d} {row['hit_rate']:9.2f} {row['mean_best_rank']:22.2f}"
+        )
+    write_result(results_dir, "fig_kb_growth.txt", "\n".join(lines))
+
+    # Shape: a populated KB must nominate at least as well as the cold
+    # fallback, and the full 50-dataset KB must be strictly useful.
+    cold = rows[0]
+    full = rows[-1]
+    assert full["hit_rate"] >= cold["hit_rate"]
+    assert full["hit_rate"] >= 0.5, f"full-KB hit rate only {full['hit_rate']:.2f}"
+    assert full["mean_best_rank"] <= cold["mean_best_rank"] + 1e-9

@@ -1,0 +1,101 @@
+"""Table 3 — the 15 integrated classifier algorithms.
+
+Regenerates the paper's classifier inventory: for each algorithm the bench
+asserts the (categorical, numerical) hyperparameter counts match the paper
+row exactly, fits the default configuration on a reference dataset, and
+times the fit — adding a measured column to the paper's static table.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+from conftest import write_result
+
+from repro.classifiers import CLASSIFIER_REGISTRY, classifier_names, make_classifier
+from repro.data import SyntheticSpec, make_dataset
+from repro.evaluation import accuracy, train_validation_split
+from repro.hpo import TABLE3_EXPECTED_COUNTS, classifier_space
+from repro.preprocess import build_preprocessor
+
+#: R package each classifier wraps in the original (Table 3's last column).
+R_PACKAGES = {
+    "svm": "e1071",
+    "naive_bayes": "klaR",
+    "knn": "FNN",
+    "bagging": "ipred",
+    "part": "RWeka",
+    "j48": "RWeka",
+    "random_forest": "randomForest",
+    "c50": "C50",
+    "rpart": "rpart",
+    "lda": "MASS",
+    "plsda": "caret",
+    "lmt": "RWeka",
+    "rda": "klaR",
+    "neural_net": "nnet",
+    "deep_boost": "deepboost",
+}
+
+
+def _reference_split():
+    ds = make_dataset(
+        SyntheticSpec(
+            name="table3-ref", n_instances=300, n_features=10, n_classes=3,
+            n_informative=6, class_sep=1.8, seed=303,
+        )
+    )
+    pipe = build_preprocessor([])
+    train, val = train_validation_split(ds, 0.25, seed=0)
+    return pipe.fit_transform(train), pipe.transform(val), ds.n_classes
+
+
+@pytest.mark.parametrize("name", classifier_names())
+def test_table3_classifier_fit(benchmark, name):
+    train, val, k = _reference_split()
+    space = classifier_space(name)
+    assert (space.n_categorical(), space.n_numerical()) == TABLE3_EXPECTED_COUNTS[name]
+
+    config = space.default_config()
+
+    def fit():
+        clf = make_classifier(name, **config)
+        clf.fit(train.X, train.y, n_classes=k)
+        return clf
+
+    clf = benchmark(fit)
+    proba = clf.predict_proba(val.X)
+    assert proba.shape == (val.n_instances, k)
+    assert np.allclose(proba.sum(axis=1), 1.0, atol=1e-6)
+
+
+def test_table3_render(benchmark, results_dir):
+    train, val, k = benchmark.pedantic(_reference_split, rounds=1, iterations=1)
+    lines = [
+        "Table 3: Integrated Classifier Algorithms",
+        "(cat/num counts must equal the paper row-for-row; fit at defaults)",
+        "",
+        f"{'classifier':15s} {'cat':>4s} {'num':>4s} {'R package':14s} "
+        f"{'fit ms':>8s} {'val acc':>8s}",
+        "-" * 60,
+    ]
+    for name in classifier_names():
+        space = classifier_space(name)
+        expected = TABLE3_EXPECTED_COUNTS[name]
+        counts = (space.n_categorical(), space.n_numerical())
+        assert counts == expected, f"{name}: {counts} != paper {expected}"
+        started = time.monotonic()
+        clf = make_classifier(name, **space.default_config())
+        clf.fit(train.X, train.y, n_classes=k)
+        fit_ms = (time.monotonic() - started) * 1e3
+        val_acc = accuracy(val.y, clf.predict(val.X))
+        lines.append(
+            f"{name:15s} {counts[0]:4d} {counts[1]:4d} {R_PACKAGES[name]:14s} "
+            f"{fit_ms:8.1f} {val_acc:8.3f}"
+        )
+    lines.append("-" * 60)
+    lines.append(f"total classifiers: {len(CLASSIFIER_REGISTRY)} (paper: 15)")
+    write_result(results_dir, "table3_classifiers.txt", "\n".join(lines))
+    assert len(CLASSIFIER_REGISTRY) == 15

@@ -1,0 +1,58 @@
+"""A single Table-4 row, end to end: SmartML vs the Auto-Weka baseline.
+
+Loads one of the 10 evaluation stand-ins, bootstraps a small knowledge
+base, and runs both systems at the same budget — the per-dataset experiment
+behind the paper's headline table.  For the full 10-dataset table, run
+``pytest benchmarks/bench_table4_vs_autoweka.py --benchmark-only``.
+
+Run:  python examples/autoweka_comparison.py [dataset] [budget_seconds]
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro import KnowledgeBase, SmartML, SmartMLConfig, bootstrap_knowledge_base
+from repro.baselines import AutoWekaBaseline
+from repro.data import eval_dataset_names, load_eval_dataset, load_kb_corpus
+
+
+def main() -> None:
+    key = sys.argv[1] if len(sys.argv) > 1 else "gisette"
+    budget = float(sys.argv[2]) if len(sys.argv) > 2 else 5.0
+    if key not in eval_dataset_names():
+        raise SystemExit(f"unknown dataset {key!r}; choose from {eval_dataset_names()}")
+
+    dataset = load_eval_dataset(key)
+    print(f"dataset: {dataset}   budget: {budget:.0f}s per system")
+
+    print("\nbootstrapping a 10-dataset knowledge base ...")
+    started = time.monotonic()
+    kb = KnowledgeBase()
+    bootstrap_knowledge_base(
+        kb, load_kb_corpus(n=10, seed=7), configs_per_algorithm=2, n_folds=2,
+        max_instances=150,
+    )
+    print(f"  {kb.n_runs()} leaderboard rows in {time.monotonic() - started:.1f}s")
+
+    print("\nSmartML (meta-learning + per-algorithm SMAC):")
+    smart = SmartML(kb).run(
+        dataset, SmartMLConfig(time_budget_s=budget, update_kb=False, seed=0)
+    )
+    print(f"  nominated  : {[n.algorithm for n in smart.nominations]}")
+    print(f"  best       : {smart.best_algorithm} {smart.best_config}")
+    print(f"  val acc    : {smart.validation_accuracy:.4f}")
+
+    print("\nAuto-Weka baseline (cold-start CASH over all 15 classifiers):")
+    base = AutoWekaBaseline(time_budget_s=budget, seed=0).run(dataset)
+    print(f"  best       : {base.best_algorithm} {base.best_config}")
+    print(f"  val acc    : {base.validation_accuracy:.4f}")
+    print(f"  configs    : {base.n_config_evals} evaluated")
+
+    gap = 100 * (smart.validation_accuracy - base.validation_accuracy)
+    print(f"\nSmartML - Auto-Weka = {gap:+.2f} accuracy points on {key!r}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Model interpretability: the iml-style output SmartML attaches to results.
+
+"we have integrated the Interpretable Machine Learning (iml) package in
+order to explain for the user the most important features that have been
+used by the selected model".  This example tunes a model, then produces the
+two explanation views this library implements: permutation feature
+importance and partial-dependence curves, plus the PART rule list as an
+intrinsically interpretable alternative.
+
+Run:  python examples/interpretability_demo.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import SmartML, SmartMLConfig
+from repro.classifiers import Part
+from repro.data import load_eval_dataset
+from repro.evaluation import train_validation_split
+from repro.interpret import partial_dependence, permutation_importance
+from repro.preprocess import build_preprocessor
+
+
+def main() -> None:
+    dataset = load_eval_dataset("occupancy")
+    result = SmartML().run(
+        dataset,
+        SmartMLConfig(time_budget_s=3.0, interpretability=True, seed=0),
+    )
+    print(result.describe())
+
+    # ---- permutation importance, recomputed standalone -------------------
+    pipeline = build_preprocessor([])
+    train, validation = train_validation_split(dataset, 0.25, seed=0)
+    train_p = pipeline.fit_transform(train)
+    validation_p = pipeline.transform(validation)
+
+    report = permutation_importance(
+        result.model, validation_p.X, validation_p.y,
+        feature_names=validation_p.feature_names, n_repeats=10, seed=1,
+    )
+    print("\npermutation importance (10 repeats):")
+    print(report.describe(k=dataset.n_features))
+
+    # ---- partial dependence on the most important feature ----------------
+    top_feature = report.top(1)[0][0]
+    feature_index = validation_p.feature_names.index(top_feature)
+    pdp = partial_dependence(result.model, validation_p.X, feature_index, grid_size=10)
+    print(f"\npartial dependence of {top_feature!r}:")
+    grid, curve = pdp.curve_for_class(int(np.argmax(np.ptp(pdp.mean_proba, axis=0))))
+    for value, probability in zip(grid, curve):
+        bar = "#" * int(40 * probability)
+        print(f"  {value:8.3f}  {probability:.3f} {bar}")
+    print(pdp.describe(dataset.class_names))
+
+    # ---- an intrinsically interpretable model: PART rules -----------------
+    part = Part(confidence=0.2)
+    part.fit(train_p.X, train_p.y, n_classes=dataset.n_classes)
+    print("\nPART decision list for the same task:")
+    print(part.describe_rules(train_p.feature_names))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""The meta-learning loop: a knowledge base that makes SmartML smarter.
+
+Reproduces the paper's central storyline end to end:
+
+1. bootstrap a knowledge base from a corpus of prior datasets (the paper
+   used 50 from OpenML/UCI/Kaggle; we use 12 synthetic ones, probed on at
+   most 150 rows each, so the example runs in a couple of minutes);
+2. on a new dataset, compare a *cold* run (empty KB, fallback portfolio,
+   default-started SMAC) against a *warm* run (KB nomination + warm-started
+   SMAC) at the same small budget;
+3. show the KB growing as runs accumulate.
+
+Run:  python examples/kb_warmstart.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import KnowledgeBase, SmartML, SmartMLConfig, bootstrap_knowledge_base
+from repro.data import load_eval_dataset, load_kb_corpus
+
+BUDGET_S = 4.0
+
+
+def main() -> None:
+    print("bootstrapping knowledge base from 12 prior datasets ...")
+    started = time.monotonic()
+    kb = KnowledgeBase()
+    corpus = load_kb_corpus(n=12, seed=7)
+    bootstrap_knowledge_base(
+        kb, corpus, configs_per_algorithm=2, n_folds=2, max_instances=150, seed=0
+    )
+    print(
+        f"  done in {time.monotonic() - started:.1f}s: "
+        f"{kb.n_datasets()} datasets, {kb.n_runs()} leaderboard rows\n"
+    )
+
+    dataset = load_eval_dataset("madelon")
+    config = SmartMLConfig(time_budget_s=BUDGET_S, update_kb=False, seed=3)
+
+    print(f"new task: {dataset} — equal budget {BUDGET_S:.0f}s per system\n")
+
+    cold = SmartML(KnowledgeBase()).run(dataset, config)
+    print("cold start (empty KB):")
+    print(f"  candidates : {[c.algorithm for c in cold.candidates]}")
+    print(f"  best       : {cold.best_algorithm}  "
+          f"val acc {cold.validation_accuracy:.4f}\n")
+
+    warm = SmartML(kb).run(dataset, config)
+    print("warm start (meta-learning nomination + KB configurations):")
+    print(f"  neighbours voted for: {[n.algorithm for n in warm.nominations]}")
+    print(f"  warm configs per algo: "
+          f"{[len(n.warm_configs) for n in warm.nominations]}")
+    print(f"  best       : {warm.best_algorithm}  "
+          f"val acc {warm.validation_accuracy:.4f}\n")
+
+    gap = warm.validation_accuracy - cold.validation_accuracy
+    print(f"warm-start advantage at this budget: {gap:+.4f} accuracy")
+
+    # The continuously-updated KB: append this run, then show the growth.
+    dataset_id = kb.add_dataset(dataset.name, warm.metafeatures)
+    for candidate in warm.candidates:
+        kb.add_run(dataset_id, candidate.algorithm, candidate.best_config,
+                   accuracy=candidate.validation_accuracy)
+    print(
+        f"\nafter recording this task the KB holds {kb.n_datasets()} datasets "
+        f"and {kb.n_runs()} runs — each future task benefits from it."
+    )
+
+
+if __name__ == "__main__":
+    main()

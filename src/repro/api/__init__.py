@@ -1,0 +1,6 @@
+"""REST API: server and client."""
+
+from repro.api.client import SmartMLClient
+from repro.api.server import SmartMLServer
+
+__all__ = ["SmartMLServer", "SmartMLClient"]

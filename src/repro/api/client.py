@@ -1,0 +1,82 @@
+"""Thin REST client for :class:`~repro.api.server.SmartMLServer`.
+
+Pure stdlib (``http.client``), so any Python process — or, as the paper
+advertises, any language with an HTTP client — can drive a SmartML server.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+
+from repro.exceptions import SmartMLError
+
+__all__ = ["SmartMLClient"]
+
+
+class SmartMLClient:
+    """Blocking JSON-over-HTTP client."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8080, timeout: float = 300.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
+        try:
+            body = json.dumps(payload).encode("utf-8") if payload is not None else None
+            headers = {"Content-Type": "application/json"} if body else {}
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            try:
+                data = json.loads(raw)
+            except json.JSONDecodeError as exc:
+                raise SmartMLError(f"non-JSON response from server: {raw!r}") from exc
+            if response.status != 200:
+                raise SmartMLError(
+                    f"{method} {path} failed ({response.status}): {data.get('error')}"
+                )
+            return data
+        finally:
+            connection.close()
+
+    # ------------------------------------------------------------ endpoints
+    def health(self) -> dict:
+        return self._request("GET", "/health")
+
+    def kb_stats(self) -> dict:
+        return self._request("GET", "/kb/stats")
+
+    def upload_csv(self, csv_text: str, target: str | int = -1, name: str = "uploaded") -> dict:
+        return self._request(
+            "POST", "/datasets", {"csv": csv_text, "target": target, "name": name}
+        )
+
+    def upload_arff(self, arff_text: str, target: str | int = -1, name: str = "uploaded") -> dict:
+        return self._request(
+            "POST", "/datasets", {"arff": arff_text, "target": target, "name": name}
+        )
+
+    def list_datasets(self) -> dict:
+        return self._request("GET", "/datasets")
+
+    def metafeatures(self, dataset_id: int) -> dict:
+        return self._request("GET", f"/metafeatures/{dataset_id}")
+
+    def nominate(self, metafeatures: dict, n_algorithms: int = 3, n_neighbors: int = 3) -> dict:
+        return self._request(
+            "POST",
+            "/nominate",
+            {
+                "metafeatures": metafeatures,
+                "n_algorithms": n_algorithms,
+                "n_neighbors": n_neighbors,
+            },
+        )
+
+    def run_experiment(self, dataset_id: int, config: dict | None = None) -> dict:
+        return self._request(
+            "POST", "/experiments", {"dataset_id": dataset_id, "config": config or {}}
+        )

@@ -1,0 +1,213 @@
+"""REST API server.
+
+SmartML "is also designed to be programming language agnostic so that it
+can be embedded in any programming language using its available REST APIs".
+This module provides that surface on the Python stdlib HTTP server:
+
+========  =====================  ==============================================
+method    path                   behaviour
+========  =====================  ==============================================
+GET       /health                liveness probe
+GET       /kb/stats              knowledge-base dataset/run counts
+POST      /datasets              upload a dataset (csv or arff payload)
+GET       /datasets              list uploaded datasets
+GET       /metafeatures/<id>     the 25 meta-features of an uploaded dataset
+POST      /nominate              algorithm selection only, from raw
+                                 meta-features (the paper's "upload only the
+                                 dataset meta-features file" mode)
+POST      /experiments           run the full SmartML pipeline synchronously
+========  =====================  ==============================================
+
+All requests and responses are JSON.  The server is intended for local /
+demo use (single process; the KB store is serialised behind one lock).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.core import SmartML, SmartMLConfig
+from repro.data.io import parse_arff_text, parse_csv_text
+from repro.exceptions import SmartMLError
+from repro.metafeatures import MetaFeatures, extract_metafeatures
+
+__all__ = ["SmartMLServer"]
+
+
+class SmartMLServer:
+    """Wraps a :class:`SmartML` instance behind the REST interface."""
+
+    def __init__(self, smartml: SmartML | None = None, host: str = "127.0.0.1", port: int = 0):
+        self.smartml = smartml or SmartML()
+        self.host = host
+        self._datasets: dict[int, object] = {}
+        self._next_dataset_id = 1
+        self._lock = threading.Lock()
+        handler = self._make_handler()
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self.port = self._httpd.server_address[1]
+        self._thread: threading.Thread | None = None
+
+    # -------------------------------------------------------------- control
+    def serve_background(self) -> None:
+        """Start serving on a daemon thread; returns immediately."""
+        self._thread = threading.Thread(target=self._httpd.serve_forever, daemon=True)
+        self._thread.start()
+
+    def shutdown(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    # ------------------------------------------------------------ endpoints
+    def _upload_dataset(self, payload: dict) -> dict:
+        name = payload.get("name", "uploaded")
+        target = payload.get("target", -1)
+        if "csv" in payload:
+            ds = parse_csv_text(payload["csv"], target=target, name=name)
+        elif "arff" in payload:
+            ds = parse_arff_text(payload["arff"], target=target, name=name)
+        else:
+            raise SmartMLError("payload must contain 'csv' or 'arff'")
+        with self._lock:
+            dataset_id = self._next_dataset_id
+            self._next_dataset_id += 1
+            self._datasets[dataset_id] = ds
+        return {
+            "dataset_id": dataset_id,
+            "name": ds.name,
+            "n_instances": ds.n_instances,
+            "n_features": ds.n_features,
+            "n_classes": ds.n_classes,
+        }
+
+    def _list_datasets(self) -> dict:
+        with self._lock:
+            return {
+                "datasets": [
+                    {
+                        "dataset_id": dataset_id,
+                        "name": ds.name,
+                        "n_instances": ds.n_instances,
+                        "n_features": ds.n_features,
+                        "n_classes": ds.n_classes,
+                    }
+                    for dataset_id, ds in sorted(self._datasets.items())
+                ]
+            }
+
+    def _get_dataset(self, dataset_id: int):
+        with self._lock:
+            ds = self._datasets.get(dataset_id)
+        if ds is None:
+            raise SmartMLError(f"unknown dataset_id {dataset_id}")
+        return ds
+
+    def _metafeatures(self, dataset_id: int) -> dict:
+        ds = self._get_dataset(dataset_id)
+        return {"dataset_id": dataset_id, "metafeatures": extract_metafeatures(ds).to_dict()}
+
+    def _nominate(self, payload: dict) -> dict:
+        raw = payload.get("metafeatures")
+        if not isinstance(raw, dict):
+            raise SmartMLError("payload must contain a 'metafeatures' object")
+        metafeatures = MetaFeatures.from_dict(raw)
+        nominations = self.smartml.kb.nominate(
+            metafeatures,
+            n_algorithms=int(payload.get("n_algorithms", 3)),
+            n_neighbors=int(payload.get("n_neighbors", 3)),
+            mode=payload.get("mode", "weighted"),
+        )
+        return {
+            "nominations": [
+                {
+                    "algorithm": n.algorithm,
+                    "score": n.score,
+                    "supporting_datasets": list(n.supporting_datasets),
+                    "warm_configs": n.warm_configs,
+                }
+                for n in nominations
+            ]
+        }
+
+    def _run_experiment(self, payload: dict) -> dict:
+        dataset_id = payload.get("dataset_id")
+        if not isinstance(dataset_id, int):
+            raise SmartMLError("payload must contain an integer 'dataset_id'")
+        ds = self._get_dataset(dataset_id)
+        config = SmartMLConfig.from_dict(payload.get("config", {}))
+        with self._lock:  # one experiment at a time keeps the KB consistent
+            result = self.smartml.run(ds, config)
+        return result.to_dict()
+
+    def _kb_stats(self) -> dict:
+        return {
+            "datasets": self.smartml.kb.n_datasets(),
+            "runs": self.smartml.kb.n_runs(),
+        }
+
+    # -------------------------------------------------------------- plumbing
+    def _make_handler(self):
+        server = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def log_message(self, *args):  # silence default stderr noise
+                pass
+
+            def _reply(self, status: int, payload: dict) -> None:
+                body = json.dumps(payload).encode("utf-8")
+                self.send_response(status)
+                self.send_header("Content-Type", "application/json")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def _read_json(self) -> dict:
+                length = int(self.headers.get("Content-Length", "0"))
+                raw = self.rfile.read(length) if length else b"{}"
+                try:
+                    payload = json.loads(raw)
+                except json.JSONDecodeError as exc:
+                    raise SmartMLError(f"invalid JSON body: {exc}") from exc
+                if not isinstance(payload, dict):
+                    raise SmartMLError("JSON body must be an object")
+                return payload
+
+            def do_GET(self):  # noqa: N802 - http.server API
+                try:
+                    if self.path == "/health":
+                        self._reply(200, {"status": "ok"})
+                    elif self.path == "/kb/stats":
+                        self._reply(200, server._kb_stats())
+                    elif self.path == "/datasets":
+                        self._reply(200, server._list_datasets())
+                    elif self.path.startswith("/metafeatures/"):
+                        dataset_id = int(self.path.rsplit("/", 1)[1])
+                        self._reply(200, server._metafeatures(dataset_id))
+                    else:
+                        self._reply(404, {"error": f"unknown path {self.path}"})
+                except (SmartMLError, ValueError) as exc:
+                    self._reply(400, {"error": str(exc)})
+
+            def do_POST(self):  # noqa: N802 - http.server API
+                try:
+                    payload = self._read_json()
+                    if self.path == "/datasets":
+                        self._reply(200, server._upload_dataset(payload))
+                    elif self.path == "/nominate":
+                        self._reply(200, server._nominate(payload))
+                    elif self.path == "/experiments":
+                        self._reply(200, server._run_experiment(payload))
+                    else:
+                        self._reply(404, {"error": f"unknown path {self.path}"})
+                except (SmartMLError, ValueError) as exc:
+                    self._reply(400, {"error": str(exc)})
+
+        return Handler

@@ -1,0 +1,5 @@
+"""Baselines the paper compares against."""
+
+from repro.baselines.autoweka import AutoWekaBaseline, BaselineResult, RandomSearchCASH
+
+__all__ = ["AutoWekaBaseline", "RandomSearchCASH", "BaselineResult"]

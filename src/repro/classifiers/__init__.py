@@ -1,0 +1,83 @@
+"""The 15 classifiers of Table 3.
+
+:data:`CLASSIFIER_REGISTRY` maps the registry name used throughout the
+library (knowledge base, parameter spaces, benchmark tables) to the class.
+Order follows Table 3 of the paper.
+"""
+
+from __future__ import annotations
+
+from repro.classifiers.bagging import Bagging
+from repro.classifiers.base import Classifier, check_X, check_Xy
+from repro.classifiers.c50 import C50
+from repro.classifiers.deep_boost import DeepBoost
+from repro.classifiers.discriminant import LDA, RDA
+from repro.classifiers.j48 import J48
+from repro.classifiers.knn import KNN
+from repro.classifiers.lmt import LMT
+from repro.classifiers.naive_bayes import NaiveBayes
+from repro.classifiers.neural_net import NeuralNet
+from repro.classifiers.part import Part
+from repro.classifiers.plsda import PLSDA
+from repro.classifiers.random_forest import RandomForest
+from repro.classifiers.rpart import RPart
+from repro.classifiers.svm import SVM
+from repro.exceptions import ConfigurationError
+
+__all__ = [
+    "Classifier",
+    "check_Xy",
+    "check_X",
+    "SVM",
+    "NaiveBayes",
+    "KNN",
+    "Bagging",
+    "Part",
+    "J48",
+    "RandomForest",
+    "C50",
+    "RPart",
+    "LDA",
+    "PLSDA",
+    "LMT",
+    "RDA",
+    "NeuralNet",
+    "DeepBoost",
+    "CLASSIFIER_REGISTRY",
+    "make_classifier",
+    "classifier_names",
+]
+
+#: Table 3 order: name -> class.
+CLASSIFIER_REGISTRY: dict[str, type[Classifier]] = {
+    "svm": SVM,
+    "naive_bayes": NaiveBayes,
+    "knn": KNN,
+    "bagging": Bagging,
+    "part": Part,
+    "j48": J48,
+    "random_forest": RandomForest,
+    "c50": C50,
+    "rpart": RPart,
+    "lda": LDA,
+    "plsda": PLSDA,
+    "lmt": LMT,
+    "rda": RDA,
+    "neural_net": NeuralNet,
+    "deep_boost": DeepBoost,
+}
+
+
+def classifier_names() -> list[str]:
+    """All registry names in Table 3 order."""
+    return list(CLASSIFIER_REGISTRY)
+
+
+def make_classifier(name: str, **params: object) -> Classifier:
+    """Instantiate a classifier by registry name with hyperparameters."""
+    cls = CLASSIFIER_REGISTRY.get(name)
+    if cls is None:
+        raise ConfigurationError(
+            f"unknown classifier {name!r}; known: {classifier_names()}"
+        )
+    return cls(**params)

@@ -1,0 +1,70 @@
+"""Bagging (R package ``ipred``'s ``bagging``).
+
+Table 3 row: 0 categorical + 5 numerical hyperparameters
+(``nbagg``, ``minsplit``, ``minbucket``, ``cp``, ``maxdepth`` — the last
+four forwarded to the bagged rpart trees, exactly as ``ipred`` forwards
+``rpart.control``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.classifiers.base import Classifier
+from repro.classifiers.tree import (
+    TreeParams,
+    build_tree,
+    cost_complexity_prune,
+    tree_predict_proba,
+)
+from repro.evaluation.resampling import bootstrap_indices
+
+__all__ = ["Bagging"]
+
+
+class Bagging(Classifier):
+    """Bootstrap-aggregated CART trees (all features at every split)."""
+
+    name = "bagging"
+
+    def __init__(
+        self,
+        nbagg: int = 25,
+        minsplit: int = 20,
+        minbucket: int = 7,
+        cp: float = 0.01,
+        maxdepth: int = 30,
+        seed: int = 0,
+    ):
+        self.nbagg = nbagg
+        self.minsplit = minsplit
+        self.minbucket = minbucket
+        self.cp = cp
+        self.maxdepth = maxdepth
+        self.seed = seed
+        self.trees_: list = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray, n_classes: int | None = None):
+        X, y = self._start_fit(X, y, n_classes)
+        rng = np.random.default_rng(self.seed)
+        params = TreeParams(
+            criterion="gini",
+            max_depth=int(self.maxdepth),
+            min_split=max(2, int(self.minsplit)),
+            min_bucket=max(1, int(self.minbucket)),
+        )
+        self.trees_ = []
+        for _ in range(max(1, int(self.nbagg))):
+            sample = bootstrap_indices(y.shape[0], rng)
+            root = build_tree(X[sample], y[sample], self.n_classes_, params)
+            cost_complexity_prune(root, float(self.cp))
+            self.trees_.append(root)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        X = self._check_predict_ready(X)
+        total = np.zeros((X.shape[0], self.n_classes_), dtype=np.float64)
+        for tree in self.trees_:
+            total += tree_predict_proba(tree, X, self.n_classes_)
+        total /= len(self.trees_)
+        return total

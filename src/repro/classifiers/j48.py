@@ -1,0 +1,72 @@
+"""J48 — C4.5 decision tree (RWeka's ``J48``).
+
+Table 3 row: 1 categorical + 2 numerical hyperparameters
+(``pruned``; confidence ``C``, minimum instances ``M``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.classifiers.base import Classifier
+from repro.classifiers.tree import (
+    TreeParams,
+    build_tree,
+    pessimistic_prune,
+    tree_predict_proba,
+)
+from repro.exceptions import ConfigurationError
+
+__all__ = ["J48"]
+
+
+class J48(Classifier):
+    """C4.5: gain-ratio splitting with error-based (pessimistic) pruning.
+
+    Parameters
+    ----------
+    pruned:
+        ``"pruned"`` applies C4.5's confidence-bound subtree replacement;
+        ``"unpruned"`` keeps the full grown tree (WEKA's ``-U``).
+    confidence:
+        C4.5's ``C`` — smaller prunes harder.  Only used when pruned.
+    min_instances:
+        C4.5's ``M`` — minimum instances per leaf.
+    """
+
+    name = "j48"
+
+    PRUNED_CHOICES = ("pruned", "unpruned")
+
+    def __init__(
+        self,
+        pruned: str = "pruned",
+        confidence: float = 0.25,
+        min_instances: int = 2,
+    ):
+        if pruned not in self.PRUNED_CHOICES:
+            raise ConfigurationError(
+                f"pruned must be one of {self.PRUNED_CHOICES}, got {pruned!r}"
+            )
+        self.pruned = pruned
+        self.confidence = confidence
+        self.min_instances = min_instances
+        self.root_ = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray, n_classes: int | None = None):
+        X, y = self._start_fit(X, y, n_classes)
+        m = max(1, int(self.min_instances))
+        params = TreeParams(
+            criterion="gain_ratio",
+            max_depth=40,
+            min_split=max(2, 2 * m),
+            min_bucket=m,
+        )
+        self.root_ = build_tree(X, y, self.n_classes_, params)
+        if self.pruned == "pruned":
+            pessimistic_prune(self.root_, float(self.confidence))
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        X = self._check_predict_ready(X)
+        return tree_predict_proba(self.root_, X, self.n_classes_)

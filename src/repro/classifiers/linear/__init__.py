@@ -1,0 +1,6 @@
+"""Linear-model substrate: logistic regression and partial least squares."""
+
+from repro.classifiers.linear.logistic import MultinomialLogisticRegression, softmax
+from repro.classifiers.linear.pls import PLSRegression
+
+__all__ = ["MultinomialLogisticRegression", "softmax", "PLSRegression"]

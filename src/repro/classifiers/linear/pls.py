@@ -1,0 +1,129 @@
+"""Partial least squares (NIPALS PLS2) — substrate for PLSDA.
+
+Fits latent components maximising covariance between the feature block and
+a one-hot response block; exposes both the regression coefficients and the
+score projection, which PLSDA's two probability methods consume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError, NotFittedError
+
+__all__ = ["PLSRegression"]
+
+
+class PLSRegression:
+    """NIPALS PLS2 with internal centring/scaling.
+
+    Parameters
+    ----------
+    n_components:
+        Number of latent components; clipped at fit time to
+        ``min(n_features, n_samples - 1)``.
+    """
+
+    def __init__(self, n_components: int = 2, max_iter: int = 200, tol: float = 1e-8):
+        if n_components < 1:
+            raise ConfigurationError("n_components must be >= 1")
+        self.n_components = n_components
+        self.max_iter = max_iter
+        self.tol = tol
+        self.x_mean_: np.ndarray | None = None
+        self.x_scale_: np.ndarray | None = None
+        self.y_mean_: np.ndarray | None = None
+        self.x_weights_: np.ndarray | None = None    # W (d, a)
+        self.x_loadings_: np.ndarray | None = None   # P (d, a)
+        self.y_loadings_: np.ndarray | None = None   # Q (m, a)
+        self.coef_: np.ndarray | None = None         # B (d, m)
+        self.n_components_: int = 0
+
+    def fit(self, X: np.ndarray, Y: np.ndarray) -> "PLSRegression":
+        X = np.asarray(X, dtype=np.float64)
+        Y = np.asarray(Y, dtype=np.float64)
+        if Y.ndim == 1:
+            Y = Y[:, None]
+        n, d = X.shape
+        m = Y.shape[1]
+
+        self.x_mean_ = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale < 1e-12] = 1.0
+        self.x_scale_ = scale
+        self.y_mean_ = Y.mean(axis=0)
+
+        Xc = (X - self.x_mean_) / self.x_scale_
+        Yc = Y - self.y_mean_
+
+        a_max = min(self.n_components, d, max(n - 1, 1))
+        W = np.zeros((d, a_max))
+        P = np.zeros((d, a_max))
+        Q = np.zeros((m, a_max))
+        a = 0
+        for _ in range(a_max):
+            if np.linalg.norm(Yc) < 1e-10 or np.linalg.norm(Xc) < 1e-10:
+                break
+            u = Yc[:, np.argmax((Yc**2).sum(axis=0))].copy()
+            w = np.zeros(d)
+            for _ in range(self.max_iter):
+                w_new = Xc.T @ u
+                norm = np.linalg.norm(w_new)
+                if norm < 1e-12:
+                    break
+                w_new /= norm
+                t = Xc @ w_new
+                tt = t @ t
+                if tt < 1e-12:
+                    break
+                q = Yc.T @ t / tt
+                qn = np.linalg.norm(q)
+                u_new = Yc @ q / (qn**2) if qn > 1e-12 else u
+                if np.linalg.norm(w_new - w) < self.tol:
+                    w = w_new
+                    break
+                w, u = w_new, u_new
+            t = Xc @ w
+            tt = t @ t
+            if tt < 1e-12:
+                break
+            p = Xc.T @ t / tt
+            q = Yc.T @ t / tt
+            Xc = Xc - np.outer(t, p)
+            Yc = Yc - np.outer(t, q)
+            W[:, a], P[:, a], Q[:, a] = w, p, q
+            a += 1
+
+        if a == 0:
+            # Degenerate input: fall back to the mean predictor.
+            self.x_weights_ = np.zeros((d, 1))
+            self.x_loadings_ = np.zeros((d, 1))
+            self.y_loadings_ = np.zeros((m, 1))
+            self.coef_ = np.zeros((d, m))
+            self.n_components_ = 0
+            return self
+
+        W, P, Q = W[:, :a], P[:, :a], Q[:, :a]
+        self.x_weights_, self.x_loadings_, self.y_loadings_ = W, P, Q
+        # B = W (P' W)^-1 Q'
+        middle = np.linalg.pinv(P.T @ W)
+        self.coef_ = W @ middle @ Q.T
+        self.n_components_ = a
+        return self
+
+    def _check_fitted(self) -> None:
+        if self.coef_ is None:
+            raise NotFittedError("PLSRegression is not fitted")
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Latent scores ``T = Xc W (P'W)^-1``."""
+        self._check_fitted()
+        Xc = (np.asarray(X, dtype=np.float64) - self.x_mean_) / self.x_scale_
+        rotation = self.x_weights_ @ np.linalg.pinv(self.x_loadings_.T @ self.x_weights_)
+        return Xc @ rotation
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        """Predicted response block (continuous)."""
+        self._check_fitted()
+        Xc = (np.asarray(X, dtype=np.float64) - self.x_mean_) / self.x_scale_
+        return Xc @ self.coef_ + self.y_mean_

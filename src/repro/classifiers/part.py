@@ -1,0 +1,123 @@
+"""PART — partial-tree rule learner (RWeka's ``PART``).
+
+Table 3 row: 1 categorical + 2 numerical hyperparameters
+(``pruned``; confidence ``C``, minimum instances ``M``).
+
+PART's separate-and-conquer loop: build a (pruned) C4.5 tree on the
+still-uncovered instances, turn its best leaf into a rule, discard the tree,
+remove the covered instances, repeat.  Building the *full* tree instead of
+the partial expansion Frank & Witten describe changes compute cost, not the
+rules chosen, at this library's dataset sizes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.classifiers.base import Classifier
+from repro.classifiers.rules import DecisionList, Rule, path_to_rule
+from repro.classifiers.tree import (
+    TreeNode,
+    TreeParams,
+    build_tree,
+    pessimistic_prune,
+)
+from repro.exceptions import ConfigurationError
+
+__all__ = ["Part"]
+
+
+def _best_leaf_rule(root: TreeNode) -> Rule:
+    """Rule for the leaf covering the most training instances."""
+    best_path: list[tuple[TreeNode, bool]] = []
+    best_leaf = root
+    best_n = -1.0
+
+    def walk(node: TreeNode, path: list[tuple[TreeNode, bool]]) -> None:
+        nonlocal best_path, best_leaf, best_n
+        if node.is_leaf:
+            if node.n > best_n:
+                best_n = node.n
+                best_leaf = node
+                best_path = list(path)
+            return
+        walk(node.left, path + [(node, True)])
+        walk(node.right, path + [(node, False)])
+
+    walk(root, [])
+    return path_to_rule(best_path, best_leaf)
+
+
+class Part(Classifier):
+    """PART decision list.
+
+    Parameters mirror WEKA: ``pruned`` toggles C4.5 pruning of each
+    intermediate tree, ``confidence`` is the pruning confidence, and
+    ``min_instances`` the per-leaf minimum.
+    """
+
+    name = "part"
+
+    PRUNED_CHOICES = ("pruned", "unpruned")
+
+    def __init__(
+        self,
+        pruned: str = "pruned",
+        confidence: float = 0.25,
+        min_instances: int = 2,
+        max_rules: int = 40,
+    ):
+        if pruned not in self.PRUNED_CHOICES:
+            raise ConfigurationError(
+                f"pruned must be one of {self.PRUNED_CHOICES}, got {pruned!r}"
+            )
+        self.pruned = pruned
+        self.confidence = confidence
+        self.min_instances = min_instances
+        self.max_rules = max_rules
+        self.decision_list_: DecisionList | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray, n_classes: int | None = None):
+        X, y = self._start_fit(X, y, n_classes)
+        m = max(1, int(self.min_instances))
+        params = TreeParams(
+            criterion="gain_ratio",
+            max_depth=40,
+            min_split=max(2, 2 * m),
+            min_bucket=m,
+        )
+        remaining = np.arange(y.shape[0])
+        rules: list[Rule] = []
+        while remaining.size > 0 and len(rules) < self.max_rules:
+            sub_X, sub_y = X[remaining], y[remaining]
+            if np.unique(sub_y).size == 1:
+                break
+            root = build_tree(sub_X, sub_y, self.n_classes_, params)
+            if self.pruned == "pruned":
+                pessimistic_prune(root, float(self.confidence))
+            if root.is_leaf:
+                break
+            rule = _best_leaf_rule(root)
+            covered = rule.matches(sub_X)
+            if not covered.any():
+                break
+            rules.append(rule)
+            remaining = remaining[~covered]
+
+        default = (
+            np.bincount(y[remaining], minlength=self.n_classes_).astype(np.float64)
+            if remaining.size
+            else np.bincount(y, minlength=self.n_classes_).astype(np.float64)
+        )
+        self.decision_list_ = DecisionList(rules, default)
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        X = self._check_predict_ready(X)
+        return self.decision_list_.predict_proba(X, self.n_classes_)
+
+    def describe_rules(self, feature_names: list[str] | None = None) -> str:
+        """Human-readable decision list (used by the interpretability output)."""
+        if self.decision_list_ is None:
+            return "<unfitted>"
+        return self.decision_list_.describe(feature_names)

@@ -1,0 +1,68 @@
+"""RandomForest (R package ``randomForest``).
+
+Table 3 row: 0 categorical + 3 numerical hyperparameters
+(``ntree``, ``mtry``, ``nodesize``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.classifiers.base import Classifier
+from repro.classifiers.tree import TreeParams, build_tree, tree_predict_proba
+from repro.evaluation.resampling import bootstrap_indices
+
+__all__ = ["RandomForest"]
+
+
+class RandomForest(Classifier):
+    """Bootstrap ensemble of gini trees with per-node feature subsampling.
+
+    Parameters
+    ----------
+    ntree:
+        Number of trees.
+    mtry:
+        Features considered per split; ``0`` means the ``randomForest``
+        default ``floor(sqrt(d))``.
+    nodesize:
+        Minimum leaf size (1 reproduces the R default for classification).
+    """
+
+    name = "random_forest"
+
+    def __init__(self, ntree: int = 100, mtry: int = 0, nodesize: int = 1, seed: int = 0):
+        self.ntree = ntree
+        self.mtry = mtry
+        self.nodesize = nodesize
+        self.seed = seed
+        self.trees_: list = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray, n_classes: int | None = None):
+        X, y = self._start_fit(X, y, n_classes)
+        rng = np.random.default_rng(self.seed)
+        d = X.shape[1]
+        mtry = int(self.mtry) if self.mtry else max(1, int(np.sqrt(d)))
+        mtry = min(max(1, mtry), d)
+        params = TreeParams(
+            criterion="gini",
+            max_depth=40,
+            min_split=max(2, 2 * int(self.nodesize)),
+            min_bucket=max(1, int(self.nodesize)),
+            max_features=mtry,
+        )
+        self.trees_ = []
+        for _ in range(max(1, int(self.ntree))):
+            sample = bootstrap_indices(y.shape[0], rng)
+            self.trees_.append(
+                build_tree(X[sample], y[sample], self.n_classes_, params, rng=rng)
+            )
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        X = self._check_predict_ready(X)
+        total = np.zeros((X.shape[0], self.n_classes_), dtype=np.float64)
+        for tree in self.trees_:
+            total += tree_predict_proba(tree, X, self.n_classes_)
+        total /= len(self.trees_)
+        return total

@@ -1,0 +1,60 @@
+"""rpart — CART decision tree (R package ``rpart``).
+
+Table 3 row: 0 categorical + 4 numerical hyperparameters
+(``cp``, ``minsplit``, ``minbucket``, ``maxdepth``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.classifiers.base import Classifier
+from repro.classifiers.tree import (
+    TreeParams,
+    build_tree,
+    cost_complexity_prune,
+    tree_predict_proba,
+)
+
+__all__ = ["RPart"]
+
+
+class RPart(Classifier):
+    """CART: gini splitting with cost-complexity pruning.
+
+    Parameters mirror ``rpart.control``: ``cp`` is the complexity parameter
+    (a split must improve the relative error by ``cp`` to be kept),
+    ``minsplit`` the minimum node size to attempt a split, ``minbucket``
+    the minimum leaf size, ``maxdepth`` the depth cap.
+    """
+
+    name = "rpart"
+
+    def __init__(
+        self,
+        cp: float = 0.01,
+        minsplit: int = 20,
+        minbucket: int = 7,
+        maxdepth: int = 30,
+    ):
+        self.cp = cp
+        self.minsplit = minsplit
+        self.minbucket = minbucket
+        self.maxdepth = maxdepth
+        self.root_ = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray, n_classes: int | None = None):
+        X, y = self._start_fit(X, y, n_classes)
+        params = TreeParams(
+            criterion="gini",
+            max_depth=int(self.maxdepth),
+            min_split=max(2, int(self.minsplit)),
+            min_bucket=max(1, int(self.minbucket)),
+        )
+        self.root_ = build_tree(X, y, self.n_classes_, params)
+        cost_complexity_prune(self.root_, float(self.cp))
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        X = self._check_predict_ready(X)
+        return tree_predict_proba(self.root_, X, self.n_classes_)

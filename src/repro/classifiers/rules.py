@@ -1,0 +1,141 @@
+"""Rule-list machinery shared by PART and C5.0's rules mode.
+
+A rule is a conjunction of axis-aligned conditions plus the class histogram
+of the training instances it covered.  Decision lists evaluate rules in
+order; the first match fires, and a default histogram catches everything
+else — exactly the PART/C4.5rules prediction scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.classifiers.tree import TreeNode
+
+__all__ = ["Condition", "Rule", "DecisionList", "path_to_rule", "simplify_rule"]
+
+
+@dataclass(frozen=True)
+class Condition:
+    """One test ``x[feature] <= threshold`` (le) or ``> threshold`` (gt)."""
+
+    feature: int
+    op: str  # "le" | "gt"
+    threshold: float
+
+    def matches(self, X: np.ndarray) -> np.ndarray:
+        col = X[:, self.feature]
+        return col <= self.threshold if self.op == "le" else col > self.threshold
+
+    def describe(self, feature_names: list[str] | None = None) -> str:
+        name = feature_names[self.feature] if feature_names else f"x{self.feature}"
+        symbol = "<=" if self.op == "le" else ">"
+        return f"{name} {symbol} {self.threshold:.4g}"
+
+
+@dataclass
+class Rule:
+    """Conjunctive rule with the class histogram it covered at learn time."""
+
+    conditions: list[Condition]
+    counts: np.ndarray
+
+    @property
+    def prediction(self) -> int:
+        return int(np.argmax(self.counts))
+
+    @property
+    def coverage(self) -> float:
+        return float(self.counts.sum())
+
+    @property
+    def confidence(self) -> float:
+        """Laplace-corrected precision of the rule."""
+        total = self.counts.sum()
+        k = self.counts.size
+        return float((self.counts.max() + 1.0) / (total + k))
+
+    def matches(self, X: np.ndarray) -> np.ndarray:
+        mask = np.ones(X.shape[0], dtype=bool)
+        for condition in self.conditions:
+            mask &= condition.matches(X)
+        return mask
+
+    def describe(self, feature_names: list[str] | None = None) -> str:
+        if not self.conditions:
+            return f"TRUE => class {self.prediction}"
+        body = " AND ".join(c.describe(feature_names) for c in self.conditions)
+        return f"{body} => class {self.prediction}"
+
+
+def path_to_rule(path: list[tuple[TreeNode, bool]], leaf: TreeNode) -> Rule:
+    """Build a rule from a root-to-leaf path.
+
+    ``path`` holds ``(internal_node, went_left)`` pairs.
+    """
+    conditions = [
+        Condition(node.feature, "le" if went_left else "gt", node.threshold)
+        for node, went_left in path
+    ]
+    return Rule(conditions, leaf.counts.copy())
+
+
+def simplify_rule(rule: Rule, X: np.ndarray, y: np.ndarray, n_classes: int) -> Rule:
+    """Greedily drop conditions that do not hurt the rule's precision.
+
+    This is the C4.5rules generalisation step: each condition is removed if
+    the Laplace precision of the rule on the training data does not drop.
+    """
+    def laplace_precision(conditions: list[Condition]) -> tuple[float, np.ndarray]:
+        mask = np.ones(X.shape[0], dtype=bool)
+        for condition in conditions:
+            mask &= condition.matches(X)
+        counts = np.bincount(y[mask], minlength=n_classes).astype(np.float64)
+        total = counts.sum()
+        precision = (counts[rule.prediction] + 1.0) / (total + n_classes)
+        return precision, counts
+
+    conditions = list(rule.conditions)
+    best_precision, best_counts = laplace_precision(conditions)
+    improved = True
+    while improved and len(conditions) > 1:
+        improved = False
+        for i in range(len(conditions)):
+            trial = conditions[:i] + conditions[i + 1 :]
+            precision, counts = laplace_precision(trial)
+            if precision >= best_precision - 1e-12:
+                conditions, best_precision, best_counts = trial, precision, counts
+                improved = True
+                break
+    return Rule(conditions, best_counts)
+
+
+@dataclass
+class DecisionList:
+    """Ordered rules + default histogram."""
+
+    rules: list[Rule]
+    default_counts: np.ndarray = field(default_factory=lambda: np.array([1.0]))
+
+    def predict_proba(self, X: np.ndarray, n_classes: int) -> np.ndarray:
+        out = np.empty((X.shape[0], n_classes), dtype=np.float64)
+        unmatched = np.ones(X.shape[0], dtype=bool)
+        for rule in self.rules:
+            hits = rule.matches(X) & unmatched
+            if hits.any():
+                smoothed = rule.counts + 1.0
+                out[hits] = smoothed / smoothed.sum()
+                unmatched &= ~hits
+            if not unmatched.any():
+                break
+        if unmatched.any():
+            smoothed = self.default_counts + 1.0
+            out[unmatched] = smoothed / smoothed.sum()
+        return out
+
+    def describe(self, feature_names: list[str] | None = None) -> str:
+        lines = [rule.describe(feature_names) for rule in self.rules]
+        lines.append(f"DEFAULT => class {int(np.argmax(self.default_counts))}")
+        return "\n".join(lines)

@@ -1,0 +1,190 @@
+"""SVM — kernel support vector machine (R package ``e1071``).
+
+Table 3 row: 1 categorical + 4 numerical hyperparameters
+(``kernel`` in {linear, radial, polynomial, sigmoid}; ``cost``, ``gamma``,
+``degree``, ``coef0``) — precisely ``e1071::svm``'s tunables.
+
+Binary subproblems are solved with a simplified SMO (Platt's heuristics:
+sweep for KKT violators, partner chosen by maximum ``|E_i - E_j|``);
+multi-class uses one-vs-one voting like libsvm/e1071.  Inputs are
+standardised internally, matching e1071's ``scale = TRUE`` default.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.classifiers.base import Classifier
+from repro.exceptions import ConfigurationError
+
+__all__ = ["SVM"]
+
+
+def _kernel_matrix(
+    A: np.ndarray, B: np.ndarray, kernel: str, gamma: float, degree: int, coef0: float
+) -> np.ndarray:
+    inner = A @ B.T
+    if kernel == "linear":
+        return inner
+    if kernel == "radial":
+        a2 = (A**2).sum(axis=1)[:, None]
+        b2 = (B**2).sum(axis=1)[None, :]
+        return np.exp(-gamma * np.clip(a2 + b2 - 2 * inner, 0.0, None))
+    if kernel == "polynomial":
+        return (gamma * inner + coef0) ** degree
+    if kernel == "sigmoid":
+        return np.tanh(gamma * inner + coef0)
+    raise ConfigurationError(f"unknown kernel {kernel!r}")
+
+
+class _BinarySVM:
+    """SMO for one binary subproblem with labels in {-1, +1}."""
+
+    def __init__(self, cost: float, tol: float = 1e-3, max_passes: int = 40):
+        self.cost = cost
+        self.tol = tol
+        self.max_passes = max_passes
+        self.alpha: np.ndarray | None = None
+        self.b: float = 0.0
+
+    def fit(self, K: np.ndarray, sign: np.ndarray, rng: np.random.Generator) -> None:
+        n = sign.shape[0]
+        alpha = np.zeros(n)
+        b = 0.0
+        C = self.cost
+
+        def f(i: int) -> float:
+            return float((alpha * sign) @ K[:, i] + b)
+
+        passes = 0
+        sweeps = 0
+        while passes < 3 and sweeps < self.max_passes:
+            sweeps += 1
+            changed = 0
+            errors = (alpha * sign) @ K + b - sign
+            for i in range(n):
+                Ei = errors[i]
+                if not (
+                    (sign[i] * Ei < -self.tol and alpha[i] < C)
+                    or (sign[i] * Ei > self.tol and alpha[i] > 0)
+                ):
+                    continue
+                # Second-choice heuristic: maximise |Ei - Ej|.
+                j = int(np.argmax(np.abs(errors - Ei)))
+                if j == i:
+                    j = int(rng.integers(0, n - 1))
+                    j = j if j < i else j + 1
+                Ej = errors[j]
+
+                ai_old, aj_old = alpha[i], alpha[j]
+                if sign[i] != sign[j]:
+                    low, high = max(0.0, aj_old - ai_old), min(C, C + aj_old - ai_old)
+                else:
+                    low, high = max(0.0, ai_old + aj_old - C), min(C, ai_old + aj_old)
+                if high - low < 1e-12:
+                    continue
+                eta = 2.0 * K[i, j] - K[i, i] - K[j, j]
+                if eta >= -1e-12:
+                    continue
+                aj = np.clip(aj_old - sign[j] * (Ei - Ej) / eta, low, high)
+                if abs(aj - aj_old) < 1e-7:
+                    continue
+                ai = ai_old + sign[i] * sign[j] * (aj_old - aj)
+                alpha[i], alpha[j] = ai, aj
+
+                b1 = b - Ei - sign[i] * (ai - ai_old) * K[i, i] - sign[j] * (aj - aj_old) * K[i, j]
+                b2 = b - Ej - sign[i] * (ai - ai_old) * K[i, j] - sign[j] * (aj - aj_old) * K[j, j]
+                if 0 < ai < C:
+                    b = b1
+                elif 0 < aj < C:
+                    b = b2
+                else:
+                    b = 0.5 * (b1 + b2)
+                errors = (alpha * sign) @ K + b - sign
+                changed += 1
+            passes = passes + 1 if changed == 0 else 0
+        self.alpha = alpha
+        self.b = b
+
+    def decision(self, K_test: np.ndarray, sign: np.ndarray) -> np.ndarray:
+        return K_test @ (self.alpha * sign) + self.b
+
+
+class SVM(Classifier):
+    """e1071-style C-SVC."""
+
+    name = "svm"
+
+    KERNEL_CHOICES = ("linear", "radial", "polynomial", "sigmoid")
+
+    def __init__(
+        self,
+        kernel: str = "radial",
+        cost: float = 1.0,
+        gamma: float = 0.0,
+        degree: int = 3,
+        coef0: float = 0.0,
+        seed: int = 0,
+    ):
+        if kernel not in self.KERNEL_CHOICES:
+            raise ConfigurationError(f"kernel must be one of {self.KERNEL_CHOICES}")
+        self.kernel = kernel
+        self.cost = cost
+        self.gamma = gamma
+        self.degree = degree
+        self.coef0 = coef0
+        self.seed = seed
+        self._pairs: list[tuple[int, int, _BinarySVM, np.ndarray, np.ndarray]] = []
+        self._mean: np.ndarray | None = None
+        self._scale: np.ndarray | None = None
+        self._gamma_eff: float = 1.0
+
+    def fit(self, X: np.ndarray, y: np.ndarray, n_classes: int | None = None):
+        X, y = self._start_fit(X, y, n_classes)
+        rng = np.random.default_rng(self.seed)
+
+        self._mean = X.mean(axis=0)
+        scale = X.std(axis=0)
+        scale[scale < 1e-12] = 1.0
+        self._scale = scale
+        Z = (X - self._mean) / scale
+        # e1071 default gamma: 1 / n_features.
+        self._gamma_eff = float(self.gamma) if self.gamma > 0 else 1.0 / X.shape[1]
+
+        self._pairs = []
+        present = [int(k) for k in np.unique(y)]
+        for idx_a in range(len(present)):
+            for idx_b in range(idx_a + 1, len(present)):
+                ka, kb = present[idx_a], present[idx_b]
+                rows = np.flatnonzero((y == ka) | (y == kb))
+                Zp = Z[rows]
+                sign = np.where(y[rows] == ka, 1.0, -1.0)
+                K = _kernel_matrix(
+                    Zp, Zp, self.kernel, self._gamma_eff, int(self.degree), float(self.coef0)
+                )
+                machine = _BinarySVM(cost=max(float(self.cost), 1e-6))
+                machine.fit(K, sign, rng)
+                self._pairs.append((ka, kb, machine, Zp, sign))
+        return self
+
+    def decision_votes(self, X: np.ndarray) -> np.ndarray:
+        """One-vs-one vote counts per class."""
+        X = self._check_predict_ready(X)
+        Z = (X - self._mean) / self._scale
+        votes = np.zeros((X.shape[0], self.n_classes_), dtype=np.float64)
+        if not self._pairs:
+            # Single class seen in training.
+            votes[:, int(self.classes_seen_[0])] = 1.0
+            return votes
+        for ka, kb, machine, Zp, sign in self._pairs:
+            K_test = _kernel_matrix(
+                Z, Zp, self.kernel, self._gamma_eff, int(self.degree), float(self.coef0)
+            )
+            decision = machine.decision(K_test, sign)
+            votes[decision >= 0, ka] += 1.0
+            votes[decision < 0, kb] += 1.0
+        return votes
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        votes = self.decision_votes(X) + 1e-3
+        return votes / votes.sum(axis=1, keepdims=True)

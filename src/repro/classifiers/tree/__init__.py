@@ -1,0 +1,43 @@
+"""Shared decision-tree engine for the tree-family classifiers."""
+
+from repro.classifiers.tree.builder import (
+    TreeNode,
+    TreeParams,
+    build_tree,
+    count_leaves,
+    iter_nodes,
+    tree_apply,
+    tree_depth,
+    tree_predict_proba,
+)
+from repro.classifiers.tree.criteria import (
+    children_impurity,
+    entropy,
+    gain_ratio,
+    gini,
+    impurity_function,
+)
+from repro.classifiers.tree.pruning import (
+    cost_complexity_prune,
+    pessimistic_prune,
+    subtree_error,
+)
+
+__all__ = [
+    "TreeNode",
+    "TreeParams",
+    "build_tree",
+    "tree_apply",
+    "tree_predict_proba",
+    "count_leaves",
+    "tree_depth",
+    "iter_nodes",
+    "gini",
+    "entropy",
+    "gain_ratio",
+    "children_impurity",
+    "impurity_function",
+    "cost_complexity_prune",
+    "pessimistic_prune",
+    "subtree_error",
+]

@@ -1,0 +1,95 @@
+"""Split-quality criteria shared by the tree family.
+
+All functions operate on *count* arrays rather than label vectors so the
+split search can evaluate every threshold of a column with one cumulative
+sum.  ``left_counts``/``right_counts`` have shape ``(n_thresholds, k)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["gini", "entropy", "children_impurity", "gain_ratio", "impurity_function"]
+
+
+def gini(counts: np.ndarray) -> np.ndarray:
+    """Gini impurity of each row of a count matrix; 0 for empty rows."""
+    counts = np.asarray(counts, dtype=np.float64)
+    totals = counts.sum(axis=-1, keepdims=True)
+    safe = np.where(totals > 0, totals, 1.0)
+    p = counts / safe
+    impurity = 1.0 - (p**2).sum(axis=-1)
+    return np.where(totals[..., 0] > 0, impurity, 0.0)
+
+
+def entropy(counts: np.ndarray) -> np.ndarray:
+    """Shannon entropy (bits) of each row of a count matrix; 0 for empty rows."""
+    counts = np.asarray(counts, dtype=np.float64)
+    totals = counts.sum(axis=-1, keepdims=True)
+    safe = np.where(totals > 0, totals, 1.0)
+    p = counts / safe
+    logp = np.zeros_like(p)
+    np.log2(p, out=logp, where=p > 0)
+    return -(p * logp).sum(axis=-1)
+
+
+def impurity_function(criterion: str):
+    """Resolve a criterion name to its impurity function.
+
+    ``gain_ratio`` shares the entropy impurity; the ratio normalisation is
+    applied in :func:`children_impurity`.
+    """
+    if criterion == "gini":
+        return gini
+    if criterion in ("entropy", "gain_ratio"):
+        return entropy
+    raise ConfigurationError(f"unknown criterion {criterion!r}")
+
+
+def children_impurity(
+    left_counts: np.ndarray,
+    right_counts: np.ndarray,
+    criterion: str,
+    parent_impurity: float | None = None,
+) -> np.ndarray:
+    """Score candidate binary splits; *lower is better* for every criterion.
+
+    For ``gini``/``entropy`` this is the size-weighted child impurity.  For
+    ``gain_ratio`` it is ``-(information gain / split info)`` so that the
+    minimisation framing is preserved; splits with degenerate split info
+    score 0 (never preferred).
+    """
+    impurity = impurity_function(criterion)
+    n_left = left_counts.sum(axis=-1)
+    n_right = right_counts.sum(axis=-1)
+    total = n_left + n_right
+    safe_total = np.where(total > 0, total, 1.0)
+    weighted = (
+        n_left * impurity(left_counts) + n_right * impurity(right_counts)
+    ) / safe_total
+    if criterion != "gain_ratio":
+        return weighted
+
+    if parent_impurity is None:
+        parent = impurity((left_counts + right_counts))
+    else:
+        parent = np.full_like(weighted, parent_impurity)
+    gain = parent - weighted
+    pl = n_left / safe_total
+    pr = n_right / safe_total
+    log_pl = np.zeros_like(pl)
+    log_pr = np.zeros_like(pr)
+    np.log2(pl, out=log_pl, where=pl > 0)
+    np.log2(pr, out=log_pr, where=pr > 0)
+    split_info = -(pl * log_pl + pr * log_pr)
+    ratio = np.where(
+        split_info > 1e-12, gain / np.where(split_info > 1e-12, split_info, 1.0), 0.0
+    )
+    return -ratio
+
+
+def gain_ratio(left_counts: np.ndarray, right_counts: np.ndarray) -> np.ndarray:
+    """Convenience wrapper: the (positive) gain ratio of candidate splits."""
+    return -children_impurity(left_counts, right_counts, "gain_ratio")

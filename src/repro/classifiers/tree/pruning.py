@@ -1,0 +1,110 @@
+"""Tree pruning procedures.
+
+Two classic procedures, matching the R packages SmartML wraps:
+
+* :func:`cost_complexity_prune` — CART/rpart-style weakest-link pruning
+  controlled by the complexity parameter ``cp``: a subtree survives only if
+  it improves resubstitution error by at least ``cp * R(root)`` per extra
+  leaf.
+* :func:`pessimistic_prune` — C4.5/J48-style error-based pruning controlled
+  by the confidence factor ``CF``: a subtree is replaced by a leaf when the
+  leaf's upper-confidence-bound error estimate is no worse than the
+  subtree's.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import stats
+
+from repro.classifiers.tree.builder import TreeNode
+
+__all__ = ["cost_complexity_prune", "pessimistic_prune", "subtree_error"]
+
+
+def _node_error(node: TreeNode) -> float:
+    """Weighted misclassified count if ``node`` were a leaf."""
+    return float(node.counts.sum() - node.counts.max())
+
+
+def subtree_error(node: TreeNode) -> float:
+    """Weighted misclassified count of the subtree's leaves."""
+    if node.is_leaf:
+        return _node_error(node)
+    return subtree_error(node.left) + subtree_error(node.right)
+
+
+def _subtree_leaves(node: TreeNode) -> int:
+    if node.is_leaf:
+        return 1
+    return _subtree_leaves(node.left) + _subtree_leaves(node.right)
+
+
+def cost_complexity_prune(root: TreeNode, cp: float) -> TreeNode:
+    """Prune in place with complexity parameter ``cp``; returns the root.
+
+    Using rpart's scaling: the penalty per extra leaf is ``cp * R(root)``
+    where ``R(root)`` is the error of the root as a single leaf.  Collapse
+    is decided bottom-up, so a chain of marginal splits is removed as a
+    whole.
+    """
+    if cp <= 0:
+        return root
+    penalty = cp * max(_node_error(root), 1.0)
+
+    def collapse(node: TreeNode) -> None:
+        if node.is_leaf:
+            return
+        collapse(node.left)
+        collapse(node.right)
+        improvement = _node_error(node) - subtree_error(node)
+        extra_leaves = _subtree_leaves(node) - 1
+        if improvement <= penalty * extra_leaves:
+            node.make_leaf()
+
+    collapse(root)
+    return root
+
+
+def _ucb_error(errors: float, n: float, z: float, confidence: float) -> float:
+    """Upper confidence bound on the error *count* at a node (C4.5 style).
+
+    C4.5's exact special case for error-free nodes is
+    ``U_CF(0, N) = 1 - CF^(1/N)`` — crucial for pruning, since the normal
+    approximation grossly underestimates the risk of small pure leaves.
+    Nodes with observed errors use the Wilson-style normal approximation of
+    the binomial upper limit; ``z`` is the (1 - CF) normal quantile.
+    """
+    if n <= 0:
+        return 0.0
+    if errors < 1e-9:
+        return float(n * (1.0 - confidence ** (1.0 / n)))
+    f = errors / n
+    z2 = z * z
+    upper = (
+        f + z2 / (2 * n) + z * np.sqrt(max(f * (1 - f) / n + z2 / (4 * n * n), 0.0))
+    ) / (1 + z2 / n)
+    return float(min(upper, 1.0) * n)
+
+
+def pessimistic_prune(root: TreeNode, confidence: float = 0.25) -> TreeNode:
+    """C4.5 error-based pruning in place; returns the root.
+
+    ``confidence`` is J48's ``C`` parameter: smaller values make the upper
+    bound more pessimistic and so prune more aggressively.
+    """
+    confidence = float(np.clip(confidence, 1e-4, 0.5))
+    z = float(stats.norm.ppf(1.0 - confidence))
+
+    def pessimistic(node: TreeNode) -> float:
+        if node.is_leaf:
+            return _ucb_error(_node_error(node), node.n, z, confidence)
+        subtree = pessimistic(node.left) + pessimistic(node.right)
+        as_leaf = _ucb_error(_node_error(node), node.n, z, confidence)
+        if as_leaf <= subtree + 0.1:
+            node.make_leaf()
+            return as_leaf
+        return subtree
+
+    pessimistic(root)
+    return root

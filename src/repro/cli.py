@@ -1,0 +1,220 @@
+"""Command-line interface.
+
+The original SmartML ships as an R package, a web application, and REST
+APIs; this module is the command-line face of the Python reproduction:
+
+``repro datasets``
+    List the built-in Table-4 evaluation datasets.
+``repro bootstrap --kb kb.jsonl --n 10``
+    Bootstrap a knowledge base from the synthetic corpus.
+``repro run --dataset my.csv --target label --kb kb.jsonl --budget 10``
+    Run the full pipeline on a CSV/ARFF file (or a built-in dataset).
+``repro nominate --dataset my.csv --target label --kb kb.jsonl``
+    Algorithm selection only (no tuning).
+``repro serve --port 8080 --kb kb.jsonl``
+    Start the REST server.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro import KnowledgeBase, SmartML, SmartMLConfig, bootstrap_knowledge_base
+from repro.data import (
+    TABLE4_CARDS,
+    eval_dataset_names,
+    load_eval_dataset,
+    load_kb_corpus,
+    read_arff,
+    read_csv,
+)
+from repro.exceptions import SmartMLError
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_dataset(args) -> object:
+    """Resolve --dataset: a registry key or a csv/arff path."""
+    if args.dataset in eval_dataset_names():
+        return load_eval_dataset(args.dataset)
+    path = Path(args.dataset)
+    if not path.exists():
+        raise SmartMLError(
+            f"{args.dataset!r} is neither a built-in dataset "
+            f"({eval_dataset_names()}) nor an existing file"
+        )
+    target = args.target if args.target is not None else -1
+    if path.suffix.lower() == ".arff":
+        return read_arff(path, target=target)
+    return read_csv(path, target=target)
+
+
+def _open_kb(args) -> KnowledgeBase:
+    return KnowledgeBase(args.kb) if args.kb else KnowledgeBase()
+
+
+def cmd_datasets(args, out) -> int:
+    print(f"{'key':14s} {'paper shape (d x k x n)':>24s} {'paper AW':>9s} {'paper SM':>9s}", file=out)
+    for card in TABLE4_CARDS:
+        shape = f"{card.paper_attributes}x{card.paper_classes}x{card.paper_instances}"
+        print(
+            f"{card.key:14s} {shape:>24s} {card.paper_autoweka_accuracy:9.2f} "
+            f"{card.paper_smartml_accuracy:9.2f}",
+            file=out,
+        )
+    return 0
+
+
+def cmd_bootstrap(args, out) -> int:
+    kb = _open_kb(args)
+    try:
+        corpus = load_kb_corpus(n=args.n, seed=args.seed)
+        bootstrap_knowledge_base(
+            kb,
+            corpus,
+            configs_per_algorithm=args.configs,
+            n_folds=2,
+            max_instances=args.max_instances,
+            seed=args.seed,
+            verbose=not args.quiet,
+        )
+        print(
+            f"knowledge base ready: {kb.n_datasets()} datasets, {kb.n_runs()} runs"
+            + (f" -> {args.kb}" if args.kb else " (in memory only; pass --kb to persist)"),
+            file=out,
+        )
+        return 0
+    finally:
+        kb.close()
+
+
+def cmd_run(args, out) -> int:
+    dataset = _load_dataset(args)
+    kb = _open_kb(args)
+    try:
+        config = SmartMLConfig(
+            preprocessing=args.preprocess or [],
+            time_budget_s=args.budget,
+            n_algorithms=args.algorithms,
+            ensemble=args.ensemble,
+            interpretability=args.interpret,
+            update_kb=not args.no_update,
+            seed=args.seed,
+        )
+        result = SmartML(kb).run(dataset, config)
+        if args.json:
+            print(json.dumps(result.to_dict(), indent=2), file=out)
+        else:
+            print(result.describe(), file=out)
+        return 0
+    finally:
+        kb.close()
+
+
+def cmd_nominate(args, out) -> int:
+    from repro.metafeatures import extract_metafeatures
+
+    dataset = _load_dataset(args)
+    kb = _open_kb(args)
+    try:
+        metafeatures = extract_metafeatures(dataset)
+        nominations = kb.nominate(metafeatures, n_algorithms=args.algorithms)
+        if not nominations:
+            print("knowledge base is empty: no nominations (run `repro bootstrap`)", file=out)
+            return 1
+        for nomination in nominations:
+            print(
+                f"{nomination.algorithm:15s} score={nomination.score:.4f} "
+                f"supported by KB datasets {nomination.supporting_datasets}",
+                file=out,
+            )
+        return 0
+    finally:
+        kb.close()
+
+
+def cmd_serve(args, out) -> int:  # pragma: no cover - blocking loop
+    from repro.api import SmartMLServer
+
+    kb = _open_kb(args)
+    server = SmartMLServer(SmartML(kb), host=args.host, port=args.port)
+    print(f"SmartML REST server on {server.base_url} (Ctrl-C to stop)", file=out)
+    try:
+        server._httpd.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server._httpd.server_close()
+        kb.close()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SmartML reproduction: automated algorithm selection and tuning",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list built-in evaluation datasets")
+
+    p_boot = sub.add_parser("bootstrap", help="bootstrap a knowledge base")
+    p_boot.add_argument("--kb", help="knowledge base file (jsonl)")
+    p_boot.add_argument("--n", type=int, default=10, help="corpus datasets (default 10)")
+    p_boot.add_argument("--configs", type=int, default=2, help="probes per algorithm")
+    p_boot.add_argument("--max-instances", type=int, default=200, dest="max_instances")
+    p_boot.add_argument("--seed", type=int, default=7)
+    p_boot.add_argument("--quiet", action="store_true")
+
+    p_run = sub.add_parser("run", help="run the full pipeline on a dataset")
+    p_run.add_argument("--dataset", required=True, help="registry key or csv/arff path")
+    p_run.add_argument("--target", help="target column name (files only)")
+    p_run.add_argument("--kb", help="knowledge base file (jsonl)")
+    p_run.add_argument("--budget", type=float, default=10.0, help="seconds of tuning")
+    p_run.add_argument("--algorithms", type=int, default=3, help="candidates to tune")
+    p_run.add_argument("--preprocess", nargs="*", help="Table-2 operator names")
+    p_run.add_argument("--ensemble", action="store_true")
+    p_run.add_argument("--interpret", action="store_true")
+    p_run.add_argument("--no-update", action="store_true", help="do not write to the KB")
+    p_run.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    p_run.add_argument("--seed", type=int, default=0)
+
+    p_nom = sub.add_parser("nominate", help="algorithm selection only")
+    p_nom.add_argument("--dataset", required=True)
+    p_nom.add_argument("--target")
+    p_nom.add_argument("--kb")
+    p_nom.add_argument("--algorithms", type=int, default=3)
+
+    p_serve = sub.add_parser("serve", help="start the REST server")
+    p_serve.add_argument("--kb")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8080)
+
+    return parser
+
+
+COMMANDS = {
+    "datasets": cmd_datasets,
+    "bootstrap": cmd_bootstrap,
+    "run": cmd_run,
+    "nominate": cmd_nominate,
+    "serve": cmd_serve,
+}
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        return COMMANDS[args.command](args, out)
+    except SmartMLError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,16 @@
+"""The SmartML core: configuration, orchestration, results, Table 1."""
+
+from repro.core.comparison import FrameworkCard, framework_cards, render_table1
+from repro.core.config import SmartMLConfig
+from repro.core.result import CandidateResult, SmartMLResult
+from repro.core.smartml import SmartML
+
+__all__ = [
+    "SmartML",
+    "SmartMLConfig",
+    "SmartMLResult",
+    "CandidateResult",
+    "FrameworkCard",
+    "framework_cards",
+    "render_table1",
+]

@@ -1,0 +1,153 @@
+"""Result objects returned by SmartML runs (the Figure 3 output panel)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.classifiers.base import Classifier
+from repro.data.dataset import Dataset
+from repro.ensemble import WeightedEnsemble
+from repro.exceptions import NotFittedError
+from repro.interpret import FeatureImportance
+from repro.kb.similarity import Nomination
+from repro.metafeatures import MetaFeatures
+from repro.preprocess import Pipeline
+
+__all__ = ["CandidateResult", "SmartMLResult"]
+
+
+@dataclass
+class CandidateResult:
+    """Outcome of tuning one nominated algorithm."""
+
+    algorithm: str
+    best_config: dict
+    cv_error: float
+    validation_accuracy: float
+    n_config_evals: int
+    n_fold_evals: int
+    tuning_seconds: float
+    warm_started: bool
+    model: Classifier | None = None
+
+    def to_dict(self) -> dict:
+        """JSON-friendly summary (model object excluded)."""
+        return {
+            "algorithm": self.algorithm,
+            "best_config": {k: _jsonable(v) for k, v in self.best_config.items()},
+            "cv_error": self.cv_error,
+            "validation_accuracy": self.validation_accuracy,
+            "n_config_evals": self.n_config_evals,
+            "n_fold_evals": self.n_fold_evals,
+            "tuning_seconds": self.tuning_seconds,
+            "warm_started": self.warm_started,
+        }
+
+
+def _jsonable(value):
+    if hasattr(value, "item"):
+        return value.item()
+    return value
+
+
+@dataclass
+class SmartMLResult:
+    """Everything a SmartML run produces."""
+
+    dataset_name: str
+    best_algorithm: str
+    best_config: dict
+    validation_accuracy: float
+    model: Classifier | None
+    pipeline: Pipeline | None = None
+    candidates: list[CandidateResult] = field(default_factory=list)
+    nominations: list[Nomination] = field(default_factory=list)
+    metafeatures: MetaFeatures | None = None
+    ensemble: WeightedEnsemble | None = None
+    ensemble_validation_accuracy: float | None = None
+    importance: FeatureImportance | None = None
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    kb_dataset_id: int | None = None
+    used_meta_learning: bool = False
+
+    def to_dict(self) -> dict:
+        """JSON-friendly summary for the REST API and the demo output."""
+        return {
+            "dataset_name": self.dataset_name,
+            "best_algorithm": self.best_algorithm,
+            "best_config": {k: _jsonable(v) for k, v in self.best_config.items()},
+            "validation_accuracy": self.validation_accuracy,
+            "candidates": [c.to_dict() for c in self.candidates],
+            "nominations": [
+                {
+                    "algorithm": n.algorithm,
+                    "score": n.score,
+                    "supporting_datasets": list(n.supporting_datasets),
+                }
+                for n in self.nominations
+            ],
+            "metafeatures": self.metafeatures.to_dict() if self.metafeatures else None,
+            "ensemble_validation_accuracy": self.ensemble_validation_accuracy,
+            "importance_top": (
+                [
+                    {"feature": name, "importance": value}
+                    for name, value in self.importance.top(5)
+                ]
+                if self.importance
+                else None
+            ),
+            "phase_seconds": dict(self.phase_seconds),
+            "kb_dataset_id": self.kb_dataset_id,
+            "used_meta_learning": self.used_meta_learning,
+        }
+
+    def predict(self, dataset: Dataset, use_ensemble: bool = False) -> np.ndarray:
+        """Predict labels for a *raw* dataset.
+
+        Applies the fitted preprocessing pipeline first, so callers hand in
+        data in the same shape they handed to :meth:`SmartML.run` (missing
+        values included).  ``use_ensemble=True`` routes through the weighted
+        ensemble when one was built.
+        """
+        if self.pipeline is None or self.model is None:
+            raise NotFittedError("this result carries no fitted pipeline/model")
+        prepared = self.pipeline.transform(dataset)
+        predictor = self.ensemble if (use_ensemble and self.ensemble) else self.model
+        return predictor.predict(prepared.X)
+
+    def predict_proba(self, dataset: Dataset, use_ensemble: bool = False) -> np.ndarray:
+        """Class probabilities for a *raw* dataset (see :meth:`predict`)."""
+        if self.pipeline is None or self.model is None:
+            raise NotFittedError("this result carries no fitted pipeline/model")
+        prepared = self.pipeline.transform(dataset)
+        predictor = self.ensemble if (use_ensemble and self.ensemble) else self.model
+        return predictor.predict_proba(prepared.X)
+
+    def describe(self) -> str:
+        """Figure-3-style text panel."""
+        lines = [
+            f"SmartML result for dataset {self.dataset_name!r}",
+            f"  recommended algorithm : {self.best_algorithm}",
+            f"  hyperparameters       : {self.best_config}",
+            f"  validation accuracy   : {self.validation_accuracy:.4f}",
+            f"  meta-learning used    : {'yes' if self.used_meta_learning else 'no (cold start)'}",
+        ]
+        if self.candidates:
+            lines.append("  tuned candidates:")
+            for c in sorted(self.candidates, key=lambda c: -c.validation_accuracy):
+                marker = "*" if c.algorithm == self.best_algorithm else " "
+                lines.append(
+                    f"   {marker} {c.algorithm:14s} val_acc={c.validation_accuracy:.4f} "
+                    f"cv_err={c.cv_error:.4f} evals={c.n_config_evals}"
+                )
+        if self.ensemble_validation_accuracy is not None:
+            lines.append(
+                f"  weighted ensemble     : val_acc={self.ensemble_validation_accuracy:.4f}"
+            )
+        if self.importance is not None:
+            lines.append("  most important features:")
+            for name, value in self.importance.top(5):
+                lines.append(f"    {name}: {value:+.4f}")
+        return "\n".join(lines)

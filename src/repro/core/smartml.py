@@ -1,0 +1,238 @@
+"""The SmartML orchestrator — Figure 1's pipeline end to end.
+
+Phases (names match the architecture figure):
+
+1. **input definition** — a :class:`~repro.data.Dataset` plus a
+   :class:`~repro.core.config.SmartMLConfig`;
+2. **dataset preprocessing** — train/validation split, the configured
+   Table-2 operators (imputation always), optional feature selection, and
+   extraction of the 25 meta-features from the training split;
+3. **algorithm selection** — weighted nearest-neighbour nomination from the
+   knowledge base (falling back to a fixed portfolio on a cold KB);
+4. **parameter tuning** — one SMAC run per nominated algorithm, warm-started
+   with the KB's best configurations, under a time budget split
+   proportionally to hyperparameter counts;
+5. **computing output & updating the KB** — candidates are scored on the
+   validation split; the winner (optionally a weighted ensemble and a
+   permutation-importance report) is returned and the run is appended to
+   the knowledge base.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.classifiers import make_classifier
+from repro.core.config import SmartMLConfig
+from repro.core.result import CandidateResult, SmartMLResult
+from repro.data.dataset import Dataset
+from repro.ensemble import build_weighted_ensemble
+from repro.evaluation.metrics import accuracy
+from repro.evaluation.resampling import train_validation_split
+from repro.hpo import (
+    SMAC,
+    CrossValObjective,
+    SMACSettings,
+    allocate_budget,
+    classifier_space,
+    uniform_budget,
+)
+from repro.interpret import permutation_importance
+from repro.kb import KnowledgeBase
+from repro.kb.similarity import Nomination
+from repro.metafeatures import extract_metafeatures
+from repro.preprocess import (
+    Imputer,
+    Pipeline,
+    PREPROCESSOR_REGISTRY,
+    UnivariateSelector,
+)
+
+__all__ = ["SmartML"]
+
+
+class SmartML:
+    """Automated algorithm selection + hyperparameter tuning.
+
+    One instance wraps one knowledge base; every :meth:`run` both consults
+    and (by default) enriches it, so repeated use makes the instance
+    smarter — the paper's central loop.
+    """
+
+    def __init__(self, knowledge_base: KnowledgeBase | None = None):
+        self.kb = knowledge_base if knowledge_base is not None else KnowledgeBase()
+
+    # ------------------------------------------------------------------ run
+    def run(self, dataset: Dataset, config: SmartMLConfig | None = None) -> SmartMLResult:
+        """Execute the full pipeline on ``dataset``."""
+        config = config or SmartMLConfig()
+        rng = np.random.default_rng(config.seed)
+        phase_seconds: dict[str, float] = {}
+
+        # ---- phase 2: preprocessing -------------------------------------
+        started = time.monotonic()
+        train, validation = train_validation_split(
+            dataset, config.validation_fraction, seed=int(rng.integers(0, 2**31 - 1))
+        )
+        pipeline = self._build_pipeline(config)
+        train_p = pipeline.fit_transform(train)
+        validation_p = pipeline.transform(validation)
+        phase_seconds["preprocessing"] = time.monotonic() - started
+
+        started = time.monotonic()
+        metafeatures = extract_metafeatures(train)
+        phase_seconds["metafeatures"] = time.monotonic() - started
+
+        # ---- phase 3: algorithm selection --------------------------------
+        started = time.monotonic()
+        nominations = self.kb.nominate(
+            metafeatures,
+            n_algorithms=config.n_algorithms,
+            n_neighbors=config.n_neighbors,
+            mode=config.nomination_mode,
+        )
+        used_meta_learning = bool(nominations)
+        if not nominations:
+            nominations = [
+                Nomination(algorithm=name, score=0.0)
+                for name in config.fallback_portfolio[: config.n_algorithms]
+            ]
+        phase_seconds["algorithm_selection"] = time.monotonic() - started
+
+        # ---- phase 4: hyperparameter tuning -------------------------------
+        started = time.monotonic()
+        algorithms = [n.algorithm for n in nominations]
+        if config.time_budget_s is not None:
+            splitter = (
+                allocate_budget if config.budget_split == "proportional"
+                else uniform_budget
+            )
+            budgets = splitter(config.time_budget_s, algorithms)
+        else:
+            budgets = {algo: None for algo in algorithms}
+
+        candidates: list[CandidateResult] = []
+        for nomination in nominations:
+            candidates.append(
+                self._tune_candidate(
+                    nomination,
+                    budgets[nomination.algorithm],
+                    config,
+                    train_p,
+                    validation_p,
+                    dataset.n_classes,
+                    seed=int(rng.integers(0, 2**31 - 1)),
+                )
+            )
+        phase_seconds["hyperparameter_tuning"] = time.monotonic() - started
+
+        # ---- phase 5: output + KB update ----------------------------------
+        started = time.monotonic()
+        best = max(candidates, key=lambda c: c.validation_accuracy)
+        result = SmartMLResult(
+            dataset_name=dataset.name,
+            best_algorithm=best.algorithm,
+            best_config=best.best_config,
+            validation_accuracy=best.validation_accuracy,
+            model=best.model,
+            pipeline=pipeline,
+            candidates=candidates,
+            nominations=nominations,
+            metafeatures=metafeatures,
+            used_meta_learning=used_meta_learning,
+        )
+
+        if config.ensemble and len(candidates) > 1:
+            members = [
+                (c.model, c.validation_accuracy) for c in candidates if c.model is not None
+            ]
+            if len(members) > 1:
+                ensemble = build_weighted_ensemble(members, top_k=config.n_algorithms)
+                predictions = ensemble.predict(validation_p.X)
+                result.ensemble = ensemble
+                result.ensemble_validation_accuracy = accuracy(
+                    validation_p.y, predictions
+                )
+
+        if config.interpretability and best.model is not None:
+            result.importance = permutation_importance(
+                best.model,
+                validation_p.X,
+                validation_p.y,
+                feature_names=validation_p.feature_names,
+                seed=int(rng.integers(0, 2**31 - 1)),
+            )
+        phase_seconds["computing_output"] = time.monotonic() - started
+
+        started = time.monotonic()
+        if config.update_kb:
+            dataset_id = self.kb.add_dataset(dataset.name, metafeatures)
+            result.kb_dataset_id = dataset_id
+            for candidate in candidates:
+                self.kb.add_run(
+                    dataset_id,
+                    candidate.algorithm,
+                    candidate.best_config,
+                    accuracy=candidate.validation_accuracy,
+                    n_folds=config.n_folds,
+                    budget_s=candidate.tuning_seconds,
+                )
+        phase_seconds["kb_update"] = time.monotonic() - started
+
+        result.phase_seconds = phase_seconds
+        return result
+
+    # ------------------------------------------------------------ internals
+    @staticmethod
+    def _build_pipeline(config: SmartMLConfig) -> Pipeline:
+        steps = [Imputer()]
+        if config.feature_selection_k is not None:
+            steps.append(UnivariateSelector(config.feature_selection_k))
+        steps.extend(PREPROCESSOR_REGISTRY[name]() for name in config.preprocessing)
+        return Pipeline(steps)
+
+    @staticmethod
+    def _tune_candidate(
+        nomination: Nomination,
+        budget_s: float | None,
+        config: SmartMLConfig,
+        train_p: Dataset,
+        validation_p: Dataset,
+        n_classes: int,
+        seed: int,
+    ) -> CandidateResult:
+        algorithm = nomination.algorithm
+        space = classifier_space(algorithm)
+        objective = CrossValObjective(
+            lambda cfg, _algo=algorithm: make_classifier(_algo, **cfg),
+            train_p.X,
+            train_p.y,
+            n_classes=n_classes,
+            n_folds=config.n_folds,
+            seed=seed,
+        )
+        settings = SMACSettings(
+            time_budget_s=budget_s,
+            max_config_evals=config.max_evals_per_algorithm,
+            seed=seed,
+        )
+        smac = SMAC(space, settings)
+        search = smac.optimize(objective, initial_configs=nomination.warm_configs)
+
+        model = make_classifier(algorithm, **search.incumbent)
+        model.fit(train_p.X, train_p.y, n_classes=n_classes)
+        validation_accuracy = accuracy(validation_p.y, model.predict(validation_p.X))
+
+        return CandidateResult(
+            algorithm=algorithm,
+            best_config=search.incumbent,
+            cv_error=search.incumbent_cost,
+            validation_accuracy=validation_accuracy,
+            n_config_evals=search.n_config_evals,
+            n_fold_evals=search.n_fold_evals,
+            tuning_seconds=search.elapsed_s,
+            warm_started=bool(nomination.warm_configs),
+            model=model,
+        )

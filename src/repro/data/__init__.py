@@ -1,0 +1,35 @@
+"""Dataset substrate: container, file formats, synthetic corpora."""
+
+from repro.data.dataset import Dataset
+from repro.data.io import parse_arff_text, parse_csv_text, read_arff, read_csv
+from repro.data.registry import (
+    TABLE4_CARDS,
+    DatasetCard,
+    eval_dataset_names,
+    kb_corpus_specs,
+    load_eval_dataset,
+    load_kb_corpus,
+)
+from repro.data.synthetic import SyntheticSpec, make_blobs, make_dataset
+from repro.data.writers import dataset_to_arff, dataset_to_csv, write_arff, write_csv
+
+__all__ = [
+    "Dataset",
+    "read_csv",
+    "read_arff",
+    "parse_csv_text",
+    "parse_arff_text",
+    "dataset_to_csv",
+    "dataset_to_arff",
+    "write_csv",
+    "write_arff",
+    "SyntheticSpec",
+    "make_dataset",
+    "make_blobs",
+    "DatasetCard",
+    "TABLE4_CARDS",
+    "eval_dataset_names",
+    "load_eval_dataset",
+    "kb_corpus_specs",
+    "load_kb_corpus",
+]

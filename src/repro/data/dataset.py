@@ -1,0 +1,194 @@
+"""The :class:`Dataset` container used throughout the library.
+
+A dataset is a dense ``(n_instances, n_features)`` float matrix plus an
+integer label vector.  Categorical features are stored *in* the float matrix
+as non-negative integer category codes; a boolean mask records which columns
+are categorical.  Missing values are ``NaN`` in either kind of column.
+
+This mirrors what the paper's R substrate works with (data frames whose
+columns are numeric or factor) while staying numpy-friendly: every classifier
+and preprocessing operator in this library consumes this one container.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+__all__ = ["Dataset"]
+
+
+@dataclass
+class Dataset:
+    """An in-memory classification dataset.
+
+    Parameters
+    ----------
+    X:
+        Feature matrix of shape ``(n_instances, n_features)``, dtype float64.
+        Categorical columns hold integer category codes (``0 .. k-1``) stored
+        as floats; missing entries are ``NaN``.
+    y:
+        Integer class labels of shape ``(n_instances,)`` with values in
+        ``0 .. n_classes - 1``.
+    categorical_mask:
+        Boolean array of shape ``(n_features,)``; ``True`` marks a
+        categorical column.  Defaults to all-numeric.
+    feature_names:
+        Optional column names; generated as ``f0 .. f{d-1}`` when omitted.
+    class_names:
+        Optional label names; generated as ``c0 .. c{k-1}`` when omitted.
+    name:
+        Human-readable dataset name used in logs, the knowledge base, and
+        benchmark tables.
+    """
+
+    X: np.ndarray
+    y: np.ndarray
+    categorical_mask: np.ndarray = None  # type: ignore[assignment]
+    feature_names: list[str] = field(default_factory=list)
+    class_names: list[str] = field(default_factory=list)
+    name: str = "dataset"
+
+    def __post_init__(self) -> None:
+        self.X = np.asarray(self.X, dtype=np.float64)
+        self.y = np.asarray(self.y)
+        if self.X.ndim != 2:
+            raise DataError(f"X must be 2-dimensional, got shape {self.X.shape}")
+        if self.y.ndim != 1:
+            raise DataError(f"y must be 1-dimensional, got shape {self.y.shape}")
+        if self.X.shape[0] != self.y.shape[0]:
+            raise DataError(
+                f"X has {self.X.shape[0]} rows but y has {self.y.shape[0]} labels"
+            )
+        if self.X.shape[0] == 0:
+            raise DataError("dataset has no instances")
+        if np.isnan(self.y.astype(np.float64)).any():
+            raise DataError("y contains missing labels")
+        self.y = self.y.astype(np.int64)
+        if self.y.min() < 0:
+            raise DataError("y must contain non-negative class codes")
+
+        if self.categorical_mask is None:
+            self.categorical_mask = np.zeros(self.X.shape[1], dtype=bool)
+        self.categorical_mask = np.asarray(self.categorical_mask, dtype=bool)
+        if self.categorical_mask.shape != (self.X.shape[1],):
+            raise DataError(
+                "categorical_mask must have one entry per feature: expected "
+                f"{self.X.shape[1]}, got {self.categorical_mask.shape}"
+            )
+
+        if not self.feature_names:
+            self.feature_names = [f"f{j}" for j in range(self.X.shape[1])]
+        if len(self.feature_names) != self.X.shape[1]:
+            raise DataError(
+                f"expected {self.X.shape[1]} feature names, "
+                f"got {len(self.feature_names)}"
+            )
+        n_classes = int(self.y.max()) + 1 if self.y.size else 0
+        if not self.class_names:
+            self.class_names = [f"c{k}" for k in range(n_classes)]
+        if len(self.class_names) < n_classes:
+            raise DataError(
+                f"labels reference class code {n_classes - 1} but only "
+                f"{len(self.class_names)} class names were given"
+            )
+
+    # ------------------------------------------------------------------ shape
+    @property
+    def n_instances(self) -> int:
+        """Number of rows."""
+        return int(self.X.shape[0])
+
+    @property
+    def n_features(self) -> int:
+        """Number of columns."""
+        return int(self.X.shape[1])
+
+    @property
+    def n_classes(self) -> int:
+        """Number of distinct class labels the dataset declares."""
+        return len(self.class_names)
+
+    @property
+    def numeric_indices(self) -> np.ndarray:
+        """Column indices of numeric features."""
+        return np.flatnonzero(~self.categorical_mask)
+
+    @property
+    def categorical_indices(self) -> np.ndarray:
+        """Column indices of categorical features."""
+        return np.flatnonzero(self.categorical_mask)
+
+    # ------------------------------------------------------------- statistics
+    def class_counts(self) -> np.ndarray:
+        """Instance count per class, length ``n_classes``."""
+        return np.bincount(self.y, minlength=self.n_classes)
+
+    def class_distribution(self) -> np.ndarray:
+        """Empirical class probabilities, length ``n_classes``."""
+        counts = self.class_counts().astype(np.float64)
+        return counts / counts.sum()
+
+    def missing_ratio(self) -> float:
+        """Fraction of missing cells in ``X``."""
+        if self.X.size == 0:
+            return 0.0
+        return float(np.isnan(self.X).mean())
+
+    def category_cardinalities(self) -> np.ndarray:
+        """Number of observed symbols for each categorical column."""
+        cards = []
+        for j in self.categorical_indices:
+            col = self.X[:, j]
+            col = col[~np.isnan(col)]
+            cards.append(int(np.unique(col).size))
+        return np.asarray(cards, dtype=np.int64)
+
+    # ------------------------------------------------------------ re-shaping
+    def subset(self, rows: np.ndarray, name: str | None = None) -> "Dataset":
+        """Return a new dataset containing only ``rows`` (indices or mask)."""
+        rows = np.asarray(rows)
+        return Dataset(
+            X=self.X[rows],
+            y=self.y[rows],
+            categorical_mask=self.categorical_mask.copy(),
+            feature_names=list(self.feature_names),
+            class_names=list(self.class_names),
+            name=name or self.name,
+        )
+
+    def select_features(self, cols: np.ndarray, name: str | None = None) -> "Dataset":
+        """Return a new dataset containing only the given feature columns."""
+        cols = np.asarray(cols)
+        if cols.dtype == bool:
+            cols = np.flatnonzero(cols)
+        return Dataset(
+            X=self.X[:, cols],
+            y=self.y.copy(),
+            categorical_mask=self.categorical_mask[cols],
+            feature_names=[self.feature_names[int(j)] for j in cols],
+            class_names=list(self.class_names),
+            name=name or self.name,
+        )
+
+    def copy(self) -> "Dataset":
+        """Deep copy of the dataset."""
+        return Dataset(
+            X=self.X.copy(),
+            y=self.y.copy(),
+            categorical_mask=self.categorical_mask.copy(),
+            feature_names=list(self.feature_names),
+            class_names=list(self.class_names),
+            name=self.name,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Dataset(name={self.name!r}, n={self.n_instances}, "
+            f"d={self.n_features}, k={self.n_classes}, "
+            f"categorical={int(self.categorical_mask.sum())})"
+        )

@@ -1,0 +1,267 @@
+"""CSV and ARFF readers.
+
+SmartML accepts ``csv`` and ``arff`` uploads; this module provides the same
+two entry points, :func:`read_csv` and :func:`read_arff`, both returning a
+:class:`~repro.data.dataset.Dataset`.
+
+Type inference for CSV follows the usual data-frame convention: a column in
+which every non-missing token parses as a float is numeric; anything else is
+categorical and its distinct strings become integer category codes.  The
+target column may be named or indexed and is label-encoded the same way.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import DataError, ParseError
+
+__all__ = ["read_csv", "read_arff", "parse_csv_text", "parse_arff_text"]
+
+#: Tokens treated as missing values in both formats.
+MISSING_TOKENS = {"", "?", "na", "n/a", "nan", "null"}
+
+
+def _is_missing(token: str) -> bool:
+    return token.strip().lower() in MISSING_TOKENS
+
+
+def _try_float(token: str) -> float | None:
+    try:
+        return float(token)
+    except ValueError:
+        return None
+
+
+def _encode_columns(
+    rows: list[list[str]],
+    header: list[str],
+    target: str | int,
+    name: str,
+) -> Dataset:
+    """Build a Dataset from string cells: infer types and encode labels."""
+    if not rows:
+        raise ParseError(f"{name}: no data rows")
+    width = len(header)
+    for i, row in enumerate(rows):
+        if len(row) != width:
+            raise ParseError(
+                f"{name}: row {i} has {len(row)} cells, expected {width}"
+            )
+
+    if isinstance(target, int):
+        target_idx = target if target >= 0 else width + target
+        if not 0 <= target_idx < width:
+            raise ParseError(f"{name}: target index {target} out of range")
+    else:
+        try:
+            target_idx = header.index(target)
+        except ValueError:
+            raise ParseError(
+                f"{name}: target column {target!r} not in header {header}"
+            ) from None
+
+    feature_idx = [j for j in range(width) if j != target_idx]
+
+    # ----- labels ---------------------------------------------------------
+    raw_labels = [row[target_idx].strip() for row in rows]
+    if any(_is_missing(tok) for tok in raw_labels):
+        raise DataError(f"{name}: target column contains missing values")
+    class_names = sorted(set(raw_labels))
+    label_code = {c: k for k, c in enumerate(class_names)}
+    y = np.array([label_code[tok] for tok in raw_labels], dtype=np.int64)
+
+    # ----- features -------------------------------------------------------
+    n, d = len(rows), len(feature_idx)
+    X = np.full((n, d), np.nan, dtype=np.float64)
+    categorical_mask = np.zeros(d, dtype=bool)
+    for out_j, j in enumerate(feature_idx):
+        tokens = [row[j].strip() for row in rows]
+        present = [t for t in tokens if not _is_missing(t)]
+        numeric = all(_try_float(t) is not None for t in present) and present
+        if numeric:
+            for i, t in enumerate(tokens):
+                if not _is_missing(t):
+                    X[i, out_j] = float(t)
+        else:
+            categorical_mask[out_j] = True
+            symbols = sorted(set(present))
+            code = {s: k for k, s in enumerate(symbols)}
+            for i, t in enumerate(tokens):
+                if not _is_missing(t):
+                    X[i, out_j] = code[t]
+
+    return Dataset(
+        X=X,
+        y=y,
+        categorical_mask=categorical_mask,
+        feature_names=[header[j] for j in feature_idx],
+        class_names=class_names,
+        name=name,
+    )
+
+
+# --------------------------------------------------------------------- CSV
+def parse_csv_text(
+    text: str,
+    target: str | int = -1,
+    has_header: bool = True,
+    name: str = "csv",
+) -> Dataset:
+    """Parse CSV content from a string.
+
+    Parameters
+    ----------
+    target:
+        Target column name (requires a header) or positional index;
+        defaults to the last column.
+    has_header:
+        When ``False``, columns are named ``col0 .. colN``.
+    """
+    reader = csv.reader(io.StringIO(text))
+    rows = [row for row in reader if row and any(c.strip() for c in row)]
+    if not rows:
+        raise ParseError(f"{name}: empty CSV input")
+    if has_header:
+        header, data = [c.strip() for c in rows[0]], rows[1:]
+    else:
+        header, data = [f"col{j}" for j in range(len(rows[0]))], rows
+    return _encode_columns(data, header, target, name)
+
+
+def read_csv(path: str | Path, target: str | int = -1, has_header: bool = True) -> Dataset:
+    """Read a CSV file into a :class:`Dataset`."""
+    path = Path(path)
+    return parse_csv_text(
+        path.read_text(), target=target, has_header=has_header, name=path.stem
+    )
+
+
+# -------------------------------------------------------------------- ARFF
+def _split_arff_line(line: str) -> list[str]:
+    """Split one ARFF data line honoring quoted fields."""
+    return next(csv.reader(io.StringIO(line), skipinitialspace=True))
+
+
+def _parse_attribute(line: str) -> tuple[str, list[str] | str]:
+    """Parse ``@attribute name type``; returns (name, 'numeric'|'string'|symbols)."""
+    body = line.split(None, 1)[1].strip()
+    if body.startswith(("'", '"')):
+        quote = body[0]
+        end = body.index(quote, 1)
+        attr_name, rest = body[1:end], body[end + 1 :].strip()
+    else:
+        parts = body.split(None, 1)
+        if len(parts) != 2:
+            raise ParseError(f"malformed @attribute line: {line!r}")
+        attr_name, rest = parts
+    rest = rest.strip()
+    if rest.startswith("{"):
+        if not rest.endswith("}"):
+            raise ParseError(f"unterminated nominal specification: {line!r}")
+        symbols = [
+            s.strip().strip("'\"") for s in _split_arff_line(rest[1:-1]) if s.strip()
+        ]
+        return attr_name, symbols
+    kind = rest.split()[0].lower()
+    if kind in ("numeric", "real", "integer"):
+        return attr_name, "numeric"
+    if kind in ("string", "date"):
+        return attr_name, "string"
+    raise ParseError(f"unsupported ARFF attribute type {kind!r} in {line!r}")
+
+
+def parse_arff_text(text: str, target: str | int = -1, name: str = "arff") -> Dataset:
+    """Parse ARFF (dense format) content from a string.
+
+    Nominal attributes become categorical columns whose codes follow the
+    *declared* symbol order; numeric/real/integer become numeric columns;
+    string attributes are treated as categoricals with codes assigned by
+    first occurrence.  Sparse ARFF (``{index value, ...}``) is rejected.
+    """
+    attributes: list[tuple[str, list[str] | str]] = []
+    data_lines: list[str] = []
+    in_data = False
+    relation = name
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("%"):
+            continue
+        lower = line.lower()
+        if in_data:
+            data_lines.append(line)
+        elif lower.startswith("@relation"):
+            parts = line.split(None, 1)
+            if len(parts) == 2:
+                relation = parts[1].strip().strip("'\"")
+        elif lower.startswith("@attribute"):
+            attributes.append(_parse_attribute(line))
+        elif lower.startswith("@data"):
+            in_data = True
+        else:
+            raise ParseError(f"unexpected ARFF line outside @data: {line!r}")
+    if not attributes:
+        raise ParseError(f"{name}: ARFF file declares no attributes")
+    if not data_lines:
+        raise ParseError(f"{name}: ARFF file has no data")
+
+    header = [attr_name for attr_name, _ in attributes]
+    rows: list[list[str]] = []
+    for line in data_lines:
+        if line.startswith("{"):
+            raise ParseError("sparse ARFF data is not supported")
+        cells = [c.strip().strip("'\"") for c in _split_arff_line(line)]
+        rows.append(cells)
+
+    ds = _encode_columns(rows, header, target, relation)
+
+    # Re-encode nominal columns to follow the declared symbol order and mark
+    # declared-nominal-but-numeric-looking columns as categorical.
+    if isinstance(target, int):
+        target_idx = target if target >= 0 else len(header) + target
+    else:
+        target_idx = header.index(target)
+    feature_attrs = [attributes[j] for j in range(len(header)) if j != target_idx]
+    for out_j, (_, spec) in enumerate(feature_attrs):
+        if isinstance(spec, list):
+            ds.categorical_mask[out_j] = True
+            declared = {s: k for k, s in enumerate(spec)}
+            raw_col = [
+                row[[j for j in range(len(header)) if j != target_idx][out_j]]
+                for row in rows
+            ]
+            for i, tok in enumerate(raw_col):
+                if _is_missing(tok):
+                    ds.X[i, out_j] = np.nan
+                elif tok in declared:
+                    ds.X[i, out_j] = declared[tok]
+                else:
+                    raise ParseError(
+                        f"{relation}: value {tok!r} not among declared symbols "
+                        f"of attribute {feature_attrs[out_j][0]!r}"
+                    )
+    target_spec = attributes[target_idx][1]
+    if isinstance(target_spec, list):
+        remap = {ds.class_names.index(s): k for k, s in enumerate(target_spec)
+                 if s in ds.class_names}
+        new_y = np.array([remap[int(v)] for v in ds.y], dtype=np.int64)
+        ds = Dataset(
+            X=ds.X,
+            y=new_y,
+            categorical_mask=ds.categorical_mask,
+            feature_names=ds.feature_names,
+            class_names=list(target_spec),
+            name=relation,
+        )
+    return ds
+
+
+def read_arff(path: str | Path, target: str | int = -1) -> Dataset:
+    """Read a dense ARFF file into a :class:`Dataset`."""
+    path = Path(path)
+    return parse_arff_text(path.read_text(), target=target, name=path.stem)

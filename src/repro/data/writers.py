@@ -1,0 +1,79 @@
+"""Dataset serialisation: CSV and (dense) ARFF writers.
+
+Round-trip partners of :mod:`repro.data.io` — used by the REST examples to
+ship datasets over the wire and by users exporting synthetic corpora for
+other tools.  Categorical columns are written back as their symbol strings
+(``v<code>`` when no symbol table exists), labels as class names, and NaN
+cells as ``?``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+
+__all__ = ["dataset_to_csv", "dataset_to_arff", "write_csv", "write_arff"]
+
+
+def _cell(ds: Dataset, i: int, j: int) -> str:
+    value = ds.X[i, j]
+    if np.isnan(value):
+        return "?"
+    if ds.categorical_mask[j]:
+        return f"v{int(value)}"
+    return repr(float(value))
+
+
+def dataset_to_csv(ds: Dataset, label_column: str = "label") -> str:
+    """Serialise to CSV text with a trailing label column."""
+    header = ",".join(list(ds.feature_names) + [label_column])
+    lines = [header]
+    for i in range(ds.n_instances):
+        cells = [_cell(ds, i, j) for j in range(ds.n_features)]
+        cells.append(ds.class_names[ds.y[i]])
+        lines.append(",".join(cells))
+    return "\n".join(lines) + "\n"
+
+
+def _observed_symbols(ds: Dataset, j: int) -> list[str]:
+    col = ds.X[:, j]
+    codes = np.unique(col[~np.isnan(col)]).astype(np.int64)
+    return [f"v{code}" for code in codes]
+
+
+def dataset_to_arff(ds: Dataset, label_column: str = "label") -> str:
+    """Serialise to dense ARFF text.
+
+    Nominal attribute declarations list the observed symbols; the class
+    attribute lists every declared class name (even those without
+    instances) so the label space survives the round trip.
+    """
+    lines = [f"@relation {ds.name}"]
+    for j, name in enumerate(ds.feature_names):
+        quoted = f"'{name}'" if any(c.isspace() for c in name) else name
+        if ds.categorical_mask[j]:
+            symbols = ",".join(_observed_symbols(ds, j))
+            lines.append(f"@attribute {quoted} {{{symbols}}}")
+        else:
+            lines.append(f"@attribute {quoted} numeric")
+    class_symbols = ",".join(ds.class_names)
+    lines.append(f"@attribute {label_column} {{{class_symbols}}}")
+    lines.append("@data")
+    for i in range(ds.n_instances):
+        cells = [_cell(ds, i, j) for j in range(ds.n_features)]
+        cells.append(ds.class_names[ds.y[i]])
+        lines.append(",".join(cells))
+    return "\n".join(lines) + "\n"
+
+
+def write_csv(ds: Dataset, path: str | Path, label_column: str = "label") -> None:
+    """Write :func:`dataset_to_csv` output to ``path``."""
+    Path(path).write_text(dataset_to_csv(ds, label_column), encoding="utf-8")
+
+
+def write_arff(ds: Dataset, path: str | Path, label_column: str = "label") -> None:
+    """Write :func:`dataset_to_arff` output to ``path``."""
+    Path(path).write_text(dataset_to_arff(ds, label_column), encoding="utf-8")

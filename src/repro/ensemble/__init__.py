@@ -1,0 +1,5 @@
+"""Weighted ensembling of tuned models."""
+
+from repro.ensemble.weighted import WeightedEnsemble, build_weighted_ensemble
+
+__all__ = ["WeightedEnsemble", "build_weighted_ensemble"]

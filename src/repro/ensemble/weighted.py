@@ -1,0 +1,72 @@
+"""Weighted ensembling of the top tuned models.
+
+"a weighted ensembling output of the top performing algorithms can be
+recommended to the end user based on their choice" — member probabilities
+are averaged with weights proportional to each member's validation
+accuracy (shifted so the worst member still gets a small positive weight).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.classifiers.base import Classifier
+from repro.exceptions import ConfigurationError
+
+__all__ = ["WeightedEnsemble", "build_weighted_ensemble"]
+
+
+class WeightedEnsemble(Classifier):
+    """Probability-averaging ensemble over already-fitted members."""
+
+    name = "weighted_ensemble"
+
+    def __init__(self, members: list[Classifier] = None, weights: list[float] = None):
+        if not members:
+            raise ConfigurationError("ensemble needs at least one member")
+        weights = list(weights) if weights is not None else [1.0] * len(members)
+        if len(weights) != len(members):
+            raise ConfigurationError(
+                f"{len(members)} members but {len(weights)} weights"
+            )
+        if min(weights) < 0:
+            raise ConfigurationError("weights must be non-negative")
+        total = sum(weights)
+        if total <= 0:
+            raise ConfigurationError("at least one weight must be positive")
+        self.members = list(members)
+        self.weights = [w / total for w in weights]
+        self.n_classes_ = members[0].n_classes_
+        self.n_features_ = members[0].n_features_
+
+    def fit(self, X: np.ndarray, y: np.ndarray, n_classes: int | None = None):
+        """Members arrive fitted; re-fitting refits every member."""
+        for member in self.members:
+            member.fit(X, y, n_classes=n_classes)
+        self.n_classes_ = self.members[0].n_classes_
+        self.n_features_ = self.members[0].n_features_
+        return self
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        total = np.zeros((np.asarray(X).shape[0], self.n_classes_), dtype=np.float64)
+        for member, weight in zip(self.members, self.weights):
+            total += weight * member.predict_proba(X)
+        total /= np.clip(total.sum(axis=1, keepdims=True), 1e-12, None)
+        return total
+
+
+def build_weighted_ensemble(
+    scored_members: list[tuple[Classifier, float]],
+    top_k: int = 3,
+) -> WeightedEnsemble:
+    """Ensemble of the ``top_k`` members weighted by validation accuracy.
+
+    Weights are accuracies shifted by the dropped members' best score (or 0)
+    so that ensemble weight reflects *advantage*, not raw accuracy scale.
+    """
+    if not scored_members:
+        raise ConfigurationError("no members to ensemble")
+    ranked = sorted(scored_members, key=lambda pair: -pair[1])[: max(top_k, 1)]
+    floor = min(acc for _, acc in ranked)
+    weights = [max(acc - floor, 0.0) + 1e-3 for _, acc in ranked]
+    return WeightedEnsemble([m for m, _ in ranked], weights)

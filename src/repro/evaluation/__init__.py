@@ -1,0 +1,29 @@
+"""Evaluation substrate: metrics and resampling."""
+
+from repro.evaluation.metrics import (
+    accuracy,
+    balanced_accuracy,
+    confusion_matrix,
+    error_rate,
+    log_loss,
+    macro_f1,
+    precision_recall_f1,
+)
+from repro.evaluation.resampling import (
+    bootstrap_indices,
+    stratified_kfold_indices,
+    train_validation_split,
+)
+
+__all__ = [
+    "accuracy",
+    "error_rate",
+    "balanced_accuracy",
+    "confusion_matrix",
+    "precision_recall_f1",
+    "macro_f1",
+    "log_loss",
+    "train_validation_split",
+    "stratified_kfold_indices",
+    "bootstrap_indices",
+]

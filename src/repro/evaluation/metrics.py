@@ -1,0 +1,113 @@
+"""Classification metrics.
+
+Accuracy is the paper's reported metric (Table 4); the rest support the
+wider harness: balanced accuracy for imbalanced corpora, F1 for binary
+tasks, log-loss for probabilistic models, and confusion matrices for the
+interpretability output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import DataError
+
+__all__ = [
+    "accuracy",
+    "error_rate",
+    "balanced_accuracy",
+    "confusion_matrix",
+    "precision_recall_f1",
+    "macro_f1",
+    "log_loss",
+]
+
+
+def _check_pair(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=np.int64)
+    y_pred = np.asarray(y_pred, dtype=np.int64)
+    if y_true.shape != y_pred.shape:
+        raise DataError(
+            f"shape mismatch: y_true {y_true.shape} vs y_pred {y_pred.shape}"
+        )
+    if y_true.size == 0:
+        raise DataError("cannot score empty label arrays")
+    return y_true, y_pred
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of exactly-correct predictions."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    return float(np.mean(y_true == y_pred))
+
+
+def error_rate(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """``1 - accuracy``; the quantity SMAC minimises."""
+    return 1.0 - accuracy(y_true, y_pred)
+
+
+def confusion_matrix(
+    y_true: np.ndarray, y_pred: np.ndarray, n_classes: int | None = None
+) -> np.ndarray:
+    """Confusion matrix ``C[i, j]`` = count of true class ``i`` predicted ``j``."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    if n_classes is None:
+        n_classes = int(max(y_true.max(), y_pred.max())) + 1
+    matrix = np.zeros((n_classes, n_classes), dtype=np.int64)
+    np.add.at(matrix, (y_true, y_pred), 1)
+    return matrix
+
+
+def balanced_accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean per-class recall; robust to class imbalance."""
+    matrix = confusion_matrix(y_true, y_pred)
+    support = matrix.sum(axis=1)
+    present = support > 0
+    recalls = matrix[np.diag_indices_from(matrix)][present] / support[present]
+    return float(recalls.mean())
+
+
+def precision_recall_f1(
+    y_true: np.ndarray, y_pred: np.ndarray, n_classes: int | None = None
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-class precision, recall, and F1 (zero where undefined)."""
+    matrix = confusion_matrix(y_true, y_pred, n_classes=n_classes)
+    tp = matrix.diagonal().astype(np.float64)
+    predicted = matrix.sum(axis=0).astype(np.float64)
+    actual = matrix.sum(axis=1).astype(np.float64)
+    with np.errstate(divide="ignore", invalid="ignore"):
+        precision = np.where(predicted > 0, tp / predicted, 0.0)
+        recall = np.where(actual > 0, tp / actual, 0.0)
+        denom = precision + recall
+        f1 = np.where(denom > 0, 2 * precision * recall / denom, 0.0)
+    return precision, recall, f1
+
+
+def macro_f1(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Unweighted mean of per-class F1 over classes that appear in y_true."""
+    matrix = confusion_matrix(y_true, y_pred)
+    present = matrix.sum(axis=1) > 0
+    _, _, f1 = precision_recall_f1(y_true, y_pred, n_classes=matrix.shape[0])
+    return float(f1[present].mean())
+
+
+def log_loss(y_true: np.ndarray, proba: np.ndarray, eps: float = 1e-12) -> float:
+    """Mean negative log-likelihood of the true class.
+
+    ``proba`` has shape ``(n, k)``; rows are clipped and renormalised, so
+    slightly unnormalised inputs (e.g. from numerical ensembling) are fine.
+    """
+    y_true = np.asarray(y_true, dtype=np.int64)
+    proba = np.asarray(proba, dtype=np.float64)
+    if proba.ndim != 2 or proba.shape[0] != y_true.shape[0]:
+        raise DataError(
+            f"proba must be (n, k) aligned with y_true; got {proba.shape}"
+        )
+    if y_true.max() >= proba.shape[1]:
+        raise DataError(
+            f"label {int(y_true.max())} out of range for {proba.shape[1]} columns"
+        )
+    proba = np.clip(proba, eps, None)
+    proba = proba / proba.sum(axis=1, keepdims=True)
+    picked = proba[np.arange(y_true.size), y_true]
+    return float(-np.log(picked).mean())

@@ -1,0 +1,103 @@
+"""Resampling: stratified holdout and stratified k-fold.
+
+The paper's preprocessing phase "randomly split[s] the dataset into training
+and validation partitions"; SMAC's racing additionally evaluates candidate
+configurations on an increasing number of folds.  Both primitives live here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import ConfigurationError
+
+__all__ = ["train_validation_split", "stratified_kfold_indices", "bootstrap_indices"]
+
+
+def _stratified_permutation(y: np.ndarray, rng: np.random.Generator) -> list[np.ndarray]:
+    """Per-class shuffled index lists."""
+    groups = []
+    for k in np.unique(y):
+        idx = np.flatnonzero(y == k)
+        rng.shuffle(idx)
+        groups.append(idx)
+    return groups
+
+
+def train_validation_split(
+    ds: Dataset,
+    validation_fraction: float = 0.25,
+    seed: int | np.random.Generator = 0,
+) -> tuple[Dataset, Dataset]:
+    """Stratified random split into (training, validation) datasets.
+
+    Every class keeps at least one instance on each side whenever it has at
+    least two instances overall, so validation scoring never sees a class
+    the model could not have learned.
+    """
+    if not 0.0 < validation_fraction < 1.0:
+        raise ConfigurationError("validation_fraction must be in (0, 1)")
+    rng = np.random.default_rng(seed) if isinstance(seed, int) else seed
+
+    train_idx: list[np.ndarray] = []
+    val_idx: list[np.ndarray] = []
+    for idx in _stratified_permutation(ds.y, rng):
+        if idx.size == 1:
+            train_idx.append(idx)
+            continue
+        n_val = int(round(idx.size * validation_fraction))
+        n_val = min(max(n_val, 1), idx.size - 1)
+        val_idx.append(idx[:n_val])
+        train_idx.append(idx[n_val:])
+
+    train = np.sort(np.concatenate(train_idx))
+    val = np.sort(np.concatenate(val_idx)) if val_idx else np.array([], dtype=np.int64)
+    if val.size == 0:
+        raise ConfigurationError(
+            "validation split is empty; dataset too small for the requested fraction"
+        )
+    return ds.subset(train, name=f"{ds.name}:train"), ds.subset(val, name=f"{ds.name}:val")
+
+
+def stratified_kfold_indices(
+    y: np.ndarray, n_folds: int, seed: int | np.random.Generator = 0
+) -> list[tuple[np.ndarray, np.ndarray]]:
+    """Stratified k-fold as a list of ``(train_indices, test_indices)``.
+
+    Classes are dealt round-robin into folds after a per-class shuffle, so
+    fold class proportions track the global distribution as closely as the
+    counts allow.  ``n_folds`` is silently reduced when the smallest class
+    has fewer members than folds, mirroring common k-fold implementations.
+    """
+    y = np.asarray(y)
+    if n_folds < 2:
+        raise ConfigurationError("n_folds must be >= 2")
+    rng = np.random.default_rng(seed) if isinstance(seed, int) else seed
+
+    smallest = min(int((y == k).sum()) for k in np.unique(y))
+    n_folds = max(2, min(n_folds, smallest)) if smallest >= 2 else 2
+
+    fold_of = np.empty(y.shape[0], dtype=np.int64)
+    cursor = 0
+    for idx in _stratified_permutation(y, rng):
+        for offset, i in enumerate(idx):
+            fold_of[i] = (cursor + offset) % n_folds
+        cursor += idx.size
+
+    splits = []
+    for f in range(n_folds):
+        test = np.flatnonzero(fold_of == f)
+        train = np.flatnonzero(fold_of != f)
+        if test.size == 0 or train.size == 0:
+            continue
+        splits.append((train, test))
+    return splits
+
+
+def bootstrap_indices(
+    n: int, rng: np.random.Generator, size: int | None = None
+) -> np.ndarray:
+    """Indices of one bootstrap resample (used by bagging-family learners)."""
+    size = n if size is None else size
+    return rng.integers(0, n, size=size)

@@ -1,0 +1,41 @@
+"""Exception hierarchy for the SmartML reproduction.
+
+Every error raised by this library derives from :class:`SmartMLError`, so
+callers can catch one type at an API boundary.  Subclasses separate the
+broad failure domains: bad user input, data-format problems, knowledge-base
+storage problems, and search/tuning problems.
+"""
+
+from __future__ import annotations
+
+
+class SmartMLError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(SmartMLError):
+    """An invalid option, parameter value, or combination was supplied."""
+
+
+class DataError(SmartMLError):
+    """A dataset is malformed, empty, or inconsistent with its schema."""
+
+
+class ParseError(DataError):
+    """A CSV/ARFF source could not be parsed."""
+
+
+class NotFittedError(SmartMLError):
+    """``predict``/``transform`` was called before ``fit``."""
+
+
+class KnowledgeBaseError(SmartMLError):
+    """The knowledge-base store is corrupt or an operation on it failed."""
+
+
+class SearchError(SmartMLError):
+    """Hyperparameter search could not make progress (e.g. empty space)."""
+
+
+class BudgetExhaustedError(SmartMLError):
+    """The time/evaluation budget ran out before any configuration finished."""

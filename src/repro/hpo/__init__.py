@@ -1,0 +1,45 @@
+"""Hyperparameter optimisation: spaces, SMAC, random search, budgeting."""
+
+from repro.hpo.allocator import allocate_budget, uniform_budget
+from repro.hpo.objective import CrossValObjective
+from repro.hpo.random_search import RandomSearch
+from repro.hpo.smac import (
+    SMAC,
+    SMACResult,
+    SMACSettings,
+    TrialRecord,
+    expected_improvement,
+)
+from repro.hpo.space import Categorical, Condition, Float, Integer, ParamSpace
+from repro.hpo.spaces import (
+    TABLE3_EXPECTED_COUNTS,
+    classifier_space,
+    joint_space,
+    merge_into_joint_config,
+    split_joint_config,
+)
+from repro.hpo.surrogate import RandomForestSurrogate, RegressionTree
+
+__all__ = [
+    "Categorical",
+    "Integer",
+    "Float",
+    "Condition",
+    "ParamSpace",
+    "classifier_space",
+    "joint_space",
+    "split_joint_config",
+    "merge_into_joint_config",
+    "TABLE3_EXPECTED_COUNTS",
+    "CrossValObjective",
+    "SMAC",
+    "SMACSettings",
+    "SMACResult",
+    "TrialRecord",
+    "expected_improvement",
+    "RandomSearch",
+    "RandomForestSurrogate",
+    "RegressionTree",
+    "allocate_budget",
+    "uniform_budget",
+]

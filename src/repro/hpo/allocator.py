@@ -1,0 +1,42 @@
+"""Time-budget allocation across nominated classifiers.
+
+"this budget is divided among all the selected algorithms according to the
+number of hyper-parameters to tune in each algorithm (Table 3)" — the split
+is proportional to each classifier's parameter count, with a small floor so
+a zero-parameter corner case can never starve an algorithm entirely.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+from repro.hpo.spaces import classifier_space
+
+__all__ = ["allocate_budget", "uniform_budget"]
+
+
+def allocate_budget(
+    total_seconds: float, algorithms: list[str]
+) -> dict[str, float]:
+    """Split ``total_seconds`` over ``algorithms`` ∝ hyperparameter count."""
+    if total_seconds <= 0:
+        raise ConfigurationError("total_seconds must be positive")
+    if not algorithms:
+        raise ConfigurationError("no algorithms to allocate budget to")
+    weights = {
+        algo: float(max(len(classifier_space(algo)), 1)) for algo in algorithms
+    }
+    total_weight = sum(weights.values())
+    return {
+        algo: total_seconds * weight / total_weight
+        for algo, weight in weights.items()
+    }
+
+
+def uniform_budget(total_seconds: float, algorithms: list[str]) -> dict[str, float]:
+    """Equal split — the ablation control for :func:`allocate_budget`."""
+    if total_seconds <= 0:
+        raise ConfigurationError("total_seconds must be positive")
+    if not algorithms:
+        raise ConfigurationError("no algorithms to allocate budget to")
+    share = total_seconds / len(algorithms)
+    return {algo: share for algo in algorithms}

@@ -1,0 +1,96 @@
+"""Evaluation objective shared by every tuner.
+
+Wraps (model factory, training data) as a fold-wise error function with
+per-``(config, fold)`` caching, so racing never refits a configuration on a
+fold it has already seen — the cache is what makes SMAC's intensification
+cheap.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+import numpy as np
+
+from repro.classifiers.base import Classifier
+from repro.evaluation.metrics import error_rate
+from repro.evaluation.resampling import stratified_kfold_indices
+
+__all__ = ["CrossValObjective"]
+
+Config = dict[str, object]
+
+
+class CrossValObjective:
+    """Stratified-CV error of ``model_factory(config)`` on fixed folds.
+
+    Parameters
+    ----------
+    model_factory:
+        Callable turning a configuration dict into an unfitted classifier.
+    X, y:
+        Training data (already preprocessed).
+    n_classes:
+        Global class count, forwarded to ``fit`` so fold models emit
+        full-width probability rows.
+    n_folds:
+        Number of stratified folds (shared by all configurations).
+    """
+
+    def __init__(
+        self,
+        model_factory: Callable[[Config], Classifier],
+        X: np.ndarray,
+        y: np.ndarray,
+        n_classes: int,
+        n_folds: int = 3,
+        seed: int = 0,
+    ):
+        self.model_factory = model_factory
+        self.X = np.asarray(X, dtype=np.float64)
+        self.y = np.asarray(y, dtype=np.int64)
+        self.n_classes = n_classes
+        self.folds = stratified_kfold_indices(self.y, n_folds, seed=seed)
+        self._cache: dict[tuple, dict[int, float]] = {}
+        self.n_fold_evaluations = 0
+        self.total_fit_seconds = 0.0
+
+    @property
+    def n_folds(self) -> int:
+        return len(self.folds)
+
+    def evaluate_fold(self, config: Config, key: tuple, fold_id: int) -> float:
+        """Error of ``config`` on one fold (cached)."""
+        per_config = self._cache.setdefault(key, {})
+        if fold_id in per_config:
+            return per_config[fold_id]
+        train_idx, test_idx = self.folds[fold_id]
+        started = time.monotonic()
+        model = self.model_factory(config)
+        model.fit(self.X[train_idx], self.y[train_idx], n_classes=self.n_classes)
+        predictions = model.predict(self.X[test_idx])
+        self.total_fit_seconds += time.monotonic() - started
+        error = error_rate(self.y[test_idx], predictions)
+        per_config[fold_id] = error
+        self.n_fold_evaluations += 1
+        return error
+
+    def evaluate(self, config: Config, key: tuple, fold_ids: list[int] | None = None) -> float:
+        """Mean error over the given folds (all folds when omitted)."""
+        if fold_ids is None:
+            fold_ids = list(range(self.n_folds))
+        return float(
+            np.mean([self.evaluate_fold(config, key, f) for f in fold_ids])
+        )
+
+    def known_mean(self, key: tuple) -> float | None:
+        """Mean error over whatever folds this config has run so far."""
+        per_config = self._cache.get(key)
+        if not per_config:
+            return None
+        return float(np.mean(list(per_config.values())))
+
+    def evaluated_folds(self, key: tuple) -> list[int]:
+        """Fold ids this config has already been evaluated on."""
+        return sorted(self._cache.get(key, {}))

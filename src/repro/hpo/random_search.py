@@ -1,0 +1,98 @@
+"""Random search tuner — the control arm for SMAC ablations.
+
+Shares the objective and result types with SMAC so benchmark code can swap
+optimisers with one argument.
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.hpo.objective import CrossValObjective
+from repro.hpo.smac import SMACResult, TrialRecord
+from repro.hpo.space import ParamSpace
+
+__all__ = ["RandomSearch"]
+
+Config = dict[str, object]
+
+
+class RandomSearch:
+    """Uniform sampling from the space; evaluates every config on all folds."""
+
+    def __init__(
+        self,
+        space: ParamSpace,
+        time_budget_s: float | None = None,
+        max_config_evals: int | None = None,
+        max_fold_evals: int | None = None,
+        seed: int = 0,
+    ):
+        self.space = space
+        self.time_budget_s = time_budget_s
+        self.max_config_evals = max_config_evals
+        self.max_fold_evals = max_fold_evals
+        self.rng = np.random.default_rng(seed)
+
+    def optimize(
+        self,
+        objective: CrossValObjective,
+        initial_configs: list[Config] | None = None,
+    ) -> SMACResult:
+        started = time.monotonic()
+        history: list[TrialRecord] = []
+        incumbent: Config | None = None
+        incumbent_cost = np.inf
+
+        queue: list[Config] = [self.space.default_config()]
+        for warm in initial_configs or []:
+            try:
+                queue.append(self.space.complete(warm))
+            except Exception:
+                continue
+
+        def out_of_budget() -> bool:
+            if (
+                self.time_budget_s is not None
+                and time.monotonic() - started >= self.time_budget_s
+            ):
+                return True
+            if (
+                self.max_config_evals is not None
+                and len(history) >= self.max_config_evals
+            ):
+                return True
+            if (
+                self.max_fold_evals is not None
+                and objective.n_fold_evaluations >= self.max_fold_evals
+            ):
+                return True
+            return False
+
+        while not out_of_budget():
+            config = queue.pop(0) if queue else self.space.sample(self.rng)
+            key = self.space.config_key(config)
+            cost = objective.evaluate(config, key)
+            promoted = cost < incumbent_cost
+            history.append(
+                TrialRecord(config, cost, objective.n_folds,
+                            time.monotonic() - started, was_incumbent=promoted)
+            )
+            if promoted:
+                incumbent, incumbent_cost = config, cost
+
+        if incumbent is None:
+            incumbent = self.space.default_config()
+            incumbent_cost = float("nan")
+
+        return SMACResult(
+            incumbent=incumbent,
+            incumbent_cost=float(incumbent_cost),
+            history=history,
+            n_config_evals=len(history),
+            n_fold_evals=objective.n_fold_evaluations,
+            elapsed_s=time.monotonic() - started,
+            stop_reason="budget",
+        )

@@ -1,0 +1,300 @@
+"""Hyperparameter space DSL.
+
+One space abstraction serves both sides of the reproduction:
+
+* SmartML tunes each nominated classifier in its own *flat* space;
+* the Auto-Weka baseline runs CASH in a *conditional* space whose root
+  ``algorithm`` categorical activates that branch's child parameters.
+
+Every parameter can encode itself to a float for the random-forest
+surrogate (numeric → unit interval, optionally log-scaled; categorical →
+choice index; inactive conditional → -1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+__all__ = ["Categorical", "Integer", "Float", "Condition", "ParamSpace"]
+
+Config = dict[str, object]
+
+
+@dataclass(frozen=True)
+class Condition:
+    """Parameter is active only when ``parent``'s value is in ``values``."""
+
+    parent: str
+    values: tuple
+
+    def satisfied(self, config: Config) -> bool:
+        return config.get(self.parent) in self.values
+
+
+@dataclass(frozen=True)
+class Categorical:
+    """Unordered finite choice."""
+
+    name: str
+    choices: tuple
+    default: object = None
+    condition: Condition | None = None
+
+    def __post_init__(self) -> None:
+        if not self.choices:
+            raise ConfigurationError(f"{self.name}: choices must be non-empty")
+        if self.default is None:
+            object.__setattr__(self, "default", self.choices[0])
+        if self.default not in self.choices:
+            raise ConfigurationError(f"{self.name}: default not among choices")
+
+    def sample(self, rng: np.random.Generator):
+        return self.choices[int(rng.integers(0, len(self.choices)))]
+
+    def neighbor(self, value, rng: np.random.Generator):
+        if len(self.choices) == 1:
+            return value
+        others = [c for c in self.choices if c != value]
+        return others[int(rng.integers(0, len(others)))]
+
+    def encode(self, value) -> float:
+        return float(self.choices.index(value))
+
+    def validate(self, value) -> None:
+        if value not in self.choices:
+            raise ConfigurationError(
+                f"{self.name}: {value!r} not among choices {self.choices}"
+            )
+
+
+@dataclass(frozen=True)
+class Integer:
+    """Bounded integer, optionally searched on a log scale."""
+
+    name: str
+    low: int
+    high: int
+    default: int | None = None
+    log: bool = False
+    condition: Condition | None = None
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise ConfigurationError(f"{self.name}: low > high")
+        if self.log and self.low < 1:
+            raise ConfigurationError(f"{self.name}: log scale requires low >= 1")
+        if self.default is None:
+            mid = (
+                int(round(math.sqrt(self.low * self.high)))
+                if self.log
+                else (self.low + self.high) // 2
+            )
+            object.__setattr__(self, "default", mid)
+        if not self.low <= self.default <= self.high:
+            raise ConfigurationError(f"{self.name}: default outside bounds")
+
+    def sample(self, rng: np.random.Generator) -> int:
+        if self.log:
+            value = math.exp(rng.uniform(math.log(self.low), math.log(self.high + 1)))
+            return int(min(self.high, max(self.low, math.floor(value))))
+        return int(rng.integers(self.low, self.high + 1))
+
+    def neighbor(self, value: int, rng: np.random.Generator) -> int:
+        span = max(1, (self.high - self.low) // 8)
+        step = int(rng.integers(-span, span + 1)) or 1
+        return int(min(self.high, max(self.low, value + step)))
+
+    def encode(self, value) -> float:
+        if self.high == self.low:
+            return 0.0
+        if self.log:
+            return (math.log(value) - math.log(self.low)) / (
+                math.log(self.high) - math.log(self.low)
+            )
+        return (float(value) - self.low) / (self.high - self.low)
+
+    def validate(self, value) -> None:
+        if not isinstance(value, (int, np.integer)) or not self.low <= value <= self.high:
+            raise ConfigurationError(
+                f"{self.name}: {value!r} outside integer range [{self.low}, {self.high}]"
+            )
+
+
+@dataclass(frozen=True)
+class Float:
+    """Bounded float, optionally searched on a log scale."""
+
+    name: str
+    low: float
+    high: float
+    default: float | None = None
+    log: bool = False
+    condition: Condition | None = None
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise ConfigurationError(f"{self.name}: low > high")
+        if self.log and self.low <= 0:
+            raise ConfigurationError(f"{self.name}: log scale requires low > 0")
+        if self.default is None:
+            mid = (
+                math.sqrt(self.low * self.high)
+                if self.log
+                else 0.5 * (self.low + self.high)
+            )
+            object.__setattr__(self, "default", mid)
+        if not self.low <= self.default <= self.high:
+            raise ConfigurationError(f"{self.name}: default outside bounds")
+
+    def sample(self, rng: np.random.Generator) -> float:
+        if self.log:
+            return float(math.exp(rng.uniform(math.log(self.low), math.log(self.high))))
+        return float(rng.uniform(self.low, self.high))
+
+    def neighbor(self, value: float, rng: np.random.Generator) -> float:
+        if self.log:
+            factor = math.exp(rng.normal(0.0, 0.4))
+            return float(min(self.high, max(self.low, value * factor)))
+        span = 0.1 * (self.high - self.low)
+        return float(min(self.high, max(self.low, value + rng.normal(0.0, span))))
+
+    def encode(self, value) -> float:
+        if self.high == self.low:
+            return 0.0
+        if self.log:
+            return (math.log(value) - math.log(self.low)) / (
+                math.log(self.high) - math.log(self.low)
+            )
+        return (float(value) - self.low) / (self.high - self.low)
+
+    def validate(self, value) -> None:
+        if not isinstance(value, (int, float, np.floating, np.integer)):
+            raise ConfigurationError(f"{self.name}: {value!r} is not numeric")
+        if not self.low <= float(value) <= self.high:
+            raise ConfigurationError(
+                f"{self.name}: {value!r} outside range [{self.low}, {self.high}]"
+            )
+
+
+Param = Categorical | Integer | Float
+
+
+@dataclass
+class ParamSpace:
+    """An ordered collection of (possibly conditional) parameters."""
+
+    params: list[Param] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = [p.name for p in self.params]
+        if len(names) != len(set(names)):
+            raise ConfigurationError(f"duplicate parameter names in {names}")
+        known = set(names)
+        for p in self.params:
+            if p.condition is not None and p.condition.parent not in known:
+                raise ConfigurationError(
+                    f"{p.name}: condition references unknown parent "
+                    f"{p.condition.parent!r}"
+                )
+
+    # ---------------------------------------------------------------- counts
+    @property
+    def names(self) -> list[str]:
+        return [p.name for p in self.params]
+
+    def n_categorical(self) -> int:
+        """Number of categorical parameters (Table 3's first count column)."""
+        return sum(isinstance(p, Categorical) for p in self.params)
+
+    def n_numerical(self) -> int:
+        """Number of numeric parameters (Table 3's second count column)."""
+        return sum(isinstance(p, (Integer, Float)) for p in self.params)
+
+    def __len__(self) -> int:
+        return len(self.params)
+
+    # -------------------------------------------------------------- configs
+    def _active(self, param: Param, config: Config) -> bool:
+        return param.condition is None or param.condition.satisfied(config)
+
+    def default_config(self) -> Config:
+        config: Config = {}
+        for p in self.params:
+            if self._active(p, config):
+                config[p.name] = p.default
+        return config
+
+    def sample(self, rng: np.random.Generator) -> Config:
+        config: Config = {}
+        for p in self.params:
+            if self._active(p, config):
+                config[p.name] = p.sample(rng)
+        return config
+
+    def neighbor(self, config: Config, rng: np.random.Generator) -> Config:
+        """Perturb one active parameter (SMAC's local-search move)."""
+        active = [p for p in self.params if self._active(p, config)]
+        if not active:
+            return dict(config)
+        target = active[int(rng.integers(0, len(active)))]
+        out = dict(config)
+        out[target.name] = target.neighbor(config[target.name], rng)
+        # Re-resolve activity: switching a parent may (de)activate children.
+        return self._resolve(out, rng)
+
+    def _resolve(self, config: Config, rng: np.random.Generator) -> Config:
+        resolved: Config = {}
+        for p in self.params:
+            if not self._active(p, resolved):
+                continue
+            if p.name in config:
+                resolved[p.name] = config[p.name]
+            else:
+                resolved[p.name] = p.sample(rng)
+        return resolved
+
+    def validate(self, config: Config) -> None:
+        """Raise :class:`ConfigurationError` unless config is exactly valid."""
+        expected: Config = {}
+        for p in self.params:
+            if self._active(p, expected):
+                if p.name not in config:
+                    raise ConfigurationError(f"missing active parameter {p.name!r}")
+                p.validate(config[p.name])
+                expected[p.name] = config[p.name]
+        extras = set(config) - set(expected)
+        if extras:
+            raise ConfigurationError(f"unexpected/inactive parameters: {sorted(extras)}")
+
+    def complete(self, partial: Config, rng: np.random.Generator | None = None) -> Config:
+        """Fill a partial config with defaults (or samples) for missing params."""
+        resolved: Config = {}
+        for p in self.params:
+            if not self._active(p, resolved):
+                continue
+            if p.name in partial:
+                p.validate(partial[p.name])
+                resolved[p.name] = partial[p.name]
+            elif rng is None:
+                resolved[p.name] = p.default
+            else:
+                resolved[p.name] = p.sample(rng)
+        return resolved
+
+    # ------------------------------------------------------------- encoding
+    def encode(self, config: Config) -> np.ndarray:
+        """Fixed-length float vector for the surrogate; inactive → -1."""
+        row = np.full(len(self.params), -1.0, dtype=np.float64)
+        for i, p in enumerate(self.params):
+            if p.name in config:
+                row[i] = p.encode(config[p.name])
+        return row
+
+    def config_key(self, config: Config) -> tuple:
+        """Hashable identity of a config (used for caching evaluations)."""
+        return tuple(sorted((k, repr(v)) for k, v in config.items()))

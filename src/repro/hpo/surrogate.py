@@ -1,0 +1,176 @@
+"""Random-forest regression surrogate for SMAC.
+
+SMAC "attempts to draw the relation between the algorithm performance and a
+given set of hyper-parameters by estimating the predictive mean and variance
+of their performance along the trees of the random forest model".  This
+module is that model: bootstrap-bagged regression trees over encoded
+configurations, with the empirical mean/variance across trees as the
+posterior used by expected improvement.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import NotFittedError
+
+__all__ = ["RegressionTree", "RandomForestSurrogate"]
+
+
+class _RegressionNode:
+    __slots__ = ("feature", "threshold", "left", "right", "value")
+
+    def __init__(self, value: float):
+        self.feature: int = -1
+        self.threshold: float = 0.0
+        self.left: "_RegressionNode | None" = None
+        self.right: "_RegressionNode | None" = None
+        self.value = value
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.feature == -1
+
+
+class RegressionTree:
+    """CART regression tree (variance-reduction splitting)."""
+
+    def __init__(
+        self,
+        max_depth: int = 12,
+        min_split: int = 4,
+        min_bucket: int = 2,
+        max_features: int | None = None,
+    ):
+        self.max_depth = max_depth
+        self.min_split = min_split
+        self.min_bucket = min_bucket
+        self.max_features = max_features
+        self.root_: _RegressionNode | None = None
+
+    def fit(
+        self, X: np.ndarray, y: np.ndarray, rng: np.random.Generator | None = None
+    ) -> "RegressionTree":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+
+        def grow(indices: np.ndarray, depth: int) -> _RegressionNode:
+            node_y = y[indices]
+            node = _RegressionNode(float(node_y.mean()))
+            if (
+                depth >= self.max_depth
+                or indices.size < self.min_split
+                or np.ptp(node_y) < 1e-12
+            ):
+                return node
+
+            d = X.shape[1]
+            if self.max_features is not None and self.max_features < d:
+                assert rng is not None
+                candidates = rng.choice(d, size=self.max_features, replace=False)
+            else:
+                candidates = np.arange(d)
+
+            best_score = np.inf
+            best_feature, best_threshold = -1, 0.0
+            for j in candidates:
+                x = X[indices, j]
+                order = np.argsort(x, kind="stable")
+                xs, ys = x[order], node_y[order]
+                boundaries = np.flatnonzero(np.diff(xs) > 1e-12)
+                if boundaries.size == 0:
+                    continue
+                csum = np.cumsum(ys)
+                csum2 = np.cumsum(ys**2)
+                n_total = ys.size
+                n_left = boundaries + 1
+                n_right = n_total - n_left
+                valid = (n_left >= self.min_bucket) & (n_right >= self.min_bucket)
+                if not valid.any():
+                    continue
+                sum_left = csum[boundaries]
+                sum_right = csum[-1] - sum_left
+                sq_left = csum2[boundaries]
+                sq_right = csum2[-1] - sq_left
+                sse = (
+                    sq_left - sum_left**2 / n_left
+                    + sq_right - sum_right**2 / n_right
+                )
+                sse = np.where(valid, sse, np.inf)
+                idx = int(np.argmin(sse))
+                if sse[idx] < best_score:
+                    best_score = float(sse[idx])
+                    best_feature = int(j)
+                    best_threshold = 0.5 * (xs[boundaries[idx]] + xs[boundaries[idx] + 1])
+
+            if best_feature < 0:
+                return node
+            mask = X[indices, best_feature] <= best_threshold
+            left_idx, right_idx = indices[mask], indices[~mask]
+            if left_idx.size == 0 or right_idx.size == 0:
+                return node
+            node.feature = best_feature
+            node.threshold = best_threshold
+            node.left = grow(left_idx, depth + 1)
+            node.right = grow(right_idx, depth + 1)
+            return node
+
+        self.root_ = grow(np.arange(y.shape[0]), 0)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.root_ is None:
+            raise NotFittedError("RegressionTree is not fitted")
+        X = np.asarray(X, dtype=np.float64)
+        out = np.empty(X.shape[0])
+        for i, row in enumerate(X):
+            node = self.root_
+            while not node.is_leaf:
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.value
+        return out
+
+
+class RandomForestSurrogate:
+    """Bagged regression trees exposing mean and variance predictions."""
+
+    def __init__(
+        self,
+        n_trees: int = 24,
+        max_depth: int = 12,
+        min_bucket: int = 2,
+        seed: int = 0,
+    ):
+        self.n_trees = n_trees
+        self.max_depth = max_depth
+        self.min_bucket = min_bucket
+        self.seed = seed
+        self.trees_: list[RegressionTree] = []
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestSurrogate":
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        rng = np.random.default_rng(self.seed)
+        n, d = X.shape
+        max_features = max(1, int(np.ceil(d * 0.7)))
+        self.trees_ = []
+        for _ in range(self.n_trees):
+            sample = rng.integers(0, n, size=n)
+            tree = RegressionTree(
+                max_depth=self.max_depth,
+                min_split=max(4, 2 * self.min_bucket),
+                min_bucket=self.min_bucket,
+                max_features=max_features,
+            )
+            tree.fit(X[sample], y[sample], rng=rng)
+            self.trees_.append(tree)
+        return self
+
+    def predict(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """(mean, variance) across trees for each row."""
+        if not self.trees_:
+            raise NotFittedError("RandomForestSurrogate is not fitted")
+        votes = np.stack([tree.predict(X) for tree in self.trees_], axis=0)
+        mean = votes.mean(axis=0)
+        var = votes.var(axis=0)
+        return mean, var

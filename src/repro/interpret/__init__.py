@@ -1,0 +1,14 @@
+"""Model interpretability: importance, partial dependence, surrogate trees."""
+
+from repro.interpret.importance import FeatureImportance, permutation_importance
+from repro.interpret.pdp import PartialDependence, partial_dependence
+from repro.interpret.surrogate_tree import SurrogateExplanation, global_surrogate
+
+__all__ = [
+    "FeatureImportance",
+    "permutation_importance",
+    "PartialDependence",
+    "partial_dependence",
+    "SurrogateExplanation",
+    "global_surrogate",
+]

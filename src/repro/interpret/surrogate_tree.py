@@ -1,0 +1,97 @@
+"""Global surrogate explanation: a shallow tree that mimics a black box.
+
+The third explanation style the ``iml`` package offers (after feature
+importance and effects): train an interpretable model on the *predictions*
+of the black-box model and report how faithfully it tracks them.  The
+surrogate here is a depth-capped CART whose paths convert directly into
+human-readable rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.classifiers.base import Classifier
+from repro.classifiers.rules import path_to_rule
+from repro.classifiers.tree import TreeParams, build_tree, count_leaves, tree_predict_proba
+
+__all__ = ["SurrogateExplanation", "global_surrogate"]
+
+
+@dataclass
+class SurrogateExplanation:
+    """A fitted surrogate tree plus its fidelity to the black box."""
+
+    root: object
+    n_classes: int
+    fidelity: float          # agreement with black-box predictions
+    n_leaves: int
+    feature_names: list[str]
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        proba = tree_predict_proba(self.root, np.asarray(X, dtype=np.float64), self.n_classes)
+        return np.argmax(proba, axis=1)
+
+    def rules(self) -> list[str]:
+        """Every root-to-leaf path as a readable rule."""
+        collected: list[str] = []
+
+        def walk(node, path):
+            if node.is_leaf:
+                rule = path_to_rule(path, node)
+                collected.append(rule.describe(self.feature_names))
+                return
+            walk(node.left, path + [(node, True)])
+            walk(node.right, path + [(node, False)])
+
+        walk(self.root, [])
+        return collected
+
+    def describe(self) -> str:
+        lines = [
+            f"global surrogate tree: {self.n_leaves} leaves, "
+            f"fidelity {self.fidelity:.3f} (agreement with the black box)",
+        ]
+        lines.extend(f"  {rule}" for rule in self.rules())
+        return "\n".join(lines)
+
+
+def global_surrogate(
+    model: Classifier,
+    X: np.ndarray,
+    feature_names: list[str] | None = None,
+    max_depth: int = 3,
+    min_bucket: int = 5,
+) -> SurrogateExplanation:
+    """Fit a shallow tree to ``model``'s predictions on ``X``.
+
+    Fidelity is the fraction of rows where surrogate and black box agree;
+    a faithful shallow surrogate means the black box is (locally to this
+    data) simple enough to summarise with a handful of rules.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    black_box = model.predict(X)
+    n_classes = int(model.n_classes_)
+    root = build_tree(
+        X,
+        black_box,
+        n_classes,
+        TreeParams(
+            criterion="gini",
+            max_depth=max_depth,
+            min_split=max(2, 2 * min_bucket),
+            min_bucket=min_bucket,
+        ),
+    )
+    surrogate_pred = np.argmax(tree_predict_proba(root, X, n_classes), axis=1)
+    fidelity = float((surrogate_pred == black_box).mean())
+    names = feature_names or [f"f{j}" for j in range(X.shape[1])]
+    return SurrogateExplanation(
+        root=root,
+        n_classes=n_classes,
+        fidelity=fidelity,
+        n_leaves=count_leaves(root),
+        feature_names=list(names),
+    )

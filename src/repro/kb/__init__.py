@@ -1,0 +1,25 @@
+"""Knowledge base: durable store, similarity search, bootstrapping."""
+
+from repro.kb.bootstrap import bootstrap_knowledge_base
+from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.similarity import (
+    Neighbor,
+    Nomination,
+    distance_only_nomination,
+    nearest_datasets,
+    weighted_nomination,
+    zscore_normaliser,
+)
+from repro.kb.store import RecordStore
+
+__all__ = [
+    "RecordStore",
+    "KnowledgeBase",
+    "bootstrap_knowledge_base",
+    "Neighbor",
+    "Nomination",
+    "nearest_datasets",
+    "weighted_nomination",
+    "distance_only_nomination",
+    "zscore_normaliser",
+]

@@ -1,0 +1,159 @@
+"""The SmartML knowledge base.
+
+Two tables over the :class:`~repro.kb.store.RecordStore`:
+
+* ``datasets`` — one row per processed dataset: name + the 25 meta-features;
+* ``runs`` — one row per (dataset, algorithm) tuning outcome: accuracy and
+  the best configuration found.
+
+For a new dataset the KB answers one question — *which algorithms, with
+which starting configurations, should SMAC tune?* — via the weighted
+nearest-neighbour rule in :mod:`repro.kb.similarity`.  Every SmartML run
+appends its own results, so the KB (and with it the framework) improves
+monotonically with use: the paper's "continuously updated knowledge base".
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.kb.similarity import (
+    Neighbor,
+    Nomination,
+    distance_only_nomination,
+    nearest_datasets,
+    weighted_nomination,
+)
+from repro.kb.store import RecordStore
+from repro.metafeatures import MetaFeatures
+
+__all__ = ["KnowledgeBase"]
+
+
+class KnowledgeBase:
+    """Meta-learning memory of processed datasets and tuning outcomes."""
+
+    def __init__(self, path: str | Path | None = None):
+        self.store = RecordStore(path)
+
+    # --------------------------------------------------------------- writes
+    def add_dataset(self, name: str, metafeatures: MetaFeatures) -> int:
+        """Register a processed dataset; returns its KB id."""
+        return self.store.append(
+            "datasets",
+            {"name": name, "metafeatures": metafeatures.to_dict()},
+        )
+
+    def add_run(
+        self,
+        dataset_id: int,
+        algorithm: str,
+        config: dict,
+        accuracy: float,
+        n_folds: int = 0,
+        budget_s: float = 0.0,
+    ) -> int:
+        """Record one tuning outcome for (dataset, algorithm)."""
+        self.store.get("datasets", dataset_id)  # raises if unknown
+        return self.store.append(
+            "runs",
+            {
+                "dataset_id": dataset_id,
+                "algorithm": algorithm,
+                "config": dict(config),
+                "accuracy": float(accuracy),
+                "n_folds": int(n_folds),
+                "budget_s": float(budget_s),
+            },
+        )
+
+    # ---------------------------------------------------------------- reads
+    def n_datasets(self) -> int:
+        return self.store.count("datasets")
+
+    def n_runs(self) -> int:
+        return self.store.count("runs")
+
+    def dataset_vectors(self) -> tuple[list[int], np.ndarray]:
+        """(ids, matrix) of all stored meta-feature vectors."""
+        ids: list[int] = []
+        rows: list[np.ndarray] = []
+        for record_id, data in self.store.scan("datasets"):
+            ids.append(record_id)
+            rows.append(MetaFeatures.from_dict(data["metafeatures"]).to_vector())
+        matrix = np.stack(rows) if rows else np.zeros((0, len(MetaFeatures.__dataclass_fields__)))
+        return ids, matrix
+
+    def leaderboard(self, dataset_id: int) -> list[tuple[str, float, dict]]:
+        """Per-algorithm best (algorithm, accuracy, config) for one dataset."""
+        best: dict[str, tuple[float, dict]] = {}
+        for _, run in self.store.scan("runs"):
+            if run["dataset_id"] != dataset_id:
+                continue
+            algorithm = run["algorithm"]
+            accuracy = float(run["accuracy"])
+            if algorithm not in best or accuracy > best[algorithm][0]:
+                best[algorithm] = (accuracy, run["config"])
+        return [
+            (algorithm, accuracy, config)
+            for algorithm, (accuracy, config) in sorted(best.items())
+        ]
+
+    def all_leaderboards(self) -> dict[int, list[tuple[str, float, dict]]]:
+        """Leaderboards for every stored dataset (one scan, not N)."""
+        best: dict[int, dict[str, tuple[float, dict]]] = {}
+        for _, run in self.store.scan("runs"):
+            per_ds = best.setdefault(run["dataset_id"], {})
+            algorithm = run["algorithm"]
+            accuracy = float(run["accuracy"])
+            if algorithm not in per_ds or accuracy > per_ds[algorithm][0]:
+                per_ds[algorithm] = (accuracy, run["config"])
+        return {
+            dataset_id: [
+                (algorithm, accuracy, config)
+                for algorithm, (accuracy, config) in sorted(board.items())
+            ]
+            for dataset_id, board in best.items()
+        }
+
+    # ----------------------------------------------------------- similarity
+    def similar_datasets(self, metafeatures: MetaFeatures, k: int = 3) -> list[Neighbor]:
+        """The k most similar stored datasets."""
+        ids, matrix = self.dataset_vectors()
+        return nearest_datasets(metafeatures.to_vector(), ids, matrix, k)
+
+    def nominate(
+        self,
+        metafeatures: MetaFeatures,
+        n_algorithms: int = 3,
+        n_neighbors: int = 3,
+        mode: str = "weighted",
+    ) -> list[Nomination]:
+        """Candidate algorithms + warm-start configs for a new dataset.
+
+        ``mode="weighted"`` is the paper's rule; ``mode="distance"`` is the
+        ablation control.  An empty KB returns no nominations (the caller
+        falls back to a default portfolio).
+        """
+        neighbors = self.similar_datasets(metafeatures, k=n_neighbors)
+        if not neighbors:
+            return []
+        leaderboards = self.all_leaderboards()
+        if mode == "weighted":
+            return weighted_nomination(neighbors, leaderboards, n_algorithms)
+        return distance_only_nomination(neighbors, leaderboards, n_algorithms)
+
+    # ------------------------------------------------------------ lifecycle
+    def compact(self) -> None:
+        self.store.compact()
+
+    def close(self) -> None:
+        self.store.close()
+
+    def __enter__(self) -> "KnowledgeBase":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

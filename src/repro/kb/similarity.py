@@ -1,0 +1,167 @@
+"""Dataset-similarity search and algorithm nomination.
+
+The paper's selection rule weights two factors: (1) Euclidean distance
+between the query's meta-features and every stored dataset's, and (2) "the
+magnitude of the best performing algorithms on the similar dataset" — a
+single very similar dataset's top-n algorithms can beat the single best
+algorithm of n merely-close datasets.
+
+:func:`weighted_nomination` implements that rule; :func:`distance_only_
+nomination` is the ablation control that ranks algorithms purely by the
+nearest dataset's leaderboard.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = [
+    "Neighbor",
+    "Nomination",
+    "zscore_normaliser",
+    "nearest_datasets",
+    "weighted_nomination",
+    "distance_only_nomination",
+]
+
+
+@dataclass(frozen=True)
+class Neighbor:
+    """One similar knowledge-base dataset."""
+
+    dataset_id: int
+    distance: float
+    similarity: float
+
+
+@dataclass
+class Nomination:
+    """A candidate algorithm with provenance and warm-start configurations."""
+
+    algorithm: str
+    score: float
+    supporting_datasets: list[int] = field(default_factory=list)
+    warm_configs: list[dict] = field(default_factory=list)
+
+
+def zscore_normaliser(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Column means/stds for z-scoring meta-feature vectors.
+
+    Degenerate columns get unit std so they contribute zero distance.
+    """
+    mean = matrix.mean(axis=0)
+    std = matrix.std(axis=0)
+    std[std < 1e-12] = 1.0
+    return mean, std
+
+
+def nearest_datasets(
+    query: np.ndarray,
+    stored_ids: list[int],
+    stored_vectors: np.ndarray,
+    k: int,
+) -> list[Neighbor]:
+    """The ``k`` nearest stored datasets by z-scored Euclidean distance.
+
+    Similarity is ``1 / (1 + distance)``, a bounded monotone transform used
+    as the weight of factor (1) in the nomination rule.
+    """
+    if stored_vectors.shape[0] == 0:
+        return []
+    mean, std = zscore_normaliser(stored_vectors)
+    z_stored = (stored_vectors - mean) / std
+    z_query = (query - mean) / std
+    distances = np.sqrt(((z_stored - z_query) ** 2).sum(axis=1))
+    order = np.argsort(distances, kind="stable")[: max(k, 0)]
+    return [
+        Neighbor(
+            dataset_id=stored_ids[int(i)],
+            distance=float(distances[i]),
+            similarity=float(1.0 / (1.0 + distances[i])),
+        )
+        for i in order
+    ]
+
+
+def weighted_nomination(
+    neighbors: list[Neighbor],
+    leaderboards: dict[int, list[tuple[str, float, dict]]],
+    n_algorithms: int,
+    similarity_power: float = 2.0,
+    max_warm_configs: int = 3,
+) -> list[Nomination]:
+    """Rank algorithms by similarity-weighted best performance.
+
+    Parameters
+    ----------
+    leaderboards:
+        ``dataset_id -> [(algorithm, accuracy, best_config), ...]`` — each
+        stored dataset's per-algorithm best results.
+    similarity_power:
+        Exponent sharpening the similarity weight; >1 realises the paper's
+        "prefer the top-n algorithms of one very similar dataset" bias.
+    """
+    scores: dict[str, float] = {}
+    support: dict[str, list[int]] = {}
+    configs: dict[str, list[tuple[float, dict]]] = {}
+    for neighbor in neighbors:
+        weight = neighbor.similarity**similarity_power
+        for algorithm, accuracy, config in leaderboards.get(neighbor.dataset_id, []):
+            scores[algorithm] = scores.get(algorithm, 0.0) + weight * accuracy
+            support.setdefault(algorithm, []).append(neighbor.dataset_id)
+            configs.setdefault(algorithm, []).append((weight * accuracy, config))
+
+    ranked = sorted(scores.items(), key=lambda item: (-item[1], item[0]))
+    nominations = []
+    for algorithm, score in ranked[: max(n_algorithms, 0)]:
+        best_first = sorted(configs[algorithm], key=lambda pair: -pair[0])
+        warm = []
+        seen: set[str] = set()
+        for _, config in best_first:
+            fingerprint = repr(sorted(config.items()))
+            if fingerprint not in seen:
+                warm.append(dict(config))
+                seen.add(fingerprint)
+            if len(warm) >= max_warm_configs:
+                break
+        nominations.append(
+            Nomination(
+                algorithm=algorithm,
+                score=float(score),
+                supporting_datasets=support[algorithm],
+                warm_configs=warm,
+            )
+        )
+    return nominations
+
+
+def distance_only_nomination(
+    neighbors: list[Neighbor],
+    leaderboards: dict[int, list[tuple[str, float, dict]]],
+    n_algorithms: int,
+) -> list[Nomination]:
+    """Ablation control: take the single best algorithm of each neighbour in
+    distance order, ignoring performance magnitude."""
+    nominations: list[Nomination] = []
+    chosen: set[str] = set()
+    for neighbor in neighbors:
+        board = leaderboards.get(neighbor.dataset_id, [])
+        if not board:
+            continue
+        algorithm, accuracy, config = max(board, key=lambda row: row[1])
+        if algorithm in chosen:
+            continue
+        chosen.add(algorithm)
+        nominations.append(
+            Nomination(
+                algorithm=algorithm,
+                score=float(accuracy),
+                supporting_datasets=[neighbor.dataset_id],
+                warm_configs=[dict(config)],
+            )
+        )
+        if len(nominations) >= n_algorithms:
+            break
+    return nominations

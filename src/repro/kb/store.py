@@ -1,0 +1,169 @@
+"""Embedded append-only record store backing the knowledge base.
+
+The paper's knowledge base is "continuously updated after running each
+task"; durability therefore matters more than query sophistication.  The
+store is a single JSON-lines log with:
+
+* **append-only writes** — each record is one line, flushed on write, so a
+  crash can lose at most the trailing line;
+* **torn-write recovery** — an unparseable *final* line is dropped on load
+  (the classic WAL tail repair); corruption anywhere else raises;
+* **tombstone deletes** and **offline compaction** that rewrites the log
+  atomically (write temp file, ``os.replace``);
+* an in-memory per-table index for reads.
+
+The store is single-process by design (the REST layer serialises access);
+that trade-off is recorded in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.exceptions import KnowledgeBaseError
+
+__all__ = ["RecordStore"]
+
+
+class RecordStore:
+    """A tiny durable multi-table record log.
+
+    Parameters
+    ----------
+    path:
+        Log file location.  ``None`` keeps the store purely in memory
+        (used by tests and throwaway runs).
+    """
+
+    def __init__(self, path: str | Path | None = None):
+        self.path = Path(path) if path is not None else None
+        self._tables: dict[str, dict[int, dict]] = {}
+        self._next_id = 1
+        self._file = None
+        if self.path is not None:
+            self._load()
+            self._file = open(self.path, "a", encoding="utf-8")
+
+    # ----------------------------------------------------------------- load
+    def _load(self) -> None:
+        if not self.path.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            return
+        raw_lines = self.path.read_text(encoding="utf-8").splitlines()
+        for lineno, line in enumerate(raw_lines):
+            if not line.strip():
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                if lineno == len(raw_lines) - 1:
+                    # Torn final write: repair by truncating the tail.
+                    self._truncate_to(raw_lines[:lineno])
+                    break
+                raise KnowledgeBaseError(
+                    f"{self.path}: corrupt record at line {lineno + 1}"
+                ) from None
+            self._apply(entry)
+
+    def _truncate_to(self, lines: list[str]) -> None:
+        tmp = self.path.with_suffix(".repair")
+        tmp.write_text("".join(f"{line}\n" for line in lines), encoding="utf-8")
+        os.replace(tmp, self.path)
+
+    def _apply(self, entry: dict) -> None:
+        op = entry.get("op", "put")
+        table = entry.get("table")
+        record_id = entry.get("id")
+        if not isinstance(table, str) or not isinstance(record_id, int):
+            raise KnowledgeBaseError(f"malformed log entry: {entry!r}")
+        if op == "put":
+            self._tables.setdefault(table, {})[record_id] = entry.get("data", {})
+        elif op == "delete":
+            self._tables.get(table, {}).pop(record_id, None)
+        else:
+            raise KnowledgeBaseError(f"unknown log op {op!r}")
+        self._next_id = max(self._next_id, record_id + 1)
+
+    # ---------------------------------------------------------------- write
+    def _write(self, entry: dict) -> None:
+        if self._file is None:
+            return
+        self._file.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._file.flush()
+
+    def append(self, table: str, data: dict) -> int:
+        """Insert a record; returns its id."""
+        record_id = self._next_id
+        entry = {"op": "put", "table": table, "id": record_id, "data": data}
+        self._apply(entry)
+        self._write(entry)
+        return record_id
+
+    def update(self, table: str, record_id: int, data: dict) -> None:
+        """Overwrite a record in place (logged as a new put)."""
+        if record_id not in self._tables.get(table, {}):
+            raise KnowledgeBaseError(f"{table}/{record_id} does not exist")
+        entry = {"op": "put", "table": table, "id": record_id, "data": data}
+        self._apply(entry)
+        self._write(entry)
+
+    def delete(self, table: str, record_id: int) -> None:
+        """Tombstone a record."""
+        if record_id not in self._tables.get(table, {}):
+            raise KnowledgeBaseError(f"{table}/{record_id} does not exist")
+        entry = {"op": "delete", "table": table, "id": record_id}
+        self._apply(entry)
+        self._write(entry)
+
+    # ----------------------------------------------------------------- read
+    def get(self, table: str, record_id: int) -> dict:
+        try:
+            return self._tables[table][record_id]
+        except KeyError:
+            raise KnowledgeBaseError(f"{table}/{record_id} does not exist") from None
+
+    def scan(self, table: str) -> list[tuple[int, dict]]:
+        """All (id, record) pairs of a table, id-ordered."""
+        return sorted(self._tables.get(table, {}).items())
+
+    def count(self, table: str) -> int:
+        return len(self._tables.get(table, {}))
+
+    def tables(self) -> list[str]:
+        return sorted(self._tables)
+
+    # ------------------------------------------------------------ lifecycle
+    def compact(self) -> None:
+        """Rewrite the log without tombstoned/overwritten entries."""
+        if self.path is None:
+            return
+        tmp = self.path.with_suffix(".compact")
+        with open(tmp, "w", encoding="utf-8") as fh:
+            for table in self.tables():
+                for record_id, data in self.scan(table):
+                    fh.write(
+                        json.dumps(
+                            {"op": "put", "table": table, "id": record_id, "data": data},
+                            sort_keys=True,
+                        )
+                        + "\n"
+                    )
+            fh.flush()
+            os.fsync(fh.fileno())
+        if self._file is not None:
+            self._file.close()
+        os.replace(tmp, self.path)
+        self._file = open(self.path, "a", encoding="utf-8")
+
+    def close(self) -> None:
+        if self._file is not None:
+            self._file.close()
+            self._file = None
+
+    def __enter__(self) -> "RecordStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

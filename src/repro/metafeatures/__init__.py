@@ -1,0 +1,9 @@
+"""Meta-feature extraction (the 25 dataset descriptors of the paper)."""
+
+from repro.metafeatures.extractor import (
+    META_FEATURE_NAMES,
+    MetaFeatures,
+    extract_metafeatures,
+)
+
+__all__ = ["MetaFeatures", "extract_metafeatures", "META_FEATURE_NAMES"]

@@ -1,0 +1,163 @@
+"""The 25 dataset meta-features.
+
+"a list of 25 meta-features are extracted from the training split describing
+the dataset characteristics. Examples of these features include number of
+instances, number of classes, skewness and kurtosis of numerical features,
+and symbols of categorical features."
+
+The exact 25 implemented here cover the four groups the paper names:
+
+* simple counts and ratios (instances, features, classes, numeric vs
+  categorical mix, dimensionality, missing ratio) — 10 features,
+* class-distribution statistics (entropy, min/max/mean/std class
+  probability, imbalance ratio) — 6 features,
+* moments of the numeric columns (min/max/mean/std of skewness and of
+  kurtosis) — 8 features,
+* symbol statistics of the categorical columns (mean symbols per
+  categorical feature) — 1 feature.
+
+The vector order is fixed (:data:`META_FEATURE_NAMES`) because knowledge-base
+similarity search compares positionally.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+import numpy as np
+from scipy import stats
+
+from repro.data.dataset import Dataset
+
+__all__ = ["MetaFeatures", "extract_metafeatures", "META_FEATURE_NAMES"]
+
+
+@dataclass(frozen=True)
+class MetaFeatures:
+    """Fixed-order container of the 25 meta-features."""
+
+    n_instances: float
+    log_n_instances: float
+    n_features: float
+    log_n_features: float
+    n_classes: float
+    n_numeric: float
+    n_categorical: float
+    categorical_ratio: float
+    dimensionality: float
+    missing_ratio: float
+    class_entropy: float
+    class_prob_min: float
+    class_prob_max: float
+    class_prob_mean: float
+    class_prob_std: float
+    imbalance_ratio: float
+    skewness_min: float
+    skewness_max: float
+    skewness_mean: float
+    skewness_std: float
+    kurtosis_min: float
+    kurtosis_max: float
+    kurtosis_mean: float
+    kurtosis_std: float
+    symbols_mean: float
+
+    def to_vector(self) -> np.ndarray:
+        """The 25 values in declaration order."""
+        return np.array([getattr(self, f.name) for f in fields(self)], dtype=np.float64)
+
+    def to_dict(self) -> dict[str, float]:
+        """Name → value mapping (JSON-friendly, used by the knowledge base)."""
+        return {f.name: float(getattr(self, f.name)) for f in fields(self)}
+
+    @classmethod
+    def from_dict(cls, payload: dict[str, float]) -> "MetaFeatures":
+        """Inverse of :meth:`to_dict`; ignores unknown keys, defaults to 0."""
+        values = {f.name: float(payload.get(f.name, 0.0)) for f in fields(cls)}
+        return cls(**values)
+
+    @classmethod
+    def from_vector(cls, vector: np.ndarray) -> "MetaFeatures":
+        """Build from a 25-vector in declaration order."""
+        names = [f.name for f in fields(cls)]
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (len(names),):
+            raise ValueError(f"expected vector of shape ({len(names)},), got {vector.shape}")
+        return cls(**dict(zip(names, map(float, vector))))
+
+
+META_FEATURE_NAMES: tuple[str, ...] = tuple(f.name for f in fields(MetaFeatures))
+
+
+def _moment_stats(values: np.ndarray) -> tuple[float, float, float, float]:
+    """(min, max, mean, std) of a 1-D statistic array; zeros when empty."""
+    if values.size == 0:
+        return 0.0, 0.0, 0.0, 0.0
+    values = values[np.isfinite(values)]
+    if values.size == 0:
+        return 0.0, 0.0, 0.0, 0.0
+    return (
+        float(values.min()),
+        float(values.max()),
+        float(values.mean()),
+        float(values.std()),
+    )
+
+
+def extract_metafeatures(ds: Dataset) -> MetaFeatures:
+    """Compute all 25 meta-features of a dataset.
+
+    NaN cells are ignored column-wise; datasets with no numeric (or no
+    categorical) columns get zeros for the corresponding statistic block,
+    which keeps vectors comparable across heterogeneous corpora.
+    """
+    n, d = ds.n_instances, ds.n_features
+    numeric_idx = ds.numeric_indices
+    cat_idx = ds.categorical_indices
+
+    probs = ds.class_distribution()
+    present = probs[probs > 0]
+    entropy = float(-(present * np.log2(present)).sum())
+    max_entropy = np.log2(ds.n_classes) if ds.n_classes > 1 else 1.0
+
+    skews = []
+    kurts = []
+    for j in numeric_idx:
+        col = ds.X[:, j]
+        col = col[~np.isnan(col)]
+        if col.size >= 3 and np.ptp(col) > 1e-12:
+            skews.append(stats.skew(col))
+            kurts.append(stats.kurtosis(col))
+    skew_stats = _moment_stats(np.asarray(skews, dtype=np.float64))
+    kurt_stats = _moment_stats(np.asarray(kurts, dtype=np.float64))
+
+    cards = ds.category_cardinalities().astype(np.float64)
+    symbols_mean = float(cards.mean()) if cards.size else 0.0
+
+    return MetaFeatures(
+        n_instances=float(n),
+        log_n_instances=float(np.log(n)),
+        n_features=float(d),
+        log_n_features=float(np.log(d)) if d > 0 else 0.0,
+        n_classes=float(ds.n_classes),
+        n_numeric=float(numeric_idx.size),
+        n_categorical=float(cat_idx.size),
+        categorical_ratio=float(cat_idx.size / d) if d > 0 else 0.0,
+        dimensionality=float(d / n),
+        missing_ratio=ds.missing_ratio(),
+        class_entropy=entropy / max_entropy,
+        class_prob_min=float(probs.min()),
+        class_prob_max=float(probs.max()),
+        class_prob_mean=float(probs.mean()),
+        class_prob_std=float(probs.std()),
+        imbalance_ratio=float(probs.min() / probs.max()) if probs.max() > 0 else 0.0,
+        skewness_min=skew_stats[0],
+        skewness_max=skew_stats[1],
+        skewness_mean=skew_stats[2],
+        skewness_std=skew_stats[3],
+        kurtosis_min=kurt_stats[0],
+        kurtosis_max=kurt_stats[1],
+        kurtosis_mean=kurt_stats[2],
+        kurtosis_std=kurt_stats[3],
+        symbols_mean=symbols_mean,
+    )

@@ -1,0 +1,87 @@
+"""Feature preprocessing (Table 2 of the paper) plus supporting substrate.
+
+The eight named operators the paper integrates are exposed through
+:data:`PREPROCESSOR_REGISTRY` / :func:`build_preprocessor` so the SmartML
+input-definition phase can accept the same option strings the R package
+does (``center``, ``scale``, ``range``, ``zv``, ``boxcox``, ``yeojohnson``,
+``pca``, ``ica``).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.exceptions import ConfigurationError
+from repro.preprocess.base import Pipeline, Transformer
+from repro.preprocess.encode import OneHotEncoder
+from repro.preprocess.feature_selection import (
+    UnivariateSelector,
+    anova_f_scores,
+    mutual_information_scores,
+)
+from repro.preprocess.impute import Imputer
+from repro.preprocess.power import BoxCox, YeoJohnson
+from repro.preprocess.projections import ICA, PCA
+from repro.preprocess.scalers import Center, RangeScaler, Scale, ZeroVarianceFilter
+
+__all__ = [
+    "Transformer",
+    "Pipeline",
+    "Imputer",
+    "Center",
+    "Scale",
+    "RangeScaler",
+    "ZeroVarianceFilter",
+    "BoxCox",
+    "YeoJohnson",
+    "PCA",
+    "ICA",
+    "OneHotEncoder",
+    "UnivariateSelector",
+    "anova_f_scores",
+    "mutual_information_scores",
+    "PREPROCESSOR_REGISTRY",
+    "build_preprocessor",
+]
+
+#: Table 2 operator names → factory, in the paper's listing order.
+PREPROCESSOR_REGISTRY: dict[str, Callable[[], Transformer]] = {
+    "center": Center,
+    "scale": Scale,
+    "range": RangeScaler,
+    "zv": ZeroVarianceFilter,
+    "boxcox": BoxCox,
+    "yeojohnson": YeoJohnson,
+    "pca": PCA,
+    "ica": ICA,
+}
+
+#: One-line description of each operator, as printed in Table 2.
+PREPROCESSOR_DESCRIPTIONS: dict[str, str] = {
+    "center": "subtract mean from values",
+    "scale": "divide values by standard deviation",
+    "range": "values normalization",
+    "zv": "remove attributes with zero variance",
+    "boxcox": "apply box-cox transform to non-zero positive values",
+    "yeojohnson": "apply Yeo-Johnson transform to all values",
+    "pca": "transform data to the principal components",
+    "ica": "transform data to their independent components",
+}
+
+
+def build_preprocessor(names: list[str]) -> Pipeline:
+    """Build a pipeline from Table-2 operator names, in the given order.
+
+    An :class:`Imputer` is always prepended because every downstream
+    classifier requires complete matrices.
+    """
+    steps: list[Transformer] = [Imputer()]
+    for name in names:
+        factory = PREPROCESSOR_REGISTRY.get(name)
+        if factory is None:
+            raise ConfigurationError(
+                f"unknown preprocessing operator {name!r}; "
+                f"known: {sorted(PREPROCESSOR_REGISTRY)}"
+            )
+        steps.append(factory())
+    return Pipeline(steps)

@@ -1,0 +1,72 @@
+"""Transformer interface and pipeline composition.
+
+Every preprocessing operator in Table 2 is a :class:`Transformer` with the
+usual ``fit`` / ``transform`` contract over :class:`~repro.data.Dataset`.
+Operators are fitted on the training split only and then applied to
+validation/test splits, which is what keeps the evaluation leak-free.
+"""
+
+from __future__ import annotations
+
+import abc
+
+from repro.data.dataset import Dataset
+from repro.exceptions import NotFittedError
+
+__all__ = ["Transformer", "Pipeline"]
+
+
+class Transformer(abc.ABC):
+    """Base class for dataset-to-dataset transformations."""
+
+    _fitted: bool = False
+
+    @abc.abstractmethod
+    def fit(self, ds: Dataset) -> "Transformer":
+        """Learn transformation parameters from ``ds``; returns ``self``."""
+
+    @abc.abstractmethod
+    def transform(self, ds: Dataset) -> Dataset:
+        """Apply the learned transformation to ``ds`` (never in place)."""
+
+    def fit_transform(self, ds: Dataset) -> Dataset:
+        """``fit`` then ``transform`` in one call."""
+        return self.fit(ds).transform(ds)
+
+    def _check_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(
+                f"{type(self).__name__}.transform called before fit"
+            )
+
+
+class Pipeline(Transformer):
+    """Sequential composition of transformers.
+
+    ``fit`` fits each step on the output of the previous one, exactly as the
+    steps will later be chained in ``transform``.
+    """
+
+    def __init__(self, steps: list[Transformer]):
+        self.steps = list(steps)
+
+    def fit(self, ds: Dataset) -> "Pipeline":
+        current = ds
+        for step in self.steps:
+            current = step.fit_transform(current)
+        self._fitted = True
+        return self
+
+    def transform(self, ds: Dataset) -> Dataset:
+        self._check_fitted()
+        current = ds
+        for step in self.steps:
+            current = step.transform(current)
+        return current
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(type(s).__name__ for s in self.steps)
+        return f"Pipeline([{inner}])"

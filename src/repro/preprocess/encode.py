@@ -1,0 +1,70 @@
+"""Categorical encoding.
+
+Distance- and margin-based classifiers (SVM, KNN, neural net, discriminant
+family) need categoricals expanded to indicator columns; tree-family models
+consume integer codes directly.  :class:`OneHotEncoder` performs the
+expansion; unseen categories at transform time map to the all-zeros row.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.preprocess.base import Transformer
+
+__all__ = ["OneHotEncoder"]
+
+
+class OneHotEncoder(Transformer):
+    """Expand each categorical column into one indicator column per symbol.
+
+    Parameters
+    ----------
+    max_levels:
+        Categorical columns with more observed symbols than this are kept as
+        numeric codes instead of being expanded, bounding the output width.
+    """
+
+    def __init__(self, max_levels: int = 20):
+        self.max_levels = max_levels
+        self.levels_: dict[int, np.ndarray] = {}
+
+    def fit(self, ds: Dataset) -> "OneHotEncoder":
+        self.levels_ = {}
+        for j in ds.categorical_indices:
+            col = ds.X[:, j]
+            observed = np.unique(col[~np.isnan(col)])
+            if 0 < observed.size <= self.max_levels:
+                self.levels_[int(j)] = observed
+        self._fitted = True
+        return self
+
+    def transform(self, ds: Dataset) -> Dataset:
+        self._check_fitted()
+        blocks: list[np.ndarray] = []
+        names: list[str] = []
+        mask_parts: list[np.ndarray] = []
+        for j in range(ds.n_features):
+            col = ds.X[:, j : j + 1]
+            if j in self.levels_:
+                levels = self.levels_[j]
+                indicators = (ds.X[:, j][:, None] == levels[None, :]).astype(np.float64)
+                indicators[np.isnan(ds.X[:, j])] = 0.0
+                blocks.append(indicators)
+                names.extend(
+                    f"{ds.feature_names[j]}={int(level)}" for level in levels
+                )
+                mask_parts.append(np.zeros(levels.size, dtype=bool))
+            else:
+                blocks.append(col)
+                names.append(ds.feature_names[j])
+                mask_parts.append(np.array([bool(ds.categorical_mask[j])]))
+        return Dataset(
+            X=np.hstack(blocks),
+            y=ds.y.copy(),
+            categorical_mask=np.concatenate(mask_parts),
+            feature_names=names,
+            class_names=list(ds.class_names),
+            name=ds.name,
+        )

@@ -1,0 +1,114 @@
+"""Feature selection.
+
+The SmartML input form lets the user "choose the required options for
+features selection"; this module supplies the two selectors the pipeline
+exposes: a univariate ANOVA-F filter and a mutual-information filter.
+Both are fitted on the training split and keep the top-k columns.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import ConfigurationError
+from repro.preprocess.base import Transformer
+
+__all__ = ["anova_f_scores", "mutual_information_scores", "UnivariateSelector"]
+
+
+def anova_f_scores(ds: Dataset) -> np.ndarray:
+    """One-way ANOVA F statistic of each column against the labels.
+
+    Missing cells are ignored per column.  Columns with no between-group
+    variance score 0; degenerate columns (single observed value) score 0.
+    """
+    scores = np.zeros(ds.n_features, dtype=np.float64)
+    classes = np.unique(ds.y)
+    for j in range(ds.n_features):
+        col = ds.X[:, j]
+        valid = ~np.isnan(col)
+        x, y = col[valid], ds.y[valid]
+        if x.size < len(classes) + 1 or np.ptp(x) < 1e-12:
+            continue
+        grand = x.mean()
+        ss_between = 0.0
+        ss_within = 0.0
+        groups = 0
+        for k in classes:
+            xk = x[y == k]
+            if xk.size == 0:
+                continue
+            groups += 1
+            ss_between += xk.size * (xk.mean() - grand) ** 2
+            ss_within += ((xk - xk.mean()) ** 2).sum()
+        df_between = groups - 1
+        df_within = x.size - groups
+        if df_between <= 0 or df_within <= 0 or ss_within <= 1e-12:
+            continue
+        scores[j] = (ss_between / df_between) / (ss_within / df_within)
+    return scores
+
+
+def mutual_information_scores(ds: Dataset, n_bins: int = 8) -> np.ndarray:
+    """Histogram-estimated mutual information of each column with the labels."""
+    scores = np.zeros(ds.n_features, dtype=np.float64)
+    n_classes = int(ds.y.max()) + 1
+    for j in range(ds.n_features):
+        col = ds.X[:, j]
+        valid = ~np.isnan(col)
+        x, y = col[valid], ds.y[valid]
+        if x.size < 4 or np.ptp(x) < 1e-12:
+            continue
+        if ds.categorical_mask[j]:
+            codes = x.astype(np.int64)
+            codes -= codes.min()
+        else:
+            edges = np.quantile(x, np.linspace(0, 1, n_bins + 1)[1:-1])
+            codes = np.digitize(x, np.unique(edges))
+        joint = np.zeros((codes.max() + 1, n_classes), dtype=np.float64)
+        np.add.at(joint, (codes, y), 1.0)
+        joint /= joint.sum()
+        px = joint.sum(axis=1, keepdims=True)
+        py = joint.sum(axis=0, keepdims=True)
+        with np.errstate(divide="ignore", invalid="ignore"):
+            ratio = np.where(joint > 0, joint / (px @ py), 1.0)
+        log_ratio = np.zeros_like(ratio)
+        np.log(ratio, out=log_ratio, where=ratio > 0)
+        scores[j] = float(np.sum(joint * log_ratio))
+    return np.maximum(scores, 0.0)
+
+
+class UnivariateSelector(Transformer):
+    """Keep the ``k`` highest-scoring features.
+
+    Parameters
+    ----------
+    k:
+        Number of features to keep (clipped to the dataset width at fit).
+    score:
+        ``"anova"`` or ``"mutual_info"``.
+    """
+
+    def __init__(self, k: int, score: str = "anova"):
+        if k < 1:
+            raise ConfigurationError("k must be >= 1")
+        if score not in ("anova", "mutual_info"):
+            raise ConfigurationError(f"unknown score {score!r}")
+        self.k = k
+        self.score = score
+        self.keep_: np.ndarray | None = None
+        self.scores_: np.ndarray | None = None
+
+    def fit(self, ds: Dataset) -> "UnivariateSelector":
+        scorer = anova_f_scores if self.score == "anova" else mutual_information_scores
+        self.scores_ = scorer(ds)
+        k = min(self.k, ds.n_features)
+        order = np.argsort(-self.scores_, kind="stable")
+        self.keep_ = np.sort(order[:k])
+        self._fitted = True
+        return self
+
+    def transform(self, ds: Dataset) -> Dataset:
+        self._check_fitted()
+        return ds.select_features(self.keep_)

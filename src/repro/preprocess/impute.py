@@ -1,0 +1,49 @@
+"""Missing-value imputation.
+
+Classifiers in this library require complete matrices, so the SmartML
+pipeline always imputes before modelling: numeric columns get their training
+median, categorical columns their training mode.  Columns that are entirely
+missing at fit time are filled with 0 (an arbitrary but stable constant).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.preprocess.base import Transformer
+
+__all__ = ["Imputer"]
+
+
+class Imputer(Transformer):
+    """Median/mode imputation learned on the training split."""
+
+    def __init__(self) -> None:
+        self.fill_values_: np.ndarray | None = None
+
+    def fit(self, ds: Dataset) -> "Imputer":
+        fills = np.zeros(ds.n_features, dtype=np.float64)
+        for j in range(ds.n_features):
+            col = ds.X[:, j]
+            observed = col[~np.isnan(col)]
+            if observed.size == 0:
+                fills[j] = 0.0
+            elif ds.categorical_mask[j]:
+                values, counts = np.unique(observed, return_counts=True)
+                fills[j] = values[np.argmax(counts)]
+            else:
+                fills[j] = float(np.median(observed))
+        self.fill_values_ = fills
+        self._fitted = True
+        return self
+
+    def transform(self, ds: Dataset) -> Dataset:
+        self._check_fitted()
+        assert self.fill_values_ is not None
+        out = ds.copy()
+        mask = np.isnan(out.X)
+        if mask.any():
+            fill = np.broadcast_to(self.fill_values_, out.X.shape)
+            out.X[mask] = fill[mask]
+        return out

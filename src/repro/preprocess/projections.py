@@ -1,0 +1,180 @@
+"""Projection operators of Table 2: PCA and ICA.
+
+Both consume the numeric columns (standardised internally) and replace them
+with component columns, leaving categorical columns untouched — the same
+behaviour as ``caret::preProcess(method = c("pca"))``.  ICA is FastICA with
+the log-cosh contrast and symmetric decorrelation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import ConfigurationError
+from repro.preprocess.base import Transformer
+
+__all__ = ["PCA", "ICA"]
+
+
+def _standardise_block(block: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    mean = block.mean(axis=0)
+    std = block.std(axis=0, ddof=1)
+    std[std < 1e-12] = 1.0
+    return (block - mean) / std, mean, std
+
+
+def _rebuild(ds: Dataset, components: np.ndarray, prefix: str) -> Dataset:
+    """New dataset = [component columns, original categorical columns]."""
+    cat_idx = ds.categorical_indices
+    n_comp = components.shape[1]
+    X = np.hstack([components, ds.X[:, cat_idx]]) if cat_idx.size else components
+    mask = np.concatenate(
+        [np.zeros(n_comp, dtype=bool), np.ones(cat_idx.size, dtype=bool)]
+    )
+    names = [f"{prefix}{i}" for i in range(n_comp)] + [
+        ds.feature_names[int(j)] for j in cat_idx
+    ]
+    return Dataset(
+        X=X,
+        y=ds.y.copy(),
+        categorical_mask=mask,
+        feature_names=names,
+        class_names=list(ds.class_names),
+        name=ds.name,
+    )
+
+
+class PCA(Transformer):
+    """Principal component analysis on standardised numeric columns.
+
+    Parameters
+    ----------
+    variance_kept:
+        Keep the smallest number of components whose cumulative explained
+        variance reaches this fraction (caret's ``thresh``); ignored when
+        ``n_components`` is given.
+    n_components:
+        Fixed number of components.
+    """
+
+    def __init__(self, variance_kept: float = 0.95, n_components: int | None = None):
+        if not 0.0 < variance_kept <= 1.0:
+            raise ConfigurationError("variance_kept must be in (0, 1]")
+        self.variance_kept = variance_kept
+        self.n_components = n_components
+        self.columns_: np.ndarray | None = None
+        self.mean_: np.ndarray | None = None
+        self.std_: np.ndarray | None = None
+        self.loadings_: np.ndarray | None = None
+        self.explained_variance_ratio_: np.ndarray | None = None
+
+    def fit(self, ds: Dataset) -> "PCA":
+        self.columns_ = ds.numeric_indices
+        if self.columns_.size == 0:
+            self._fitted = True
+            return self
+        block = np.nan_to_num(ds.X[:, self.columns_])
+        z, self.mean_, self.std_ = _standardise_block(block)
+        _, svals, vt = np.linalg.svd(z, full_matrices=False)
+        var = svals**2
+        ratio = var / var.sum() if var.sum() > 0 else np.ones_like(var) / var.size
+        if self.n_components is not None:
+            k = min(self.n_components, vt.shape[0])
+        else:
+            k = int(np.searchsorted(np.cumsum(ratio), self.variance_kept) + 1)
+            k = min(max(k, 1), vt.shape[0])
+        self.loadings_ = vt[:k].T
+        self.explained_variance_ratio_ = ratio[:k]
+        self._fitted = True
+        return self
+
+    def transform(self, ds: Dataset) -> Dataset:
+        self._check_fitted()
+        if self.columns_.size == 0:
+            return ds.copy()
+        block = np.nan_to_num(ds.X[:, self.columns_])
+        z = (block - self.mean_) / self.std_
+        return _rebuild(ds, z @ self.loadings_, "pc")
+
+
+class ICA(Transformer):
+    """FastICA (log-cosh contrast, symmetric decorrelation).
+
+    Data are whitened by PCA first; ``n_components`` defaults to the number
+    of PCA components that explain 99% of variance, capped at 20 to keep the
+    fixed-point iteration well-conditioned on small datasets.
+    """
+
+    def __init__(
+        self,
+        n_components: int | None = None,
+        max_iter: int = 200,
+        tol: float = 1e-4,
+        seed: int = 0,
+    ):
+        self.n_components = n_components
+        self.max_iter = max_iter
+        self.tol = tol
+        self.seed = seed
+        self.columns_: np.ndarray | None = None
+        self.mean_: np.ndarray | None = None
+        self.std_: np.ndarray | None = None
+        self.whitening_: np.ndarray | None = None
+        self.unmixing_: np.ndarray | None = None
+        self.n_iter_: int = 0
+
+    def fit(self, ds: Dataset) -> "ICA":
+        self.columns_ = ds.numeric_indices
+        if self.columns_.size == 0:
+            self._fitted = True
+            return self
+        block = np.nan_to_num(ds.X[:, self.columns_])
+        z, self.mean_, self.std_ = _standardise_block(block)
+
+        u, svals, vt = np.linalg.svd(z, full_matrices=False)
+        keep = svals > 1e-10
+        svals, vt = svals[keep], vt[keep]
+        if self.n_components is not None:
+            k = min(self.n_components, svals.size)
+        else:
+            var = svals**2
+            ratio = np.cumsum(var) / var.sum()
+            k = min(int(np.searchsorted(ratio, 0.99) + 1), svals.size, 20)
+        n = z.shape[0]
+        # Rows of `whitened` have identity covariance.
+        self.whitening_ = (vt[:k].T / svals[:k]) * np.sqrt(n)
+        whitened = z @ self.whitening_
+
+        rng = np.random.default_rng(self.seed)
+        w = rng.normal(size=(k, k))
+        w = self._symmetric_decorrelate(w)
+        for iteration in range(self.max_iter):
+            wx = whitened @ w.T                     # (n, k) projections
+            g = np.tanh(wx)
+            g_prime = 1.0 - g**2
+            w_new = (g.T @ whitened) / n - np.diag(g_prime.mean(axis=0)) @ w
+            w_new = self._symmetric_decorrelate(w_new)
+            delta = float(np.max(np.abs(np.abs(np.diag(w_new @ w.T)) - 1.0)))
+            w = w_new
+            if delta < self.tol:
+                break
+        self.n_iter_ = iteration + 1
+        self.unmixing_ = w
+        self._fitted = True
+        return self
+
+    @staticmethod
+    def _symmetric_decorrelate(w: np.ndarray) -> np.ndarray:
+        values, vectors = np.linalg.eigh(w @ w.T)
+        values = np.clip(values, 1e-12, None)
+        return vectors @ np.diag(values**-0.5) @ vectors.T @ w
+
+    def transform(self, ds: Dataset) -> Dataset:
+        self._check_fitted()
+        if self.columns_.size == 0:
+            return ds.copy()
+        block = np.nan_to_num(ds.X[:, self.columns_])
+        z = (block - self.mean_) / self.std_
+        sources = z @ self.whitening_ @ self.unmixing_.T
+        return _rebuild(ds, sources, "ic")

@@ -1,0 +1,131 @@
+"""Location/scale operators of Table 2: center, scale, range, zv.
+
+All four operate on numeric columns only; categorical code columns pass
+through untouched (scaling category codes would be meaningless).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.preprocess.base import Transformer
+
+__all__ = ["Center", "Scale", "RangeScaler", "ZeroVarianceFilter"]
+
+
+def _numeric_columns(ds: Dataset) -> np.ndarray:
+    return ds.numeric_indices
+
+
+class Center(Transformer):
+    """Subtract the training mean from every numeric column (`center`)."""
+
+    def __init__(self) -> None:
+        self.columns_: np.ndarray | None = None
+        self.means_: np.ndarray | None = None
+
+    def fit(self, ds: Dataset) -> "Center":
+        self.columns_ = _numeric_columns(ds)
+        self.means_ = np.nanmean(ds.X[:, self.columns_], axis=0) if self.columns_.size else np.array([])
+        self._fitted = True
+        return self
+
+    def transform(self, ds: Dataset) -> Dataset:
+        self._check_fitted()
+        out = ds.copy()
+        if self.columns_.size:
+            out.X[:, self.columns_] -= self.means_
+        return out
+
+
+class Scale(Transformer):
+    """Divide every numeric column by its training standard deviation (`scale`).
+
+    Columns whose standard deviation is (numerically) zero are left alone
+    rather than divided by ~0; `zv` exists to drop those.
+    """
+
+    def __init__(self) -> None:
+        self.columns_: np.ndarray | None = None
+        self.stds_: np.ndarray | None = None
+
+    def fit(self, ds: Dataset) -> "Scale":
+        self.columns_ = _numeric_columns(ds)
+        if self.columns_.size:
+            stds = np.nanstd(ds.X[:, self.columns_], axis=0, ddof=1)
+            stds[~np.isfinite(stds) | (stds < 1e-12)] = 1.0
+        else:
+            stds = np.array([])
+        self.stds_ = stds
+        self._fitted = True
+        return self
+
+    def transform(self, ds: Dataset) -> Dataset:
+        self._check_fitted()
+        out = ds.copy()
+        if self.columns_.size:
+            out.X[:, self.columns_] /= self.stds_
+        return out
+
+
+class RangeScaler(Transformer):
+    """Min-max normalisation of numeric columns to [0, 1] (`range`).
+
+    Values outside the training range map outside [0, 1]; constant columns
+    map to 0.
+    """
+
+    def __init__(self) -> None:
+        self.columns_: np.ndarray | None = None
+        self.mins_: np.ndarray | None = None
+        self.spans_: np.ndarray | None = None
+
+    def fit(self, ds: Dataset) -> "RangeScaler":
+        self.columns_ = _numeric_columns(ds)
+        if self.columns_.size:
+            block = ds.X[:, self.columns_]
+            self.mins_ = np.nanmin(block, axis=0)
+            spans = np.nanmax(block, axis=0) - self.mins_
+            spans[~np.isfinite(spans) | (spans < 1e-12)] = 1.0
+            self.spans_ = spans
+        else:
+            self.mins_ = np.array([])
+            self.spans_ = np.array([])
+        self._fitted = True
+        return self
+
+    def transform(self, ds: Dataset) -> Dataset:
+        self._check_fitted()
+        out = ds.copy()
+        if self.columns_.size:
+            out.X[:, self.columns_] = (out.X[:, self.columns_] - self.mins_) / self.spans_
+        return out
+
+
+class ZeroVarianceFilter(Transformer):
+    """Drop attributes with zero variance on the training split (`zv`).
+
+    Applies to both numeric and categorical columns (a single-symbol factor
+    carries no information either).  If *every* column would be dropped, the
+    first one is kept so downstream models always see at least one feature.
+    """
+
+    def __init__(self) -> None:
+        self.keep_: np.ndarray | None = None
+
+    def fit(self, ds: Dataset) -> "ZeroVarianceFilter":
+        keep = np.zeros(ds.n_features, dtype=bool)
+        for j in range(ds.n_features):
+            col = ds.X[:, j]
+            observed = col[~np.isnan(col)]
+            keep[j] = observed.size > 0 and np.unique(observed).size > 1
+        if not keep.any():
+            keep[0] = True
+        self.keep_ = keep
+        self._fitted = True
+        return self
+
+    def transform(self, ds: Dataset) -> Dataset:
+        self._check_fitted()
+        return ds.select_features(self.keep_)

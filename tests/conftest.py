@@ -1,0 +1,58 @@
+"""Shared fixtures: small, fast, deterministic datasets."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset, SyntheticSpec, make_dataset
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+@pytest.fixture
+def tiny_ds() -> Dataset:
+    """Binary, 80 instances, 5 numeric features, well separated."""
+    return make_dataset(
+        SyntheticSpec(
+            name="tiny", n_instances=80, n_features=5, n_classes=2,
+            n_informative=3, class_sep=2.5, seed=7,
+        )
+    )
+
+
+@pytest.fixture
+def multi_ds() -> Dataset:
+    """3 classes, 120 instances, 6 features, moderate difficulty."""
+    return make_dataset(
+        SyntheticSpec(
+            name="multi", n_instances=120, n_features=6, n_classes=3,
+            n_informative=4, class_sep=1.8, label_noise=0.05, seed=11,
+        )
+    )
+
+
+@pytest.fixture
+def mixed_ds() -> Dataset:
+    """Mixed numeric/categorical features with missing cells."""
+    return make_dataset(
+        SyntheticSpec(
+            name="mixed", n_instances=100, n_features=8, n_classes=3,
+            n_informative=5, class_sep=1.6, n_categorical=3,
+            missing_ratio=0.05, skew=0.4, imbalance=0.7, seed=13,
+        )
+    )
+
+
+@pytest.fixture
+def hard_ds() -> Dataset:
+    """Nearly unlearnable: heavy label noise, weak separation."""
+    return make_dataset(
+        SyntheticSpec(
+            name="hard", n_instances=90, n_features=4, n_classes=2,
+            n_informative=1, class_sep=0.2, label_noise=0.4, seed=17,
+        )
+    )

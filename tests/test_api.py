@@ -1,0 +1,108 @@
+"""Integration tests for the REST server + client."""
+
+import pytest
+
+from repro.api import SmartMLClient, SmartMLServer
+from repro.core import SmartML
+from repro.exceptions import SmartMLError
+
+CSV = "a,b,label\n" + "\n".join(
+    f"{i % 7},{(i * 3) % 5},{'yes' if (i % 7) > 3 else 'no'}" for i in range(60)
+)
+
+FAST_CONFIG = {
+    "time_budget_s": None,
+    "max_evals_per_algorithm": 2,
+    "n_folds": 2,
+    "fallback_portfolio": ["knn", "rpart"],
+    "n_algorithms": 2,
+}
+
+
+@pytest.fixture(scope="module")
+def server():
+    server = SmartMLServer(SmartML())
+    server.serve_background()
+    yield server
+    server.shutdown()
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    return SmartMLClient(port=server.port)
+
+
+def test_health(client):
+    assert client.health() == {"status": "ok"}
+
+
+def test_upload_and_list(client):
+    info = client.upload_csv(CSV, target="label", name="demo")
+    assert info["n_instances"] == 60
+    assert info["n_features"] == 2
+    assert info["n_classes"] == 2
+    listing = client.list_datasets()
+    assert any(d["dataset_id"] == info["dataset_id"] for d in listing["datasets"])
+
+
+def test_upload_arff(client):
+    arff = "@relation t\n@attribute x numeric\n@attribute c {a,b}\n@data\n" + "\n".join(
+        f"{i},{'a' if i % 2 else 'b'}" for i in range(20)
+    )
+    info = client.upload_arff(arff, name="arff-demo")
+    assert info["n_classes"] == 2
+
+
+def test_metafeatures_endpoint(client):
+    info = client.upload_csv(CSV, target="label", name="mf-demo")
+    payload = client.metafeatures(info["dataset_id"])
+    assert payload["metafeatures"]["n_instances"] == 60.0
+    assert len(payload["metafeatures"]) == 25
+
+
+def test_experiment_roundtrip(client):
+    info = client.upload_csv(CSV, target="label", name="exp-demo")
+    result = client.run_experiment(info["dataset_id"], config=FAST_CONFIG)
+    assert result["best_algorithm"] in ("knn", "rpart")
+    assert 0.0 <= result["validation_accuracy"] <= 1.0
+    assert result["candidates"]
+
+
+def test_kb_stats_grow_after_experiment(client):
+    before = client.kb_stats()
+    info = client.upload_csv(CSV, target="label", name="kb-demo")
+    client.run_experiment(info["dataset_id"], config=FAST_CONFIG)
+    after = client.kb_stats()
+    assert after["datasets"] == before["datasets"] + 1
+    assert after["runs"] > before["runs"]
+
+
+def test_nominate_from_metafeatures_only(client):
+    # The paper's "upload only the dataset meta-features file" mode.
+    info = client.upload_csv(CSV, target="label", name="nom-demo")
+    client.run_experiment(info["dataset_id"], config=FAST_CONFIG)  # populate KB
+    metafeatures = client.metafeatures(info["dataset_id"])["metafeatures"]
+    payload = client.nominate(metafeatures, n_algorithms=2)
+    assert payload["nominations"]
+    assert payload["nominations"][0]["algorithm"]
+
+
+def test_unknown_dataset_experiment_fails(client):
+    with pytest.raises(SmartMLError):
+        client.run_experiment(99999, config=FAST_CONFIG)
+
+
+def test_bad_upload_fails(client):
+    with pytest.raises(SmartMLError):
+        client._request("POST", "/datasets", {"neither": "csv nor arff"})
+
+
+def test_unknown_path_404(client):
+    with pytest.raises(SmartMLError):
+        client._request("GET", "/definitely-not-a-path")
+
+
+def test_invalid_config_rejected(client):
+    info = client.upload_csv(CSV, target="label", name="bad-config")
+    with pytest.raises(SmartMLError):
+        client.run_experiment(info["dataset_id"], config={"mystery_option": 1})

@@ -1,0 +1,83 @@
+"""Concurrency smoke tests for the REST server."""
+
+import threading
+
+import pytest
+
+from repro.api import SmartMLClient, SmartMLServer
+from repro.core import SmartML
+
+CSV = "x,y,label\n" + "\n".join(
+    f"{i % 5},{(i * 2) % 7},{'a' if i % 2 else 'b'}" for i in range(40)
+)
+
+
+@pytest.fixture()
+def server():
+    server = SmartMLServer(SmartML())
+    server.serve_background()
+    yield server
+    server.shutdown()
+
+
+def test_parallel_uploads_get_distinct_ids(server):
+    client = SmartMLClient(port=server.port)
+    results = []
+    errors = []
+
+    def upload(tag):
+        try:
+            results.append(client.upload_csv(CSV, target="label", name=f"d{tag}"))
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    threads = [threading.Thread(target=upload, args=(i,)) for i in range(8)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+    assert not errors
+    ids = [r["dataset_id"] for r in results]
+    assert len(set(ids)) == 8  # no id collisions under concurrent uploads
+    listing = client.list_datasets()
+    assert len(listing["datasets"]) == 8
+
+
+def test_parallel_reads_while_uploading(server):
+    client = SmartMLClient(port=server.port)
+    stop = threading.Event()
+    errors = []
+
+    def reader():
+        while not stop.is_set():
+            try:
+                client.health()
+                client.kb_stats()
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+                return
+
+    thread = threading.Thread(target=reader)
+    thread.start()
+    try:
+        for i in range(5):
+            client.upload_csv(CSV, target="label", name=f"r{i}")
+    finally:
+        stop.set()
+        thread.join()
+    assert not errors
+
+
+def test_server_restart_frees_port():
+    first = SmartMLServer(SmartML())
+    first.serve_background()
+    port = first.port
+    first.shutdown()
+    # Rebinding the same port must succeed after shutdown.
+    second = SmartMLServer(SmartML(), port=port)
+    second.serve_background()
+    try:
+        assert SmartMLClient(port=port).health() == {"status": "ok"}
+    finally:
+        second.shutdown()

@@ -1,0 +1,73 @@
+"""Tests for the Auto-Weka (cold-start CASH) baseline."""
+
+import pytest
+
+from repro.baselines import AutoWekaBaseline, RandomSearchCASH
+from repro.data import SyntheticSpec, make_dataset
+
+ALGOS = ["knn", "rpart", "lda"]
+
+
+@pytest.fixture
+def small_ds():
+    return make_dataset(
+        SyntheticSpec(name="b", n_instances=90, n_features=5, n_classes=2,
+                      class_sep=2.0, seed=33)
+    )
+
+
+def test_autoweka_runs_and_reports(small_ds):
+    baseline = AutoWekaBaseline(
+        algorithms=ALGOS, time_budget_s=None, max_config_evals=6, n_folds=2, seed=0
+    )
+    result = baseline.run(small_ds)
+    assert result.best_algorithm in ALGOS
+    assert 0.0 <= result.validation_accuracy <= 1.0
+    assert result.n_config_evals == 6
+    assert result.dataset_name == "b"
+
+
+def test_autoweka_cold_start_no_kb_involved(small_ds):
+    # The baseline owns no knowledge base at all — by construction.
+    baseline = AutoWekaBaseline(algorithms=ALGOS, time_budget_s=None,
+                                max_config_evals=4, n_folds=2)
+    assert not hasattr(baseline, "kb")
+    result = baseline.run(small_ds)
+    assert result.best_config is not None
+
+
+def test_autoweka_deterministic_with_eval_cap(small_ds):
+    kwargs = dict(algorithms=ALGOS, time_budget_s=None, max_config_evals=5,
+                  n_folds=2, seed=9)
+    a = AutoWekaBaseline(**kwargs).run(small_ds)
+    b = AutoWekaBaseline(**kwargs).run(small_ds)
+    assert a.best_algorithm == b.best_algorithm
+    assert a.validation_accuracy == b.validation_accuracy
+
+
+def test_autoweka_history_records_all_configs(small_ds):
+    result = AutoWekaBaseline(algorithms=ALGOS, time_budget_s=None,
+                              max_config_evals=5, n_folds=2).run(small_ds)
+    assert len(result.history) == 5
+    for record in result.history:
+        assert "algorithm" in record.config
+
+
+def test_random_cash_variant(small_ds):
+    result = RandomSearchCASH(algorithms=ALGOS, time_budget_s=None,
+                              max_config_evals=5, n_folds=2, seed=1).run(small_ds)
+    assert result.best_algorithm in ALGOS
+
+
+def test_autoweka_time_budget_mode(small_ds):
+    result = AutoWekaBaseline(algorithms=ALGOS, time_budget_s=0.5,
+                              n_folds=2, seed=2).run(small_ds)
+    assert result.elapsed_s < 10.0
+    assert result.n_config_evals >= 1
+
+
+def test_autoweka_full_space_one_eval(small_ds):
+    # All 15 algorithms in the space; a single evaluation must still work.
+    result = AutoWekaBaseline(time_budget_s=None, max_config_evals=1,
+                              n_folds=2, seed=3).run(small_ds)
+    assert result.n_config_evals == 1

@@ -1,0 +1,277 @@
+"""Behavioural tests: each classifier's hyperparameters do what they claim."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers import (
+    C50,
+    DeepBoost,
+    J48,
+    KNN,
+    LDA,
+    LMT,
+    NaiveBayes,
+    Part,
+    PLSDA,
+    RandomForest,
+    RPart,
+    SVM,
+    Bagging,
+    NeuralNet,
+    RDA,
+)
+from repro.classifiers.tree import count_leaves
+from repro.exceptions import ConfigurationError
+
+
+def _noisy_binary(n=240, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 5))
+    y = (X[:, 0] + 0.5 * X[:, 1] > 0).astype(np.int64)
+    flip = rng.random(n) < 0.2
+    y[flip] = 1 - y[flip]
+    return X, y
+
+
+# ----------------------------------------------------------------------- KNN
+def test_knn_k1_memorises(tiny_ds):
+    clf = KNN(k=1).fit(tiny_ds.X, tiny_ds.y)
+    assert (clf.predict(tiny_ds.X) == tiny_ds.y).all()
+
+
+def test_knn_large_k_approaches_majority(tiny_ds):
+    clf = KNN(k=10_000).fit(tiny_ds.X, tiny_ds.y)
+    majority = np.argmax(np.bincount(tiny_ds.y))
+    assert (clf.predict(tiny_ds.X) == majority).all()
+
+
+# ----------------------------------------------------------------------- SVM
+@pytest.mark.parametrize("kernel", ["linear", "radial", "polynomial", "sigmoid"])
+def test_svm_all_kernels_fit(kernel, tiny_ds):
+    clf = SVM(kernel=kernel, cost=1.0).fit(tiny_ds.X, tiny_ds.y)
+    accuracy = (clf.predict(tiny_ds.X) == tiny_ds.y).mean()
+    assert accuracy > 0.6, kernel
+
+
+def test_svm_rbf_separates_xor():
+    rng = np.random.default_rng(0)
+    X = rng.uniform(-1, 1, size=(200, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(np.int64)
+    linear = SVM(kernel="linear").fit(X, y)
+    radial = SVM(kernel="radial", gamma=2.0, cost=10.0).fit(X, y)
+    acc_linear = (linear.predict(X) == y).mean()
+    acc_radial = (radial.predict(X) == y).mean()
+    assert acc_radial > 0.9
+    assert acc_radial > acc_linear
+
+
+def test_svm_invalid_kernel():
+    with pytest.raises(ConfigurationError):
+        SVM(kernel="bogus")
+
+
+def test_svm_gamma_default_is_one_over_d(tiny_ds):
+    clf = SVM(gamma=0.0).fit(tiny_ds.X, tiny_ds.y)
+    assert clf._gamma_eff == pytest.approx(1.0 / tiny_ds.n_features)
+
+
+# ---------------------------------------------------------------- NaiveBayes
+def test_naive_bayes_kde_mode_differs_from_gaussian(multi_ds):
+    gaussian = NaiveBayes(adjust=0.0).fit(multi_ds.X, multi_ds.y)
+    kde = NaiveBayes(adjust=1.0).fit(multi_ds.X, multi_ds.y)
+    assert not np.allclose(
+        gaussian.predict_proba(multi_ds.X), kde.predict_proba(multi_ds.X)
+    )
+
+
+def test_naive_bayes_laplace_smooths_discrete():
+    X = np.array([[0.0], [0.0], [1.0], [1.0], [2.0], [2.0]])
+    y = np.array([0, 0, 1, 1, 0, 1])
+    small = NaiveBayes(laplace=0.001).fit(X, y)
+    big = NaiveBayes(laplace=100.0).fit(X, y)
+    spread_small = np.ptp(small.predict_proba(X)[:, 0])
+    spread_big = np.ptp(big.predict_proba(X)[:, 0])
+    assert spread_big < spread_small  # heavy smoothing flattens the posteriors
+
+
+# --------------------------------------------------------------------- trees
+def test_rpart_cp_controls_leaf_count():
+    X, y = _noisy_binary()
+    loose = RPart(cp=0.0001, minsplit=2, minbucket=1).fit(X, y)
+    tight = RPart(cp=0.25, minsplit=2, minbucket=1).fit(X, y)
+    assert count_leaves(tight.root_) <= count_leaves(loose.root_)
+
+
+def test_rpart_maxdepth_bounds_depth():
+    from repro.classifiers.tree import tree_depth
+    X, y = _noisy_binary()
+    clf = RPart(maxdepth=2, cp=0.0001, minsplit=2, minbucket=1).fit(X, y)
+    assert tree_depth(clf.root_) <= 2
+
+
+def test_j48_pruned_smaller_than_unpruned():
+    X, y = _noisy_binary(seed=4)
+    pruned = J48(pruned="pruned", confidence=0.05).fit(X, y)
+    unpruned = J48(pruned="unpruned").fit(X, y)
+    assert count_leaves(pruned.root_) <= count_leaves(unpruned.root_)
+
+
+def test_j48_invalid_pruned_flag():
+    with pytest.raises(ConfigurationError):
+        J48(pruned="maybe")
+
+
+def test_part_builds_rule_list(tiny_ds):
+    clf = Part().fit(tiny_ds.X, tiny_ds.y)
+    assert len(clf.decision_list_.rules) >= 1
+    description = clf.describe_rules(tiny_ds.feature_names)
+    assert "=> class" in description
+    assert "DEFAULT" in description
+
+
+def test_part_max_rules_cap():
+    X, y = _noisy_binary(n=300, seed=5)
+    clf = Part(max_rules=3, pruned="unpruned").fit(X, y)
+    assert len(clf.decision_list_.rules) <= 3
+
+
+def test_c50_boosting_improves_training_fit():
+    X, y = _noisy_binary(seed=6)
+    single = C50(trials=1).fit(X, y)
+    boosted = C50(trials=10).fit(X, y)
+    acc_single = (single.predict(X) == y).mean()
+    acc_boosted = (boosted.predict(X) == y).mean()
+    assert acc_boosted >= acc_single
+
+
+def test_c50_winnow_restricts_features(tiny_ds):
+    clf = C50(winnow="yes").fit(tiny_ds.X, tiny_ds.y)
+    assert len(clf.feature_subset_) <= tiny_ds.n_features
+
+
+def test_c50_rules_mode_predicts(tiny_ds):
+    clf = C50(model="rules").fit(tiny_ds.X, tiny_ds.y)
+    assert (clf.predict(tiny_ds.X) == tiny_ds.y).mean() > 0.8
+
+
+def test_c50_invalid_options():
+    with pytest.raises(ConfigurationError):
+        C50(model="forest")
+    with pytest.raises(ConfigurationError):
+        C50(winnow="sometimes")
+
+
+def test_random_forest_more_trees_stabler(multi_ds):
+    small = RandomForest(ntree=2, seed=0).fit(multi_ds.X, multi_ds.y)
+    large = RandomForest(ntree=40, seed=0).fit(multi_ds.X, multi_ds.y)
+    # With more trees the probabilities move away from one-hot votes.
+    assert len(np.unique(large.predict_proba(multi_ds.X))) >= len(
+        np.unique(small.predict_proba(multi_ds.X))
+    )
+
+
+def test_random_forest_mtry_clipped(tiny_ds):
+    clf = RandomForest(ntree=3, mtry=999).fit(tiny_ds.X, tiny_ds.y)
+    assert (clf.predict(tiny_ds.X) == tiny_ds.y).mean() > 0.7
+
+
+def test_bagging_seed_reproducible(multi_ds):
+    a = Bagging(nbagg=5, seed=3).fit(multi_ds.X, multi_ds.y)
+    b = Bagging(nbagg=5, seed=3).fit(multi_ds.X, multi_ds.y)
+    assert np.allclose(a.predict_proba(multi_ds.X), b.predict_proba(multi_ds.X))
+
+
+# --------------------------------------------------------------- discriminant
+def test_lda_methods_all_work(multi_ds):
+    for method in ("moment", "mle", "t"):
+        clf = LDA(method=method).fit(multi_ds.X, multi_ds.y)
+        assert (clf.predict(multi_ds.X) == multi_ds.y).mean() > 0.5
+
+
+def test_lda_t_method_robust_to_outliers():
+    rng = np.random.default_rng(7)
+    X = np.vstack([rng.normal(-2, 1, size=(100, 2)), rng.normal(2, 1, size=(100, 2))])
+    y = np.array([0] * 100 + [1] * 100)
+    X_out = X.copy()
+    X_out[:5] += 60.0  # gross outliers in class 0
+    plain = LDA(method="moment").fit(X_out, y)
+    robust = LDA(method="t", nu=3.0).fit(X_out, y)
+    grid = rng.normal(scale=2.0, size=(400, 2))
+    truth = (grid[:, 0] + grid[:, 1] > 0).astype(int)
+    acc_plain = (plain.predict(grid) == truth).mean()
+    acc_robust = (robust.predict(grid) == truth).mean()
+    assert acc_robust >= acc_plain
+
+
+def test_lda_invalid_method():
+    with pytest.raises(ConfigurationError):
+        LDA(method="magic")
+
+
+def test_rda_endpoints_match_lda_and_qda_shapes(multi_ds):
+    lda_like = RDA(gamma=0.0, lam=1.0).fit(multi_ds.X, multi_ds.y)
+    qda_like = RDA(gamma=0.0, lam=0.0).fit(multi_ds.X, multi_ds.y)
+    # lambda=1 pools covariances: all class covariance matrices identical.
+    assert np.allclose(lda_like._covs[0], lda_like._covs[1])
+    assert not np.allclose(qda_like._covs[0], qda_like._covs[1])
+
+
+def test_rda_gamma_one_gives_spherical(multi_ds):
+    clf = RDA(gamma=1.0, lam=0.5).fit(multi_ds.X, multi_ds.y)
+    cov = clf._covs[0]
+    assert np.allclose(cov, cov[0, 0] * np.eye(cov.shape[0]))
+
+
+# ---------------------------------------------------------------------- PLSDA
+def test_plsda_ncomp_limits_components(multi_ds):
+    clf = PLSDA(ncomp=2).fit(multi_ds.X, multi_ds.y)
+    assert clf._pls.n_components_ <= 2
+
+
+def test_plsda_both_prob_methods(multi_ds):
+    for method in ("softmax", "bayes"):
+        clf = PLSDA(prob_method=method, ncomp=3).fit(multi_ds.X, multi_ds.y)
+        proba = clf.predict_proba(multi_ds.X)
+        assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+def test_plsda_invalid_method():
+    with pytest.raises(ConfigurationError):
+        PLSDA(prob_method="vote")
+
+
+# ------------------------------------------------------------------ LMT / NN
+def test_lmt_fits_leaf_models(tiny_ds):
+    clf = LMT(iterations=20).fit(tiny_ds.X, tiny_ds.y)
+    assert clf.global_model_ is not None
+    accuracy = (clf.predict(tiny_ds.X) == tiny_ds.y).mean()
+    assert accuracy > 0.8
+
+
+def test_neural_net_size_changes_capacity():
+    rng = np.random.default_rng(8)
+    X = rng.uniform(-1, 1, size=(300, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(np.int64)  # XOR needs hidden units
+    wide = NeuralNet(size=16, max_iter=300, seed=0).fit(X, y)
+    assert (wide.predict(X) == y).mean() > 0.9
+
+
+# ----------------------------------------------------------------- DeepBoost
+def test_deep_boost_penalty_shrinks_ensemble():
+    X, y = _noisy_binary(seed=9)
+    free = DeepBoost(num_iter=20, beta=0.0, lam=0.0).fit(X, y)
+    taxed = DeepBoost(num_iter=20, beta=0.4, lam=0.05).fit(X, y)
+    free_size = sum(len(m.trees) for m in free.members_)
+    taxed_size = sum(len(m.trees) for m in taxed.members_)
+    assert taxed_size <= free_size
+
+
+def test_deep_boost_both_losses(tiny_ds):
+    for loss in ("logistic", "exponential"):
+        clf = DeepBoost(loss=loss, num_iter=5).fit(tiny_ds.X, tiny_ds.y)
+        assert (clf.predict(tiny_ds.X) == tiny_ds.y).mean() > 0.8
+
+
+def test_deep_boost_invalid_loss():
+    with pytest.raises(ConfigurationError):
+        DeepBoost(loss="hinge")

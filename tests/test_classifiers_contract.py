@@ -1,0 +1,132 @@
+"""Contract tests every Table-3 classifier must satisfy."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers import CLASSIFIER_REGISTRY, make_classifier
+from repro.exceptions import ConfigurationError, DataError, NotFittedError
+
+#: Cheap hyperparameters so the whole matrix stays fast.
+FAST_PARAMS: dict[str, dict] = {
+    "svm": {"cost": 1.0},
+    "naive_bayes": {},
+    "knn": {"k": 3},
+    "bagging": {"nbagg": 5},
+    "part": {},
+    "j48": {},
+    "random_forest": {"ntree": 8},
+    "c50": {"trials": 2},
+    "rpart": {},
+    "lda": {},
+    "plsda": {"ncomp": 3},
+    "lmt": {"iterations": 10},
+    "rda": {},
+    "neural_net": {"size": 4, "max_iter": 40},
+    "deep_boost": {"num_iter": 5},
+}
+
+ALL_NAMES = sorted(CLASSIFIER_REGISTRY)
+
+
+def _fit(name, ds):
+    clf = make_classifier(name, **FAST_PARAMS[name])
+    clf.fit(ds.X, ds.y, n_classes=ds.n_classes)
+    return clf
+
+
+def test_registry_has_15_classifiers():
+    assert len(CLASSIFIER_REGISTRY) == 15
+
+
+def test_make_classifier_unknown_name():
+    with pytest.raises(ConfigurationError):
+        make_classifier("not_a_model")
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_predict_proba_shape_and_normalisation(name, multi_ds):
+    clf = _fit(name, multi_ds)
+    proba = clf.predict_proba(multi_ds.X)
+    assert proba.shape == (multi_ds.n_instances, multi_ds.n_classes)
+    assert np.allclose(proba.sum(axis=1), 1.0, atol=1e-6)
+    assert (proba >= -1e-12).all()
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_predict_matches_argmax_proba(name, multi_ds):
+    clf = _fit(name, multi_ds)
+    proba = clf.predict_proba(multi_ds.X)
+    assert np.array_equal(clf.predict(multi_ds.X), np.argmax(proba, axis=1))
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_beats_chance_on_separable_data(name, tiny_ds):
+    clf = _fit(name, tiny_ds)
+    accuracy = float((clf.predict(tiny_ds.X) == tiny_ds.y).mean())
+    assert accuracy > 0.7, f"{name} training accuracy {accuracy:.3f}"
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_predict_before_fit_raises(name, tiny_ds):
+    clf = make_classifier(name, **FAST_PARAMS[name])
+    with pytest.raises(NotFittedError):
+        clf.predict(tiny_ds.X)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_feature_count_mismatch_raises(name, tiny_ds):
+    clf = _fit(name, tiny_ds)
+    with pytest.raises(DataError):
+        clf.predict(tiny_ds.X[:, :-1])
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_nan_input_rejected(name, tiny_ds):
+    clf = make_classifier(name, **FAST_PARAMS[name])
+    bad = tiny_ds.X.copy()
+    bad[0, 0] = np.nan
+    with pytest.raises(DataError):
+        clf.fit(bad, tiny_ds.y)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_single_class_training(name, tiny_ds):
+    y = np.zeros(tiny_ds.n_instances, dtype=np.int64)
+    clf = make_classifier(name, **FAST_PARAMS[name])
+    clf.fit(tiny_ds.X, y, n_classes=2)
+    proba = clf.predict_proba(tiny_ds.X)
+    assert proba.shape == (tiny_ds.n_instances, 2)
+    assert (clf.predict(tiny_ds.X) == 0).all()
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_missing_class_in_training_keeps_width(name, multi_ds):
+    mask = multi_ds.y != 2
+    clf = make_classifier(name, **FAST_PARAMS[name])
+    clf.fit(multi_ds.X[mask], multi_ds.y[mask], n_classes=multi_ds.n_classes)
+    proba = clf.predict_proba(multi_ds.X)
+    assert proba.shape == (multi_ds.n_instances, multi_ds.n_classes)
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_get_params_roundtrip_through_clone(name):
+    clf = make_classifier(name, **FAST_PARAMS[name])
+    params = clf.get_params()
+    dup = clf.clone()
+    assert dup.get_params() == params
+    assert dup is not clf
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_clone_with_overrides(name):
+    clf = make_classifier(name, **FAST_PARAMS[name])
+    key = next(iter(clf.get_params()))
+    dup = clf.clone(**{key: clf.get_params()[key]})
+    assert dup.get_params()[key] == clf.get_params()[key]
+
+
+@pytest.mark.parametrize("name", ALL_NAMES)
+def test_deterministic_given_same_data(name, tiny_ds):
+    a = _fit(name, tiny_ds).predict_proba(tiny_ds.X)
+    b = _fit(name, tiny_ds).predict_proba(tiny_ds.X)
+    assert np.allclose(a, b)

@@ -1,0 +1,104 @@
+"""Tests for the command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+CSV = "a,b,label\n" + "\n".join(
+    f"{i % 6},{(i * 5) % 7},{'x' if (i % 6) > 2 else 'y'}" for i in range(60)
+)
+
+
+@pytest.fixture
+def csv_file(tmp_path):
+    path = tmp_path / "data.csv"
+    path.write_text(CSV)
+    return path
+
+
+def _run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+def test_datasets_lists_table4():
+    code, text = _run(["datasets"])
+    assert code == 0
+    for key in ("abalone", "gisette", "kin8nm"):
+        assert key in text
+
+
+def test_bootstrap_then_nominate(tmp_path, csv_file):
+    kb_path = tmp_path / "kb.jsonl"
+    code, text = _run([
+        "bootstrap", "--kb", str(kb_path), "--n", "2", "--configs", "1",
+        "--max-instances", "80", "--quiet",
+    ])
+    assert code == 0
+    assert "knowledge base ready: 2 datasets" in text
+
+    code, text = _run([
+        "nominate", "--dataset", str(csv_file), "--target", "label",
+        "--kb", str(kb_path),
+    ])
+    assert code == 0
+    assert "score=" in text
+
+
+def test_nominate_empty_kb_exits_nonzero(csv_file):
+    code, text = _run(["nominate", "--dataset", str(csv_file), "--target", "label"])
+    assert code == 1
+    assert "empty" in text
+
+
+def test_run_on_file(csv_file, tmp_path):
+    kb_path = tmp_path / "kb.jsonl"
+    code, text = _run([
+        "run", "--dataset", str(csv_file), "--target", "label",
+        "--kb", str(kb_path), "--budget", "1.0", "--algorithms", "2",
+        "--preprocess", "center", "scale",
+    ])
+    assert code == 0
+    assert "recommended algorithm" in text
+    # The run must have updated the persistent KB.
+    code, text = _run([
+        "nominate", "--dataset", str(csv_file), "--target", "label",
+        "--kb", str(kb_path),
+    ])
+    assert code == 0
+
+
+def test_run_json_output(csv_file):
+    code, text = _run([
+        "run", "--dataset", str(csv_file), "--target", "label",
+        "--budget", "1.0", "--algorithms", "1", "--no-update", "--json",
+    ])
+    assert code == 0
+    payload = json.loads(text)
+    assert "best_algorithm" in payload
+    assert payload["candidates"]
+
+
+def test_run_builtin_dataset():
+    code, text = _run([
+        "run", "--dataset", "occupancy", "--budget", "1.0",
+        "--algorithms", "1", "--no-update",
+    ])
+    assert code == 0
+    assert "validation accuracy" in text
+
+
+def test_run_missing_file_errors(tmp_path):
+    code, _ = _run([
+        "run", "--dataset", str(tmp_path / "nope.csv"), "--budget", "1.0",
+    ])
+    assert code == 2
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])

@@ -1,0 +1,44 @@
+"""Tests for the Table-1 framework comparison registry."""
+
+from repro.core import framework_cards, render_table1
+
+
+def test_four_frameworks_in_order():
+    cards = framework_cards()
+    assert [c.name for c in cards] == ["SmartML", "Auto-Weka", "AutoSklearn", "TPOT"]
+
+
+def test_smartml_column_derived_from_code():
+    smartml = framework_cards()[0]
+    assert smartml.n_algorithms == "15 classifiers"
+    assert smartml.supports_ensembling
+    assert smartml.uses_meta_learning
+    assert smartml.meta_learning_kind == "incrementally updated KB"
+    assert smartml.feature_preprocessing
+    assert smartml.model_interpretability
+    assert smartml.has_api
+
+
+def test_paper_reported_competitor_facts():
+    by_name = {c.name: c for c in framework_cards()}
+    assert by_name["Auto-Weka"].n_algorithms == "27 classifiers"
+    assert not by_name["Auto-Weka"].uses_meta_learning
+    assert by_name["AutoSklearn"].meta_learning_kind == "static"
+    assert not by_name["TPOT"].supports_ensembling
+    assert "Genetic" in by_name["TPOT"].optimization
+
+
+def test_only_smartml_offers_interpretability():
+    cards = framework_cards()
+    assert [c.model_interpretability for c in cards] == [True, False, False, False]
+
+
+def test_render_contains_all_rows_and_columns():
+    table = render_table1()
+    for needle in (
+        "SmartML", "Auto-Weka", "AutoSklearn", "TPOT",
+        "Language", "API", "Optimization Procedure", "Number of Algorithms",
+        "Support Ensembling", "Use Meta-Learning", "Feature preprocessing",
+        "Model Interpretability",
+    ):
+        assert needle in table

@@ -1,0 +1,93 @@
+"""Tests for the budget-split option, bootstrap subsampling, and tiny budgets."""
+
+import numpy as np
+import pytest
+
+from repro import KnowledgeBase, SmartML, SmartMLConfig, bootstrap_knowledge_base
+from repro.classifiers import make_classifier
+from repro.data import SyntheticSpec, make_dataset
+from repro.exceptions import ConfigurationError
+from repro.hpo import SMAC, CrossValObjective, SMACSettings, classifier_space
+
+
+@pytest.fixture
+def small_ds():
+    return make_dataset(
+        SyntheticSpec(name="opt", n_instances=80, n_features=5, n_classes=2,
+                      class_sep=2.0, seed=51)
+    )
+
+
+def test_budget_split_config_validation():
+    with pytest.raises(ConfigurationError):
+        SmartMLConfig(budget_split="fair-ish")
+    config = SmartMLConfig(budget_split="uniform")
+    assert SmartMLConfig.from_dict(config.to_dict()).budget_split == "uniform"
+
+
+@pytest.mark.parametrize("split", ["proportional", "uniform"])
+def test_budget_split_modes_run(split, small_ds):
+    config = SmartMLConfig(
+        time_budget_s=1.5,
+        budget_split=split,
+        n_folds=2,
+        fallback_portfolio=["knn", "rpart"],
+        n_algorithms=2,
+        seed=0,
+    )
+    result = SmartML().run(small_ds, config)
+    assert 0.0 <= result.validation_accuracy <= 1.0
+
+
+def test_bootstrap_max_instances_caps_probing():
+    kb = KnowledgeBase()
+    big = make_dataset(
+        SyntheticSpec(name="big", n_instances=300, n_features=4, n_classes=2, seed=3)
+    )
+    bootstrap_knowledge_base(
+        kb, [big], algorithms=["knn"], configs_per_algorithm=1,
+        n_folds=2, max_instances=60,
+    )
+    # Meta-features must still describe the FULL dataset.
+    _, data = kb.store.scan("datasets")[0]
+    assert data["metafeatures"]["n_instances"] == 300.0
+    assert kb.n_runs() == 1
+
+
+def test_smac_tiny_budget_yields_partial_incumbent(small_ds):
+    import time as time_module
+
+    space = classifier_space("knn")
+    objective = CrossValObjective(
+        lambda config: make_classifier("knn", **config),
+        small_ds.X, small_ds.y, n_classes=2, n_folds=3, seed=0,
+    )
+    # Make each fold evaluation cost ~60ms so a 70ms budget admits the
+    # first fold of the first config but not the remaining two: the run
+    # must return a *partially validated* incumbent rather than crash.
+    original = objective.evaluate_fold
+
+    def slow_evaluate_fold(config, key, fold_id):
+        time_module.sleep(0.06)
+        return original(config, key, fold_id)
+
+    objective.evaluate_fold = slow_evaluate_fold
+    result = SMAC(space, SMACSettings(time_budget_s=0.07, seed=0)).optimize(objective)
+    assert result.incumbent is not None
+    assert result.n_config_evals == 1
+    assert 1 <= result.history[0].n_folds < objective.n_folds
+
+
+def test_smac_zero_history_fallback():
+    # max_config_evals=0 -> no evaluation at all -> default config fallback.
+    space = classifier_space("knn")
+    objective = CrossValObjective(
+        lambda config: make_classifier("knn", **config),
+        np.random.default_rng(0).normal(size=(30, 3)),
+        np.random.default_rng(0).integers(0, 2, size=30),
+        n_classes=2, n_folds=2, seed=0,
+    )
+    result = SMAC(space, SMACSettings(max_config_evals=0, seed=0)).optimize(objective)
+    assert result.incumbent == space.default_config()
+    assert result.stop_reason == "budget_before_first_eval"
+    assert np.isnan(result.incumbent_cost)

@@ -1,0 +1,187 @@
+"""Integration tests for the SmartML orchestrator and its configuration."""
+
+import numpy as np
+import pytest
+
+from repro import KnowledgeBase, SmartML, SmartMLConfig
+from repro.data import SyntheticSpec, make_dataset
+from repro.exceptions import ConfigurationError
+from repro.kb import bootstrap_knowledge_base
+
+FAST = dict(
+    time_budget_s=None,
+    max_evals_per_algorithm=2,
+    n_folds=2,
+    fallback_portfolio=["knn", "rpart", "lda"],
+)
+
+
+@pytest.fixture
+def small_ds():
+    return make_dataset(
+        SyntheticSpec(name="small", n_instances=90, n_features=5, n_classes=2,
+                      class_sep=2.0, seed=21)
+    )
+
+
+# ----------------------------------------------------------------- config
+def test_config_validations():
+    with pytest.raises(ConfigurationError):
+        SmartMLConfig(preprocessing=["bogus"])
+    with pytest.raises(ConfigurationError):
+        SmartMLConfig(validation_fraction=0.0)
+    with pytest.raises(ConfigurationError):
+        SmartMLConfig(time_budget_s=None, max_evals_per_algorithm=None)
+    with pytest.raises(ConfigurationError):
+        SmartMLConfig(time_budget_s=-1.0)
+    with pytest.raises(ConfigurationError):
+        SmartMLConfig(n_folds=1)
+    with pytest.raises(ConfigurationError):
+        SmartMLConfig(nomination_mode="psychic")
+    with pytest.raises(ConfigurationError):
+        SmartMLConfig(fallback_portfolio=[])
+
+
+def test_config_dict_roundtrip():
+    config = SmartMLConfig(preprocessing=["center", "scale"], time_budget_s=3.0)
+    clone = SmartMLConfig.from_dict(config.to_dict())
+    assert clone.to_dict() == config.to_dict()
+
+
+def test_config_from_dict_rejects_unknown_keys():
+    with pytest.raises(ConfigurationError):
+        SmartMLConfig.from_dict({"mystery": 1})
+
+
+# ------------------------------------------------------------------- runs
+def test_cold_run_uses_fallback_portfolio(small_ds):
+    result = SmartML().run(small_ds, SmartMLConfig(**FAST))
+    assert not result.used_meta_learning
+    assert {c.algorithm for c in result.candidates} == {"knn", "rpart", "lda"}
+    assert result.best_algorithm in {"knn", "rpart", "lda"}
+    assert 0.0 <= result.validation_accuracy <= 1.0
+
+
+def test_run_returns_fitted_model(small_ds):
+    result = SmartML().run(small_ds, SmartMLConfig(**FAST))
+    predictions = result.model.predict(np.nan_to_num(small_ds.X))
+    assert predictions.shape == (small_ds.n_instances,)
+
+
+def test_run_updates_kb(small_ds):
+    smartml = SmartML()
+    assert smartml.kb.n_datasets() == 0
+    result = smartml.run(small_ds, SmartMLConfig(**FAST))
+    assert smartml.kb.n_datasets() == 1
+    assert smartml.kb.n_runs() == len(result.candidates)
+    assert result.kb_dataset_id is not None
+
+
+def test_run_without_kb_update(small_ds):
+    smartml = SmartML()
+    smartml.run(small_ds, SmartMLConfig(update_kb=False, **FAST))
+    assert smartml.kb.n_datasets() == 0
+
+
+def test_second_run_uses_meta_learning(small_ds):
+    smartml = SmartML()
+    smartml.run(small_ds, SmartMLConfig(**FAST))
+    twin = make_dataset(
+        SyntheticSpec(name="twin", n_instances=88, n_features=5, n_classes=2,
+                      class_sep=2.0, seed=22)
+    )
+    result = smartml.run(twin, SmartMLConfig(**FAST))
+    assert result.used_meta_learning
+    assert result.nominations[0].warm_configs  # KB provided starting points
+
+
+def test_bootstrapped_kb_nominations_flow(small_ds):
+    kb = KnowledgeBase()
+    corpus = [
+        make_dataset(SyntheticSpec(name=f"c{i}", n_instances=70, n_features=5,
+                                   n_classes=2, class_sep=2.0, seed=30 + i))
+        for i in range(3)
+    ]
+    bootstrap_knowledge_base(kb, corpus, algorithms=["knn", "lda", "rpart"],
+                             configs_per_algorithm=2, n_folds=2)
+    result = SmartML(kb).run(small_ds, SmartMLConfig(**FAST))
+    assert result.used_meta_learning
+    assert all(c.warm_started for c in result.candidates)
+
+
+def test_phases_timed(small_ds):
+    result = SmartML().run(small_ds, SmartMLConfig(**FAST))
+    expected = {
+        "preprocessing",
+        "metafeatures",
+        "algorithm_selection",
+        "hyperparameter_tuning",
+        "computing_output",
+        "kb_update",
+    }
+    assert set(result.phase_seconds) == expected
+    assert all(v >= 0 for v in result.phase_seconds.values())
+
+
+def test_ensemble_option(small_ds):
+    result = SmartML().run(small_ds, SmartMLConfig(ensemble=True, **FAST))
+    assert result.ensemble is not None
+    assert result.ensemble_validation_accuracy is not None
+    proba = result.ensemble.predict_proba(np.nan_to_num(small_ds.X))
+    assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+def test_interpretability_option(small_ds):
+    result = SmartML().run(small_ds, SmartMLConfig(interpretability=True, **FAST))
+    assert result.importance is not None
+    assert len(result.importance.top(3)) == 3
+
+
+def test_preprocessing_options_respected(small_ds):
+    config = SmartMLConfig(preprocessing=["center", "scale", "pca"], **FAST)
+    result = SmartML().run(small_ds, config)
+    assert result.validation_accuracy > 0.4
+
+
+def test_feature_selection_option(small_ds):
+    config = SmartMLConfig(feature_selection_k=2, **FAST)
+    result = SmartML().run(small_ds, config)
+    assert result.model.n_features_ == 2
+
+
+def test_mixed_dataset_with_missing_values(mixed_ds):
+    result = SmartML().run(mixed_ds, SmartMLConfig(**FAST))
+    assert 0.0 <= result.validation_accuracy <= 1.0
+
+
+def test_nominations_capped_by_n_algorithms(small_ds):
+    smartml = SmartML()
+    for seed in (40, 41):
+        ds = make_dataset(SyntheticSpec(name=f"p{seed}", n_instances=70,
+                                        n_features=5, n_classes=2, seed=seed))
+        smartml.run(ds, SmartMLConfig(**FAST))
+    result = smartml.run(small_ds, SmartMLConfig(n_algorithms=2, **FAST))
+    assert len(result.candidates) <= 2
+
+
+def test_result_describe_and_to_dict(small_ds):
+    result = SmartML().run(
+        small_ds, SmartMLConfig(ensemble=True, interpretability=True, **FAST)
+    )
+    text = result.describe()
+    assert "recommended algorithm" in text
+    assert result.best_algorithm in text
+    payload = result.to_dict()
+    assert payload["best_algorithm"] == result.best_algorithm
+    # Meta-features are extracted from the *training split* (per the paper),
+    # so the instance count is below the full dataset size.
+    assert 0 < payload["metafeatures"]["n_instances"] < small_ds.n_instances
+    import json
+    json.dumps(payload)  # must be JSON-serialisable end to end
+
+
+def test_deterministic_with_eval_budget(small_ds):
+    a = SmartML().run(small_ds, SmartMLConfig(seed=5, **FAST))
+    b = SmartML().run(small_ds, SmartMLConfig(seed=5, **FAST))
+    assert a.best_algorithm == b.best_algorithm
+    assert a.validation_accuracy == b.validation_accuracy

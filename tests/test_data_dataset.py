@@ -1,0 +1,114 @@
+"""Unit tests for the Dataset container."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset
+from repro.exceptions import DataError
+
+
+def _simple() -> Dataset:
+    X = np.array([[1.0, 0.0], [2.0, 1.0], [3.0, 0.0], [np.nan, 1.0]])
+    y = np.array([0, 1, 0, 1])
+    return Dataset(X=X, y=y, categorical_mask=np.array([False, True]), name="simple")
+
+
+def test_shapes_and_counts():
+    ds = _simple()
+    assert ds.n_instances == 4
+    assert ds.n_features == 2
+    assert ds.n_classes == 2
+    assert list(ds.numeric_indices) == [0]
+    assert list(ds.categorical_indices) == [1]
+
+
+def test_default_names_generated():
+    ds = Dataset(X=np.zeros((3, 2)), y=np.array([0, 1, 1]))
+    assert ds.feature_names == ["f0", "f1"]
+    assert ds.class_names == ["c0", "c1"]
+
+
+def test_class_counts_and_distribution():
+    ds = _simple()
+    assert list(ds.class_counts()) == [2, 2]
+    assert np.allclose(ds.class_distribution(), [0.5, 0.5])
+
+
+def test_missing_ratio():
+    ds = _simple()
+    assert ds.missing_ratio() == pytest.approx(1 / 8)
+
+
+def test_category_cardinalities():
+    ds = _simple()
+    assert list(ds.category_cardinalities()) == [2]
+
+
+def test_subset_preserves_schema():
+    ds = _simple()
+    sub = ds.subset(np.array([0, 2]))
+    assert sub.n_instances == 2
+    assert sub.n_classes == 2  # class names retained even if absent
+    assert list(sub.categorical_mask) == [False, True]
+
+
+def test_subset_with_boolean_mask():
+    ds = _simple()
+    sub = ds.subset(np.array([True, False, True, False]))
+    assert sub.n_instances == 2
+
+
+def test_select_features():
+    ds = _simple()
+    sub = ds.select_features(np.array([1]))
+    assert sub.n_features == 1
+    assert sub.feature_names == ["f1"]
+    assert sub.categorical_mask[0]
+
+
+def test_select_features_boolean_mask():
+    ds = _simple()
+    sub = ds.select_features(np.array([True, False]))
+    assert sub.feature_names == ["f0"]
+
+
+def test_copy_is_deep():
+    ds = _simple()
+    dup = ds.copy()
+    dup.X[0, 0] = 99.0
+    assert ds.X[0, 0] == 1.0
+
+
+def test_rejects_mismatched_lengths():
+    with pytest.raises(DataError):
+        Dataset(X=np.zeros((3, 2)), y=np.array([0, 1]))
+
+
+def test_rejects_1d_X():
+    with pytest.raises(DataError):
+        Dataset(X=np.zeros(3), y=np.array([0, 1, 0]))
+
+
+def test_rejects_empty():
+    with pytest.raises(DataError):
+        Dataset(X=np.zeros((0, 2)), y=np.array([], dtype=int))
+
+
+def test_rejects_negative_labels():
+    with pytest.raises(DataError):
+        Dataset(X=np.zeros((2, 1)), y=np.array([-1, 0]))
+
+
+def test_rejects_bad_mask_shape():
+    with pytest.raises(DataError):
+        Dataset(X=np.zeros((2, 2)), y=np.array([0, 1]), categorical_mask=np.array([True]))
+
+
+def test_rejects_too_few_class_names():
+    with pytest.raises(DataError):
+        Dataset(X=np.zeros((2, 1)), y=np.array([0, 1]), class_names=["only"])
+
+
+def test_rejects_wrong_feature_name_count():
+    with pytest.raises(DataError):
+        Dataset(X=np.zeros((2, 2)), y=np.array([0, 1]), feature_names=["a"])

@@ -1,0 +1,150 @@
+"""Unit tests for CSV/ARFF parsing."""
+
+import numpy as np
+import pytest
+
+from repro.data import parse_arff_text, parse_csv_text, read_arff, read_csv
+from repro.exceptions import DataError, ParseError
+
+CSV = """age,color,label
+25,red,yes
+30,blue,no
+?,red,yes
+41,green,no
+"""
+
+ARFF = """% comment
+@relation demo
+@attribute age numeric
+@attribute color {red,blue,green}
+@attribute label {yes,no}
+@data
+25,red,yes
+30,blue,no
+?,red,yes
+41,green,no
+"""
+
+
+def test_csv_basic_shapes():
+    ds = parse_csv_text(CSV, target="label")
+    assert ds.n_instances == 4
+    assert ds.n_features == 2
+    assert ds.n_classes == 2
+    assert ds.feature_names == ["age", "color"]
+
+
+def test_csv_type_inference():
+    ds = parse_csv_text(CSV, target="label")
+    assert not ds.categorical_mask[0]  # age numeric
+    assert ds.categorical_mask[1]      # color categorical
+
+
+def test_csv_missing_value_becomes_nan():
+    ds = parse_csv_text(CSV, target="label")
+    assert np.isnan(ds.X[2, 0])
+
+
+def test_csv_label_encoding_sorted():
+    ds = parse_csv_text(CSV, target="label")
+    assert ds.class_names == ["no", "yes"]
+    assert list(ds.y) == [1, 0, 1, 0]
+
+
+def test_csv_target_by_index():
+    ds = parse_csv_text(CSV, target=-1)
+    assert ds.n_features == 2
+
+
+def test_csv_no_header():
+    text = "1,a,x\n2,b,y\n3,a,x\n"
+    ds = parse_csv_text(text, target=-1, has_header=False)
+    assert ds.feature_names == ["col0", "col1"]
+    assert ds.n_classes == 2
+
+
+def test_csv_unknown_target_raises():
+    with pytest.raises(ParseError):
+        parse_csv_text(CSV, target="nope")
+
+
+def test_csv_target_index_out_of_range():
+    with pytest.raises(ParseError):
+        parse_csv_text(CSV, target=7)
+
+
+def test_csv_empty_raises():
+    with pytest.raises(ParseError):
+        parse_csv_text("")
+
+
+def test_csv_ragged_rows_raise():
+    with pytest.raises(ParseError):
+        parse_csv_text("a,b\n1,2\n3\n")
+
+
+def test_csv_missing_label_raises():
+    with pytest.raises(DataError):
+        parse_csv_text("a,label\n1,x\n2,?\n")
+
+
+def test_arff_basic():
+    ds = parse_arff_text(ARFF)
+    assert ds.name == "demo"
+    assert ds.n_instances == 4
+    assert ds.categorical_mask[1]
+    assert not ds.categorical_mask[0]
+
+
+def test_arff_nominal_codes_follow_declaration():
+    ds = parse_arff_text(ARFF)
+    # red=0, blue=1, green=2 per declared order
+    assert list(ds.X[:, 1]) == [0.0, 1.0, 0.0, 2.0]
+    # class order follows declaration: yes=0, no=1
+    assert ds.class_names == ["yes", "no"]
+    assert list(ds.y) == [0, 1, 0, 1]
+
+
+def test_arff_missing_becomes_nan():
+    ds = parse_arff_text(ARFF)
+    assert np.isnan(ds.X[2, 0])
+
+
+def test_arff_quoted_attribute_names():
+    text = "@relation t\n@attribute 'my attr' numeric\n@attribute cls {a,b}\n@data\n1,a\n2,b\n"
+    ds = parse_arff_text(text)
+    assert ds.feature_names == ["my attr"]
+
+
+def test_arff_undeclared_symbol_raises():
+    bad = ARFF.replace("41,green,no", "41,purple,no")
+    with pytest.raises(ParseError):
+        parse_arff_text(bad)
+
+
+def test_arff_sparse_rejected():
+    text = "@relation t\n@attribute a numeric\n@attribute cls {x,y}\n@data\n{0 1}\n"
+    with pytest.raises(ParseError):
+        parse_arff_text(text)
+
+
+def test_arff_no_data_raises():
+    with pytest.raises(ParseError):
+        parse_arff_text("@relation t\n@attribute a numeric\n@data\n")
+
+
+def test_arff_no_attributes_raises():
+    with pytest.raises(ParseError):
+        parse_arff_text("@relation t\n@data\n1,2\n")
+
+
+def test_file_roundtrip(tmp_path):
+    csv_path = tmp_path / "demo.csv"
+    csv_path.write_text(CSV)
+    ds = read_csv(csv_path, target="label")
+    assert ds.name == "demo"
+
+    arff_path = tmp_path / "demo.arff"
+    arff_path.write_text(ARFF)
+    ds2 = read_arff(arff_path)
+    assert ds2.n_instances == ds.n_instances

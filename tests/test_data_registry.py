@@ -1,0 +1,75 @@
+"""Unit tests for the Table-4 dataset registry and KB corpus."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    TABLE4_CARDS,
+    eval_dataset_names,
+    kb_corpus_specs,
+    load_eval_dataset,
+    load_kb_corpus,
+)
+
+
+def test_ten_evaluation_datasets_in_paper_order():
+    names = eval_dataset_names()
+    assert len(names) == 10
+    assert names[0] == "abalone"
+    assert names[-1] == "kin8nm"
+
+
+def test_cards_record_paper_numbers():
+    by_key = {c.key: c for c in TABLE4_CARDS}
+    gisette = by_key["gisette"]
+    assert gisette.paper_attributes == 5000
+    assert gisette.paper_classes == 2
+    assert gisette.paper_instances == 2800
+    assert gisette.paper_autoweka_accuracy == pytest.approx(93.71)
+    assert gisette.paper_smartml_accuracy == pytest.approx(96.48)
+    assert gisette.paper_gap == pytest.approx(2.77, abs=1e-6)
+
+
+def test_paper_reports_smartml_wins_everywhere():
+    for card in TABLE4_CARDS:
+        assert card.paper_gap > 0, card.key
+
+
+def test_load_eval_dataset_matches_spec():
+    ds = load_eval_dataset("yeast")
+    card = {c.key: c for c in TABLE4_CARDS}["yeast"]
+    assert ds.n_instances == card.spec.n_instances
+    assert ds.n_features == card.spec.n_features
+    assert ds.n_classes == card.spec.n_classes
+
+
+def test_load_eval_dataset_unknown_key():
+    with pytest.raises(KeyError):
+        load_eval_dataset("not-a-dataset")
+
+
+def test_eval_datasets_laptop_scale():
+    for card in TABLE4_CARDS:
+        assert card.spec.n_instances <= 800
+        assert card.spec.n_features <= 64
+
+
+def test_kb_corpus_deterministic_and_diverse():
+    specs_a = kb_corpus_specs(n=50, seed=7)
+    specs_b = kb_corpus_specs(n=50, seed=7)
+    assert specs_a == specs_b
+    assert len({s.n_classes for s in specs_a}) >= 4
+    assert len({s.n_features for s in specs_a}) >= 10
+
+
+def test_kb_corpus_names_unique():
+    specs = kb_corpus_specs(n=50)
+    names = [s.name for s in specs]
+    assert len(set(names)) == 50
+
+
+def test_load_kb_corpus_small():
+    corpus = load_kb_corpus(n=3, seed=1)
+    assert len(corpus) == 3
+    for ds in corpus:
+        assert (np.bincount(ds.y) > 0).sum() == ds.n_classes

@@ -1,0 +1,123 @@
+"""Unit + property tests for the synthetic dataset generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import SyntheticSpec, make_dataset
+from repro.exceptions import ConfigurationError
+
+
+def test_shape_matches_spec():
+    spec = SyntheticSpec(name="s", n_instances=50, n_features=7, n_classes=3, seed=1)
+    ds = make_dataset(spec)
+    assert ds.n_instances == 50
+    assert ds.n_features == 7
+    assert ds.n_classes == 3
+
+
+def test_determinism_same_seed():
+    spec = SyntheticSpec(name="s", n_instances=40, n_features=5, n_classes=2, seed=9)
+    a, b = make_dataset(spec), make_dataset(spec)
+    assert np.array_equal(a.X, b.X, equal_nan=True)
+    assert np.array_equal(a.y, b.y)
+
+
+def test_different_seeds_differ():
+    base = dict(name="s", n_instances=40, n_features=5, n_classes=2)
+    a = make_dataset(SyntheticSpec(**base, seed=1))
+    b = make_dataset(SyntheticSpec(**base, seed=2))
+    assert not np.array_equal(a.X, b.X)
+
+
+def test_every_class_present_at_least_twice():
+    spec = SyntheticSpec(
+        name="s", n_instances=60, n_features=4, n_classes=6, imbalance=0.3, seed=3
+    )
+    ds = make_dataset(spec)
+    assert (ds.class_counts() >= 2).all()
+
+
+def test_categorical_columns_marked_and_coded():
+    spec = SyntheticSpec(
+        name="s", n_instances=80, n_features=6, n_classes=2, n_categorical=3, seed=4
+    )
+    ds = make_dataset(spec)
+    assert int(ds.categorical_mask.sum()) == 3
+    for j in ds.categorical_indices:
+        col = ds.X[:, j]
+        col = col[~np.isnan(col)]
+        assert np.allclose(col, np.round(col))
+
+
+def test_missing_ratio_applied_but_no_empty_rows():
+    spec = SyntheticSpec(
+        name="s", n_instances=70, n_features=5, n_classes=2,
+        missing_ratio=0.2, seed=5,
+    )
+    ds = make_dataset(spec)
+    assert 0.05 < ds.missing_ratio() < 0.4
+    assert not np.isnan(ds.X).all(axis=1).any()
+
+
+def test_label_noise_lowers_separability():
+    clean = make_dataset(SyntheticSpec(
+        name="c", n_instances=300, n_features=4, n_classes=2,
+        class_sep=3.0, label_noise=0.0, seed=6))
+    noisy = make_dataset(SyntheticSpec(
+        name="n", n_instances=300, n_features=4, n_classes=2,
+        class_sep=3.0, label_noise=0.45, seed=6))
+    # Centroid distance between class means should shrink under label noise.
+    def sep(ds):
+        mu0 = ds.X[ds.y == 0].mean(axis=0)
+        mu1 = ds.X[ds.y == 1].mean(axis=0)
+        return np.linalg.norm(mu0 - mu1)
+    assert sep(noisy) < sep(clean)
+
+
+def test_skew_increases_marginal_skewness():
+    from scipy import stats
+    plain = make_dataset(SyntheticSpec(
+        name="p", n_instances=400, n_features=4, n_classes=2, skew=0.0, seed=8))
+    skewed = make_dataset(SyntheticSpec(
+        name="k", n_instances=400, n_features=4, n_classes=2, skew=1.2, seed=8))
+    assert np.abs(stats.skew(skewed.X, axis=0)).max() > np.abs(
+        stats.skew(plain.X, axis=0)
+    ).max()
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(n_instances=1, n_classes=2),
+        dict(n_classes=1),
+        dict(n_features=0),
+        dict(n_categorical=99),
+        dict(label_noise=1.0),
+        dict(imbalance=0.0),
+        dict(missing_ratio=1.0),
+    ],
+)
+def test_invalid_specs_rejected(kwargs):
+    base = dict(name="bad", n_instances=30, n_features=4, n_classes=2)
+    base.update(kwargs)
+    with pytest.raises(ConfigurationError):
+        SyntheticSpec(**base)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n=st.integers(min_value=10, max_value=120),
+    d=st.integers(min_value=1, max_value=12),
+    k=st.integers(min_value=2, max_value=5),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_property_generated_datasets_are_valid(n, d, k, seed):
+    if n < 2 * k:
+        n = 2 * k
+    ds = make_dataset(SyntheticSpec(name="p", n_instances=n, n_features=d, n_classes=k, seed=seed))
+    assert ds.n_instances == n
+    assert ds.n_features == d
+    assert set(np.unique(ds.y)) <= set(range(k))
+    assert np.isfinite(ds.X).all()

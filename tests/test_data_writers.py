@@ -1,0 +1,87 @@
+"""Round-trip tests for the CSV/ARFF writers."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    dataset_to_arff,
+    dataset_to_csv,
+    parse_arff_text,
+    parse_csv_text,
+    read_arff,
+    read_csv,
+    write_arff,
+    write_csv,
+)
+
+
+def test_csv_roundtrip_numeric(tiny_ds):
+    text = dataset_to_csv(tiny_ds)
+    back = parse_csv_text(text, target="label")
+    assert back.n_instances == tiny_ds.n_instances
+    assert back.n_features == tiny_ds.n_features
+    assert np.allclose(back.X, tiny_ds.X)
+    assert np.array_equal(back.y, tiny_ds.y)
+
+
+def test_csv_roundtrip_mixed(mixed_ds):
+    text = dataset_to_csv(mixed_ds)
+    back = parse_csv_text(text, target="label")
+    assert back.n_instances == mixed_ds.n_instances
+    assert np.array_equal(back.categorical_mask, mixed_ds.categorical_mask)
+    # NaN cells survive as missing.
+    assert np.isnan(back.X).sum() == np.isnan(mixed_ds.X).sum()
+    assert np.array_equal(back.y, mixed_ds.y)
+
+
+def test_arff_roundtrip_mixed(mixed_ds):
+    text = dataset_to_arff(mixed_ds)
+    back = parse_arff_text(text)
+    assert back.name == mixed_ds.name
+    assert back.n_instances == mixed_ds.n_instances
+    assert np.array_equal(back.categorical_mask, mixed_ds.categorical_mask)
+    assert np.array_equal(back.y, mixed_ds.y)
+    # Class names survive in declaration order.
+    assert back.class_names == mixed_ds.class_names
+    numeric = ~mixed_ds.categorical_mask
+    a, b = back.X[:, numeric], mixed_ds.X[:, numeric]
+    mask = ~np.isnan(b)
+    assert np.allclose(a[mask], b[mask])
+
+
+def test_arff_declares_all_classes_even_unused():
+    from repro.data import Dataset
+    ds = Dataset(
+        X=np.arange(4, dtype=float).reshape(-1, 1),
+        y=np.array([0, 0, 1, 1]),
+        class_names=["a", "b", "ghost"],
+    )
+    text = dataset_to_arff(ds)
+    assert "{a,b,ghost}" in text
+    back = parse_arff_text(text)
+    assert back.class_names == ["a", "b", "ghost"]
+
+
+def test_file_writers(tmp_path, tiny_ds):
+    csv_path = tmp_path / "out.csv"
+    arff_path = tmp_path / "out.arff"
+    write_csv(tiny_ds, csv_path)
+    write_arff(tiny_ds, arff_path)
+    assert read_csv(csv_path, target="label").n_instances == tiny_ds.n_instances
+    assert read_arff(arff_path).n_instances == tiny_ds.n_instances
+
+
+def test_missing_cells_written_as_question_mark(mixed_ds):
+    text = dataset_to_csv(mixed_ds)
+    assert "?" in text
+
+
+def test_quoted_attribute_names_roundtrip():
+    from repro.data import Dataset
+    ds = Dataset(
+        X=np.arange(4, dtype=float).reshape(-1, 1),
+        y=np.array([0, 1, 0, 1]),
+        feature_names=["my attr"],
+    )
+    back = parse_arff_text(dataset_to_arff(ds))
+    assert back.feature_names == ["my attr"]

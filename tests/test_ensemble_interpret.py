@@ -1,0 +1,144 @@
+"""Unit tests for weighted ensembling and interpretability."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers import KNN, LDA, RPart
+from repro.ensemble import WeightedEnsemble, build_weighted_ensemble
+from repro.exceptions import ConfigurationError
+from repro.interpret import partial_dependence, permutation_importance
+
+
+def _fitted_members(ds):
+    members = []
+    for cls in (KNN, LDA, RPart):
+        clf = cls()
+        clf.fit(ds.X, ds.y, n_classes=ds.n_classes)
+        members.append(clf)
+    return members
+
+
+def test_ensemble_proba_normalised(multi_ds):
+    members = _fitted_members(multi_ds)
+    ensemble = WeightedEnsemble(members, [0.5, 0.3, 0.2])
+    proba = ensemble.predict_proba(multi_ds.X)
+    assert proba.shape == (multi_ds.n_instances, multi_ds.n_classes)
+    assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+def test_ensemble_single_member_equals_member(multi_ds):
+    member = _fitted_members(multi_ds)[0]
+    ensemble = WeightedEnsemble([member], [1.0])
+    assert np.allclose(
+        ensemble.predict_proba(multi_ds.X), member.predict_proba(multi_ds.X)
+    )
+
+
+def test_ensemble_weights_normalised(multi_ds):
+    members = _fitted_members(multi_ds)
+    ensemble = WeightedEnsemble(members, [2.0, 2.0, 4.0])
+    assert ensemble.weights == pytest.approx([0.25, 0.25, 0.5])
+
+
+def test_ensemble_zero_weight_member_ignored(multi_ds):
+    members = _fitted_members(multi_ds)
+    with_zero = WeightedEnsemble(members[:2], [1.0, 0.0])
+    alone = WeightedEnsemble([members[0]], [1.0])
+    assert np.allclose(
+        with_zero.predict_proba(multi_ds.X), alone.predict_proba(multi_ds.X)
+    )
+
+
+def test_ensemble_validations(multi_ds):
+    members = _fitted_members(multi_ds)
+    with pytest.raises(ConfigurationError):
+        WeightedEnsemble([])
+    with pytest.raises(ConfigurationError):
+        WeightedEnsemble(members, [1.0])
+    with pytest.raises(ConfigurationError):
+        WeightedEnsemble(members, [-1.0, 1.0, 1.0])
+    with pytest.raises(ConfigurationError):
+        WeightedEnsemble(members, [0.0, 0.0, 0.0])
+
+
+def test_build_weighted_ensemble_ranks_by_accuracy(multi_ds):
+    members = _fitted_members(multi_ds)
+    scored = list(zip(members, [0.5, 0.9, 0.7]))
+    ensemble = build_weighted_ensemble(scored, top_k=2)
+    assert len(ensemble.members) == 2
+    assert ensemble.members[0] is members[1]  # highest accuracy first
+    assert ensemble.weights[0] > ensemble.weights[1]
+
+
+def test_build_weighted_ensemble_empty_raises():
+    with pytest.raises(ConfigurationError):
+        build_weighted_ensemble([])
+
+
+def test_ensemble_can_beat_or_match_weak_member(multi_ds):
+    from repro.evaluation import accuracy
+    members = _fitted_members(multi_ds)
+    scored = [(m, accuracy(multi_ds.y, m.predict(multi_ds.X))) for m in members]
+    worst = min(score for _, score in scored)
+    ensemble = build_weighted_ensemble(scored, top_k=3)
+    ensemble_acc = accuracy(multi_ds.y, ensemble.predict(multi_ds.X))
+    assert ensemble_acc >= worst - 0.05
+
+
+# ------------------------------------------------------------ interpretability
+def test_permutation_importance_finds_informative_feature():
+    rng = np.random.default_rng(0)
+    n = 300
+    signal = rng.normal(size=n)
+    X = np.column_stack([signal, rng.normal(size=n), rng.normal(size=n)])
+    y = (signal > 0).astype(np.int64)
+    clf = RPart(cp=0.01).fit(X, y)
+    report = permutation_importance(clf, X, y, feature_names=["sig", "n1", "n2"], seed=1)
+    assert report.top(1)[0][0] == "sig"
+    assert report.importances_mean[0] > max(report.importances_mean[1:]) + 0.1
+
+
+def test_permutation_importance_describe(tiny_ds):
+    clf = KNN(k=3).fit(tiny_ds.X, tiny_ds.y)
+    report = permutation_importance(clf, tiny_ds.X, tiny_ds.y, seed=0)
+    text = report.describe()
+    assert "baseline accuracy" in text
+
+
+def test_permutation_importance_baseline_matches_accuracy(tiny_ds):
+    from repro.evaluation import accuracy
+    clf = LDA().fit(tiny_ds.X, tiny_ds.y)
+    report = permutation_importance(clf, tiny_ds.X, tiny_ds.y, seed=0)
+    assert report.baseline_score == pytest.approx(
+        accuracy(tiny_ds.y, clf.predict(tiny_ds.X))
+    )
+
+
+def test_partial_dependence_monotone_signal():
+    rng = np.random.default_rng(1)
+    n = 300
+    x0 = rng.uniform(-2, 2, size=n)
+    X = np.column_stack([x0, rng.normal(size=n)])
+    y = (x0 > 0).astype(np.int64)
+    clf = LDA().fit(X, y)
+    pdp = partial_dependence(clf, X, feature=0, grid_size=8, seed=0)
+    _, curve = pdp.curve_for_class(1)
+    assert curve[-1] > curve[0] + 0.3  # probability of class 1 rises with x0
+
+
+def test_partial_dependence_flat_for_noise_feature():
+    rng = np.random.default_rng(2)
+    n = 300
+    x0 = rng.uniform(-2, 2, size=n)
+    X = np.column_stack([x0, rng.normal(size=n)])
+    y = (x0 > 0).astype(np.int64)
+    clf = LDA().fit(X, y)
+    pdp = partial_dependence(clf, X, feature=1, grid_size=8, seed=0)
+    _, curve = pdp.curve_for_class(1)
+    assert np.ptp(curve) < 0.15
+
+
+def test_partial_dependence_describe(tiny_ds):
+    clf = LDA().fit(tiny_ds.X, tiny_ds.y)
+    pdp = partial_dependence(clf, tiny_ds.X, feature=0, seed=0)
+    assert "feature 0" in pdp.describe()

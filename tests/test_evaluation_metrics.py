@@ -1,0 +1,117 @@
+"""Unit + property tests for classification metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation import (
+    accuracy,
+    balanced_accuracy,
+    confusion_matrix,
+    error_rate,
+    log_loss,
+    macro_f1,
+    precision_recall_f1,
+)
+from repro.exceptions import DataError
+
+
+def test_accuracy_basic():
+    assert accuracy([0, 1, 1, 0], [0, 1, 0, 0]) == pytest.approx(0.75)
+
+
+def test_error_rate_is_complement():
+    y, p = [0, 1, 2], [0, 2, 2]
+    assert accuracy(y, p) + error_rate(y, p) == pytest.approx(1.0)
+
+
+def test_confusion_matrix_counts():
+    m = confusion_matrix([0, 0, 1, 1], [0, 1, 1, 1])
+    assert m.tolist() == [[1, 1], [0, 2]]
+
+
+def test_confusion_matrix_fixed_width():
+    m = confusion_matrix([0, 1], [1, 0], n_classes=4)
+    assert m.shape == (4, 4)
+
+
+def test_balanced_accuracy_imbalanced():
+    # 9 of class 0 all right, 1 of class 1 wrong -> plain acc 0.9, balanced 0.5
+    y = [0] * 9 + [1]
+    p = [0] * 10
+    assert accuracy(y, p) == pytest.approx(0.9)
+    assert balanced_accuracy(y, p) == pytest.approx(0.5)
+
+
+def test_precision_recall_f1_values():
+    precision, recall, f1 = precision_recall_f1([0, 0, 1, 1], [0, 1, 1, 1])
+    assert precision[1] == pytest.approx(2 / 3)
+    assert recall[1] == pytest.approx(1.0)
+    assert f1[1] == pytest.approx(0.8)
+
+
+def test_macro_f1_ignores_absent_classes():
+    # class 2 never occurs in y_true
+    score = macro_f1([0, 1, 0, 1], [0, 1, 2, 1])
+    assert 0 < score <= 1
+
+
+def test_log_loss_perfect_prediction_near_zero():
+    proba = np.array([[1.0, 0.0], [0.0, 1.0]])
+    assert log_loss([0, 1], proba) < 1e-6
+
+
+def test_log_loss_uniform_is_log_k():
+    proba = np.full((4, 4), 0.25)
+    assert log_loss([0, 1, 2, 3], proba) == pytest.approx(np.log(4))
+
+
+def test_log_loss_renormalises():
+    proba = np.array([[2.0, 2.0]])
+    assert log_loss([0], proba) == pytest.approx(np.log(2))
+
+
+def test_shape_mismatch_raises():
+    with pytest.raises(DataError):
+        accuracy([0, 1], [0])
+
+
+def test_empty_raises():
+    with pytest.raises(DataError):
+        accuracy([], [])
+
+
+def test_log_loss_bad_shape_raises():
+    with pytest.raises(DataError):
+        log_loss([0, 1], np.array([0.5, 0.5]))
+
+
+def test_log_loss_label_out_of_range_raises():
+    with pytest.raises(DataError):
+        log_loss([5], np.array([[0.5, 0.5]]))
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    labels=st.lists(st.integers(min_value=0, max_value=4), min_size=1, max_size=60)
+)
+def test_property_perfect_prediction_scores_one(labels):
+    y = np.array(labels)
+    assert accuracy(y, y) == 1.0
+    assert error_rate(y, y) == 0.0
+    assert balanced_accuracy(y, y) == 1.0
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    y=st.lists(st.integers(min_value=0, max_value=3), min_size=2, max_size=40),
+    p=st.lists(st.integers(min_value=0, max_value=3), min_size=2, max_size=40),
+)
+def test_property_confusion_total_and_accuracy(y, p):
+    n = min(len(y), len(p))
+    y, p = np.array(y[:n]), np.array(p[:n])
+    m = confusion_matrix(y, p)
+    assert m.sum() == n
+    assert accuracy(y, p) == pytest.approx(m.trace() / n)
+    assert 0.0 <= accuracy(y, p) <= 1.0

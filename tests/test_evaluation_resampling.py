@@ -1,0 +1,104 @@
+"""Unit + property tests for resampling."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.evaluation import (
+    bootstrap_indices,
+    stratified_kfold_indices,
+    train_validation_split,
+)
+from repro.exceptions import ConfigurationError
+
+
+def test_split_sizes(tiny_ds):
+    train, val = train_validation_split(tiny_ds, 0.25, seed=0)
+    assert train.n_instances + val.n_instances == tiny_ds.n_instances
+    assert val.n_instances == pytest.approx(0.25 * tiny_ds.n_instances, abs=2)
+
+
+def test_split_stratified(multi_ds):
+    train, val = train_validation_split(multi_ds, 0.3, seed=1)
+    for k in range(multi_ds.n_classes):
+        assert (train.y == k).any()
+        assert (val.y == k).any()
+
+
+def test_split_disjoint_and_complete(tiny_ds):
+    train, val = train_validation_split(tiny_ds, 0.2, seed=3)
+    combined = np.sort(
+        np.concatenate([train.X[:, 0], val.X[:, 0]])
+    )
+    assert np.allclose(combined, np.sort(tiny_ds.X[:, 0]))
+
+
+def test_split_deterministic(tiny_ds):
+    a = train_validation_split(tiny_ds, 0.25, seed=5)
+    b = train_validation_split(tiny_ds, 0.25, seed=5)
+    assert np.array_equal(a[0].X, b[0].X)
+
+
+def test_split_invalid_fraction(tiny_ds):
+    with pytest.raises(ConfigurationError):
+        train_validation_split(tiny_ds, 0.0)
+    with pytest.raises(ConfigurationError):
+        train_validation_split(tiny_ds, 1.0)
+
+
+def test_kfold_partitions_everything(multi_ds):
+    folds = stratified_kfold_indices(multi_ds.y, 4, seed=0)
+    all_test = np.sort(np.concatenate([test for _, test in folds]))
+    assert np.array_equal(all_test, np.arange(multi_ds.n_instances))
+
+
+def test_kfold_train_test_disjoint(multi_ds):
+    for train, test in stratified_kfold_indices(multi_ds.y, 4, seed=0):
+        assert not set(train) & set(test)
+
+
+def test_kfold_stratification(multi_ds):
+    folds = stratified_kfold_indices(multi_ds.y, 4, seed=0)
+    global_dist = np.bincount(multi_ds.y) / multi_ds.n_instances
+    for _, test in folds:
+        dist = np.bincount(multi_ds.y[test], minlength=multi_ds.n_classes) / test.size
+        assert np.abs(dist - global_dist).max() < 0.2
+
+
+def test_kfold_reduces_folds_for_rare_class():
+    y = np.array([0] * 20 + [1] * 2)
+    folds = stratified_kfold_indices(y, 10, seed=0)
+    assert len(folds) == 2
+
+
+def test_kfold_rejects_single_fold():
+    with pytest.raises(ConfigurationError):
+        stratified_kfold_indices(np.array([0, 1, 0, 1]), 1)
+
+
+def test_bootstrap_indices_range():
+    rng = np.random.default_rng(0)
+    idx = bootstrap_indices(10, rng)
+    assert idx.shape == (10,)
+    assert idx.min() >= 0 and idx.max() < 10
+
+
+def test_bootstrap_indices_custom_size():
+    rng = np.random.default_rng(0)
+    assert bootstrap_indices(10, rng, size=4).shape == (4,)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    counts=st.lists(st.integers(min_value=2, max_value=25), min_size=2, max_size=5),
+    n_folds=st.integers(min_value=2, max_value=6),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_kfold_is_partition(counts, n_folds, seed):
+    y = np.concatenate([np.full(c, k) for k, c in enumerate(counts)])
+    folds = stratified_kfold_indices(y, n_folds, seed=seed)
+    all_test = np.sort(np.concatenate([test for _, test in folds]))
+    assert np.array_equal(all_test, np.arange(y.size))
+    for train, test in folds:
+        assert np.array_equal(np.sort(np.concatenate([train, test])), np.arange(y.size))

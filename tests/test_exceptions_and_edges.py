@@ -1,0 +1,121 @@
+"""Exception hierarchy and assorted edge cases across modules."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers import SVM, KNN, make_classifier
+from repro.classifiers.base import check_X, check_Xy
+from repro.exceptions import (
+    BudgetExhaustedError,
+    ConfigurationError,
+    DataError,
+    KnowledgeBaseError,
+    NotFittedError,
+    ParseError,
+    SearchError,
+    SmartMLError,
+)
+
+
+def test_all_exceptions_derive_from_smartml_error():
+    for exc in (
+        ConfigurationError,
+        DataError,
+        ParseError,
+        NotFittedError,
+        KnowledgeBaseError,
+        SearchError,
+        BudgetExhaustedError,
+    ):
+        assert issubclass(exc, SmartMLError)
+
+
+def test_parse_error_is_data_error():
+    assert issubclass(ParseError, DataError)
+
+
+def test_one_except_clause_catches_everything(tiny_ds):
+    with pytest.raises(SmartMLError):
+        make_classifier("nope")
+    with pytest.raises(SmartMLError):
+        KNN().predict(tiny_ds.X)
+
+
+# ------------------------------------------------------------- check helpers
+def test_check_xy_validates_shapes():
+    with pytest.raises(DataError):
+        check_Xy(np.zeros((3, 2)), np.zeros((4,), dtype=int))
+    with pytest.raises(DataError):
+        check_Xy(np.zeros(3), np.zeros(3, dtype=int))
+    with pytest.raises(DataError):
+        check_Xy(np.zeros((0, 2)), np.zeros(0, dtype=int))
+
+
+def test_check_xy_rejects_inf():
+    X = np.ones((3, 2))
+    X[1, 1] = np.inf
+    with pytest.raises(DataError):
+        check_Xy(X, np.array([0, 1, 0]))
+
+
+def test_check_x_feature_count():
+    with pytest.raises(DataError):
+        check_X(np.zeros((2, 3)), n_features=2)
+
+
+def test_check_xy_casts_dtypes():
+    X, y = check_Xy([[1, 2], [3, 4]], [0, 1])
+    assert X.dtype == np.float64
+    assert y.dtype == np.int64
+
+
+# ----------------------------------------------------------------- SVM edges
+def test_svm_decision_votes_sum_to_pair_count(multi_ds):
+    clf = SVM(kernel="linear").fit(multi_ds.X, multi_ds.y, n_classes=multi_ds.n_classes)
+    votes = clf.decision_votes(multi_ds.X)
+    k = len(np.unique(multi_ds.y))
+    expected_pairs = k * (k - 1) / 2
+    assert np.allclose(votes.sum(axis=1), expected_pairs)
+
+
+def test_svm_two_instances_per_class():
+    X = np.array([[0.0, 0.0], [0.1, 0.0], [5.0, 5.0], [5.1, 5.0]])
+    y = np.array([0, 0, 1, 1])
+    clf = SVM(kernel="linear", cost=10.0).fit(X, y)
+    assert (clf.predict(X) == y).all()
+
+
+def test_svm_duplicate_points_conflicting_labels():
+    # Identical points with different labels must not crash SMO.
+    X = np.zeros((6, 2))
+    y = np.array([0, 1, 0, 1, 0, 1])
+    clf = SVM(kernel="radial").fit(X, y)
+    proba = clf.predict_proba(X)
+    assert np.isfinite(proba).all()
+
+
+# ---------------------------------------------------------------- KNN edges
+def test_knn_constant_features():
+    X = np.ones((10, 3))
+    y = np.array([0, 1] * 5)
+    clf = KNN(k=3).fit(X, y)
+    proba = clf.predict_proba(X)
+    assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+def test_knn_single_instance_training():
+    clf = KNN(k=5).fit(np.array([[1.0, 2.0]]), np.array([0]), n_classes=3)
+    assert clf.predict(np.array([[9.0, 9.0]]))[0] == 0
+
+
+# ----------------------------------------------------- classifier base edges
+def test_fit_with_larger_n_classes_pads_proba(tiny_ds):
+    clf = KNN(k=3).fit(tiny_ds.X, tiny_ds.y, n_classes=7)
+    proba = clf.predict_proba(tiny_ds.X)
+    assert proba.shape == (tiny_ds.n_instances, 7)
+    assert np.allclose(proba[:, 2:], 0.0)
+
+
+def test_repr_contains_params():
+    clf = KNN(k=9)
+    assert "k=9" in repr(clf)

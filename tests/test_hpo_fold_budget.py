@@ -1,0 +1,70 @@
+"""Tests for the fold-evaluation budget currency."""
+
+import pytest
+
+from repro.baselines import AutoWekaBaseline, RandomSearchCASH
+from repro.classifiers import make_classifier
+from repro.exceptions import SearchError
+from repro.hpo import SMAC, CrossValObjective, RandomSearch, SMACSettings, classifier_space
+
+
+def _objective(ds, n_folds=3):
+    return CrossValObjective(
+        lambda config: make_classifier("rpart", **config),
+        ds.X, ds.y, n_classes=ds.n_classes, n_folds=n_folds, seed=0,
+    )
+
+
+def test_fold_budget_alone_is_a_valid_setting():
+    settings = SMACSettings(max_fold_evals=10)
+    assert settings.max_fold_evals == 10
+
+
+def test_no_budget_at_all_rejected():
+    with pytest.raises(SearchError):
+        SMACSettings(time_budget_s=None, max_config_evals=None, max_fold_evals=None)
+
+
+def test_smac_respects_fold_budget(multi_ds):
+    objective = _objective(multi_ds)
+    space = classifier_space("rpart")
+    result = SMAC(space, SMACSettings(max_fold_evals=20, seed=0)).optimize(objective)
+    # The budget is checked between configurations; a single race can push
+    # at most one configuration's worth of folds past the line.
+    assert objective.n_fold_evaluations <= 20 + objective.n_folds
+    assert result.n_config_evals >= 3
+
+
+def test_random_search_respects_fold_budget(multi_ds):
+    objective = _objective(multi_ds)
+    space = classifier_space("rpart")
+    result = RandomSearch(space, max_fold_evals=12, seed=0).optimize(objective)
+    assert objective.n_fold_evaluations <= 12 + objective.n_folds
+    assert result.n_config_evals >= 1
+
+
+def test_racing_stretches_fold_budget_over_more_configs(multi_ds):
+    budget = 30
+    smac_objective = _objective(multi_ds)
+    smac_result = SMAC(
+        classifier_space("rpart"), SMACSettings(max_fold_evals=budget, seed=1)
+    ).optimize(smac_objective)
+
+    random_objective = _objective(multi_ds)
+    random_result = RandomSearch(
+        classifier_space("rpart"), max_fold_evals=budget, seed=1
+    ).optimize(random_objective)
+
+    # Racing rejects losers on partial folds, so the same fold budget covers
+    # strictly more configurations than always-full-CV random search.
+    assert smac_result.n_config_evals > random_result.n_config_evals
+
+
+def test_baselines_accept_fold_budgets(multi_ds):
+    for cls in (AutoWekaBaseline, RandomSearchCASH):
+        result = cls(
+            algorithms=["knn", "rpart"], time_budget_s=None,
+            max_fold_evals=15, n_folds=3, seed=0,
+        ).run(multi_ds)
+        assert result.n_config_evals >= 1
+        assert 0.0 <= result.validation_accuracy <= 1.0

@@ -1,0 +1,200 @@
+"""Unit + integration tests for SMAC, racing, random search, and budgets."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers import make_classifier
+from repro.exceptions import SearchError
+from repro.hpo import (
+    SMAC,
+    CrossValObjective,
+    Float,
+    ParamSpace,
+    RandomSearch,
+    SMACSettings,
+    allocate_budget,
+    classifier_space,
+    uniform_budget,
+)
+
+
+def _synthetic_objective(space: ParamSpace):
+    """Analytic objective so the whole test is milliseconds: (x-0.7)^2."""
+
+    class FakeObjective:
+        n_folds = 3
+        n_fold_evaluations = 0
+
+        def __init__(self):
+            self._cache = {}
+
+        def evaluate_fold(self, config, key, fold_id):
+            per = self._cache.setdefault(key, {})
+            if fold_id not in per:
+                noise = 0.01 * np.sin(fold_id * 17.0)
+                per[fold_id] = (config["x"] - 0.7) ** 2 + noise
+                self.n_fold_evaluations += 1
+            return per[fold_id]
+
+        def evaluate(self, config, key, fold_ids=None):
+            fold_ids = fold_ids if fold_ids is not None else range(self.n_folds)
+            return float(np.mean([self.evaluate_fold(config, key, f) for f in fold_ids]))
+
+        def known_mean(self, key):
+            per = self._cache.get(key)
+            return float(np.mean(list(per.values()))) if per else None
+
+        def evaluated_folds(self, key):
+            return sorted(self._cache.get(key, {}))
+
+    return FakeObjective()
+
+
+def _x_space():
+    return ParamSpace([Float("x", 0.0, 1.0, default=0.0)])
+
+
+def test_settings_require_some_budget():
+    with pytest.raises(SearchError):
+        SMACSettings()
+
+
+def test_smac_converges_near_optimum():
+    space = _x_space()
+    objective = _synthetic_objective(space)
+    result = SMAC(space, SMACSettings(max_config_evals=60, seed=0)).optimize(objective)
+    assert abs(result.incumbent["x"] - 0.7) < 0.1
+    assert result.incumbent_cost < 0.02
+
+
+def test_smac_beats_default_config():
+    space = _x_space()
+    objective = _synthetic_objective(space)
+    default_cost = objective.evaluate(space.default_config(), space.config_key(space.default_config()))
+    result = SMAC(space, SMACSettings(max_config_evals=30, seed=1)).optimize(objective)
+    assert result.incumbent_cost < default_cost
+
+
+def test_smac_beats_random_search_on_average():
+    space = _x_space()
+    smac_costs, random_costs = [], []
+    for seed in range(5):
+        smac_costs.append(
+            SMAC(space, SMACSettings(max_config_evals=25, seed=seed))
+            .optimize(_synthetic_objective(space)).incumbent_cost
+        )
+        random_costs.append(
+            RandomSearch(space, max_config_evals=25, seed=seed)
+            .optimize(_synthetic_objective(space)).incumbent_cost
+        )
+    assert np.mean(smac_costs) <= np.mean(random_costs) + 1e-3
+
+
+def test_warm_start_seeds_the_queue():
+    space = _x_space()
+    objective = _synthetic_objective(space)
+    result = SMAC(space, SMACSettings(max_config_evals=3, seed=2)).optimize(
+        objective, initial_configs=[{"x": 0.69}]
+    )
+    # With only 3 evals the warm config must have been tried and should win.
+    assert abs(result.incumbent["x"] - 0.69) < 1e-9
+
+
+def test_warm_start_invalid_config_skipped():
+    space = _x_space()
+    objective = _synthetic_objective(space)
+    result = SMAC(space, SMACSettings(max_config_evals=5, seed=3)).optimize(
+        objective, initial_configs=[{"x": 99.0}]  # out of bounds
+    )
+    assert result.n_config_evals == 5  # run proceeded normally
+
+
+def test_history_records_every_config():
+    space = _x_space()
+    objective = _synthetic_objective(space)
+    result = SMAC(space, SMACSettings(max_config_evals=12, seed=4)).optimize(objective)
+    assert len(result.history) == 12
+    assert result.history[0].was_incumbent  # first eval always promotes
+
+
+def test_trajectory_monotone_decreasing():
+    space = _x_space()
+    objective = _synthetic_objective(space)
+    result = SMAC(space, SMACSettings(max_config_evals=40, seed=5)).optimize(objective)
+    costs = [cost for _, cost in result.trajectory()]
+    assert all(b < a for a, b in zip(costs, costs[1:]))
+
+
+def test_racing_saves_fold_evaluations():
+    space = _x_space()
+    objective = _synthetic_objective(space)
+    result = SMAC(space, SMACSettings(max_config_evals=40, seed=6)).optimize(objective)
+    # Without racing every config costs n_folds evals; racing must beat that.
+    assert objective.n_fold_evaluations < 40 * objective.n_folds
+
+
+def test_real_objective_with_caching(multi_ds):
+    space = classifier_space("rpart")
+    objective = CrossValObjective(
+        lambda config: make_classifier("rpart", **config),
+        multi_ds.X, multi_ds.y, n_classes=multi_ds.n_classes, n_folds=3, seed=0,
+    )
+    config = space.default_config()
+    key = space.config_key(config)
+    first = objective.evaluate(config, key)
+    evals_after_first = objective.n_fold_evaluations
+    second = objective.evaluate(config, key)
+    assert first == second
+    assert objective.n_fold_evaluations == evals_after_first  # fully cached
+
+
+def test_smac_on_real_classifier_improves(multi_ds):
+    space = classifier_space("knn")
+    objective = CrossValObjective(
+        lambda config: make_classifier("knn", **config),
+        multi_ds.X, multi_ds.y, n_classes=multi_ds.n_classes, n_folds=3, seed=0,
+    )
+    default_cost = objective.evaluate(
+        space.default_config(), space.config_key(space.default_config())
+    )
+    result = SMAC(space, SMACSettings(max_config_evals=15, seed=7)).optimize(objective)
+    assert result.incumbent_cost <= default_cost
+
+
+def test_time_budget_roughly_respected(multi_ds):
+    space = classifier_space("knn")
+    objective = CrossValObjective(
+        lambda config: make_classifier("knn", **config),
+        multi_ds.X, multi_ds.y, n_classes=multi_ds.n_classes, n_folds=2, seed=0,
+    )
+    result = SMAC(space, SMACSettings(time_budget_s=0.5, seed=8)).optimize(objective)
+    assert result.elapsed_s < 5.0
+    assert result.n_config_evals >= 1
+
+
+def test_random_search_respects_eval_cap():
+    space = _x_space()
+    objective = _synthetic_objective(space)
+    result = RandomSearch(space, max_config_evals=9, seed=0).optimize(objective)
+    assert result.n_config_evals == 9
+
+
+# ------------------------------------------------------------------ budgets
+def test_allocate_budget_proportional_to_param_count():
+    budgets = allocate_budget(30.0, ["svm", "knn"])  # 5 vs 1 params
+    assert budgets["svm"] == pytest.approx(25.0)
+    assert budgets["knn"] == pytest.approx(5.0)
+    assert sum(budgets.values()) == pytest.approx(30.0)
+
+
+def test_uniform_budget_equal_split():
+    budgets = uniform_budget(30.0, ["svm", "knn", "lda"])
+    assert all(v == pytest.approx(10.0) for v in budgets.values())
+
+
+def test_budget_validations():
+    from repro.exceptions import ConfigurationError
+    with pytest.raises(ConfigurationError):
+        allocate_budget(0.0, ["knn"])
+    with pytest.raises(ConfigurationError):
+        allocate_budget(5.0, [])

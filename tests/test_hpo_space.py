@@ -1,0 +1,188 @@
+"""Unit + property tests for the parameter-space DSL."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import ConfigurationError
+from repro.hpo import Categorical, Condition, Float, Integer, ParamSpace
+
+
+def _space() -> ParamSpace:
+    return ParamSpace([
+        Categorical("kernel", ("a", "b", "c")),
+        Integer("k", 1, 50, log=True),
+        Float("c", 0.01, 100.0, log=True),
+        Float("coef", -1.0, 1.0),
+    ])
+
+
+def _conditional() -> ParamSpace:
+    return ParamSpace([
+        Categorical("algo", ("x", "y")),
+        Integer("x_param", 1, 10, condition=Condition("algo", ("x",))),
+        Float("y_param", 0.0, 1.0, condition=Condition("algo", ("y",))),
+    ])
+
+
+def test_default_config_uses_defaults():
+    config = _space().default_config()
+    assert config["kernel"] == "a"
+    assert 1 <= config["k"] <= 50
+
+
+def test_sample_within_bounds(rng):
+    space = _space()
+    for _ in range(100):
+        config = space.sample(rng)
+        space.validate(config)
+
+
+def test_counts():
+    space = _space()
+    assert space.n_categorical() == 1
+    assert space.n_numerical() == 3
+    assert len(space) == 4
+
+
+def test_neighbor_changes_one_param(rng):
+    space = _space()
+    config = space.default_config()
+    changed = 0
+    for _ in range(50):
+        neighbor = space.neighbor(config, rng)
+        space.validate(neighbor)
+        diffs = [k for k in config if config[k] != neighbor[k]]
+        assert len(diffs) <= 1
+        changed += bool(diffs)
+    assert changed > 25  # neighbours usually differ
+
+
+def test_encode_in_unit_interval():
+    space = _space()
+    vec = space.encode(space.default_config())
+    assert vec.shape == (4,)
+    assert (vec >= -1e-9).all() and (vec <= 1 + 1e-9).all()
+
+
+def test_encode_inactive_is_minus_one(rng):
+    space = _conditional()
+    config = {"algo": "x", "x_param": 5}
+    vec = space.encode(config)
+    assert vec[2] == -1.0  # y_param inactive
+
+
+def test_conditional_sampling_respects_activity(rng):
+    space = _conditional()
+    for _ in range(50):
+        config = space.sample(rng)
+        if config["algo"] == "x":
+            assert "x_param" in config and "y_param" not in config
+        else:
+            assert "y_param" in config and "x_param" not in config
+
+
+def test_conditional_neighbor_switches_branch_cleanly(rng):
+    space = _conditional()
+    config = {"algo": "x", "x_param": 3}
+    for _ in range(50):
+        neighbor = space.neighbor(config, rng)
+        space.validate(neighbor)
+
+
+def test_validate_rejects_out_of_range():
+    space = _space()
+    config = space.default_config()
+    config["k"] = 999
+    with pytest.raises(ConfigurationError):
+        space.validate(config)
+
+
+def test_validate_rejects_extra_keys():
+    space = _space()
+    config = space.default_config()
+    config["mystery"] = 1
+    with pytest.raises(ConfigurationError):
+        space.validate(config)
+
+
+def test_validate_rejects_missing_keys():
+    space = _space()
+    config = space.default_config()
+    del config["k"]
+    with pytest.raises(ConfigurationError):
+        space.validate(config)
+
+
+def test_complete_fills_missing_with_defaults():
+    space = _space()
+    config = space.complete({"kernel": "b"})
+    space.validate(config)
+    assert config["kernel"] == "b"
+
+
+def test_complete_rejects_invalid_partial():
+    with pytest.raises(ConfigurationError):
+        _space().complete({"k": -3})
+
+
+def test_config_key_stable_under_ordering():
+    space = _space()
+    a = {"kernel": "a", "k": 2, "c": 1.0, "coef": 0.0}
+    b = {"coef": 0.0, "c": 1.0, "k": 2, "kernel": "a"}
+    assert space.config_key(a) == space.config_key(b)
+
+
+def test_duplicate_names_rejected():
+    with pytest.raises(ConfigurationError):
+        ParamSpace([Integer("x", 1, 2), Float("x", 0.0, 1.0)])
+
+
+def test_condition_on_unknown_parent_rejected():
+    with pytest.raises(ConfigurationError):
+        ParamSpace([Integer("x", 1, 2, condition=Condition("ghost", (1,)))])
+
+
+def test_integer_log_requires_positive_low():
+    with pytest.raises(ConfigurationError):
+        Integer("x", 0, 10, log=True)
+
+
+def test_float_log_requires_positive_low():
+    with pytest.raises(ConfigurationError):
+        Float("x", 0.0, 1.0, log=True)
+
+
+def test_categorical_empty_choices_rejected():
+    with pytest.raises(ConfigurationError):
+        Categorical("x", ())
+
+
+@settings(max_examples=50, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_property_samples_always_validate(seed):
+    rng = np.random.default_rng(seed)
+    space = _conditional()
+    config = space.sample(rng)
+    space.validate(config)
+    neighbor = space.neighbor(config, rng)
+    space.validate(neighbor)
+    vec = space.encode(config)
+    assert vec.shape == (3,)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    low=st.integers(min_value=1, max_value=50),
+    span=st.integers(min_value=0, max_value=100),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_integer_bounds_hold(low, span, seed):
+    rng = np.random.default_rng(seed)
+    param = Integer("x", low, low + span, log=True)
+    for _ in range(10):
+        value = param.sample(rng)
+        assert low <= value <= low + span
+        encoded = param.encode(value)
+        assert -1e-9 <= encoded <= 1 + 1e-9

@@ -1,0 +1,93 @@
+"""Table-3 parity tests for the per-classifier spaces and the joint space."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers import classifier_names, make_classifier
+from repro.exceptions import ConfigurationError
+from repro.hpo import (
+    TABLE3_EXPECTED_COUNTS,
+    classifier_space,
+    joint_space,
+    merge_into_joint_config,
+    split_joint_config,
+)
+
+
+def test_every_classifier_has_a_space():
+    for name in classifier_names():
+        assert classifier_space(name) is not None
+
+
+def test_unknown_classifier_space_raises():
+    with pytest.raises(ConfigurationError):
+        classifier_space("mystery")
+
+
+@pytest.mark.parametrize("name", classifier_names())
+def test_table3_parameter_counts_match_paper(name):
+    space = classifier_space(name)
+    expected_cat, expected_num = TABLE3_EXPECTED_COUNTS[name]
+    assert space.n_categorical() == expected_cat, name
+    assert space.n_numerical() == expected_num, name
+
+
+@pytest.mark.parametrize("name", classifier_names())
+def test_default_config_constructs_classifier(name):
+    config = classifier_space(name).default_config()
+    clf = make_classifier(name, **config)
+    assert clf is not None
+
+
+@pytest.mark.parametrize("name", classifier_names())
+def test_sampled_configs_construct_classifiers(name, rng):
+    space = classifier_space(name)
+    for _ in range(5):
+        config = space.sample(rng)
+        make_classifier(name, **config)
+
+
+def test_joint_space_has_root_algorithm():
+    space = joint_space(["knn", "lda"])
+    assert space.params[0].name == "algorithm"
+    assert space.params[0].choices == ("knn", "lda")
+
+
+def test_joint_space_total_size():
+    space = joint_space()
+    # 1 root + sum of all per-classifier params
+    expected = 1 + sum(
+        cat + num for cat, num in TABLE3_EXPECTED_COUNTS.values()
+    )
+    assert len(space) == expected
+
+
+def test_joint_sample_only_activates_one_branch(rng):
+    space = joint_space(["knn", "svm", "rpart"])
+    for _ in range(20):
+        config = space.sample(rng)
+        algo, flat = split_joint_config(config)
+        assert algo in ("knn", "svm", "rpart")
+        assert len(config) == 1 + len(flat)
+        make_classifier(algo, **flat)
+
+
+def test_split_merge_roundtrip(rng):
+    space = joint_space(["j48", "rda"])
+    config = space.sample(rng)
+    algo, flat = split_joint_config(config)
+    merged = merge_into_joint_config(algo, flat)
+    assert merged == config
+
+
+def test_split_requires_algorithm_key():
+    with pytest.raises(ConfigurationError):
+        split_joint_config({"knn:k": 3})
+
+
+def test_joint_defaults_validate():
+    space = joint_space()
+    config = space.default_config()
+    space.validate(config)
+    algo, flat = split_joint_config(config)
+    make_classifier(algo, **flat)

@@ -1,0 +1,87 @@
+"""Miniature Table-4 integration test: the full comparison, deterministic.
+
+A scaled-down version of the headline benchmark that runs inside the test
+suite: small KB, two evaluation datasets, evaluation-count budgets (so the
+outcome is reproducible bit-for-bit), SmartML vs the Auto-Weka baseline.
+"""
+
+import pytest
+
+from repro import KnowledgeBase, SmartML, SmartMLConfig, bootstrap_knowledge_base
+from repro.baselines import AutoWekaBaseline
+from repro.data import SyntheticSpec, make_dataset
+
+ALGOS = ["knn", "rpart", "lda", "rda"]
+
+
+@pytest.fixture(scope="module")
+def mini_kb():
+    kb = KnowledgeBase()
+    corpus = [
+        make_dataset(SyntheticSpec(
+            name=f"prior{i}", n_instances=90, n_features=6, n_classes=2 + (i % 2),
+            class_sep=1.2 + 0.3 * (i % 3), label_noise=0.1, seed=800 + i,
+        ))
+        for i in range(5)
+    ]
+    bootstrap_knowledge_base(kb, corpus, algorithms=ALGOS,
+                             configs_per_algorithm=2, n_folds=2, seed=0)
+    return kb
+
+
+@pytest.fixture(scope="module")
+def eval_tasks():
+    return [
+        make_dataset(SyntheticSpec(
+            name="evalA", n_instances=100, n_features=6, n_classes=2,
+            class_sep=1.5, label_noise=0.1, seed=901,
+        )),
+        make_dataset(SyntheticSpec(
+            name="evalB", n_instances=100, n_features=6, n_classes=3,
+            class_sep=1.3, label_noise=0.1, seed=902,
+        )),
+    ]
+
+
+def test_mini_table4_protocol(mini_kb, eval_tasks):
+    rows = []
+    for dataset in eval_tasks:
+        smart = SmartML(mini_kb).run(
+            dataset,
+            SmartMLConfig(
+                time_budget_s=None, max_evals_per_algorithm=4, n_folds=2,
+                n_algorithms=3, update_kb=False, seed=3,
+            ),
+        )
+        base = AutoWekaBaseline(
+            algorithms=ALGOS, time_budget_s=None, max_config_evals=12,
+            n_folds=2, seed=3,
+        ).run(dataset)
+        rows.append((dataset.name, smart, base))
+
+    for name, smart, base in rows:
+        # Both systems produce sane results on every dataset.
+        assert 0.0 <= smart.validation_accuracy <= 1.0, name
+        assert 0.0 <= base.validation_accuracy <= 1.0, name
+        # SmartML used the KB (this is what distinguishes the two arms).
+        assert smart.used_meta_learning, name
+        assert all(c.warm_started for c in smart.candidates), name
+        # The baseline tried the joint space.
+        assert base.best_algorithm in ALGOS, name
+
+    # The meta-learning arm must not be dominated across the suite.
+    smart_mean = sum(s.validation_accuracy for _, s, _ in rows) / len(rows)
+    base_mean = sum(b.validation_accuracy for _, _, b in rows) / len(rows)
+    assert smart_mean >= base_mean - 0.1
+
+
+def test_mini_table4_deterministic(mini_kb, eval_tasks):
+    config = SmartMLConfig(
+        time_budget_s=None, max_evals_per_algorithm=3, n_folds=2,
+        n_algorithms=2, update_kb=False, seed=9,
+    )
+    a = SmartML(mini_kb).run(eval_tasks[0], config)
+    b = SmartML(mini_kb).run(eval_tasks[0], config)
+    assert a.best_algorithm == b.best_algorithm
+    assert a.best_config == b.best_config
+    assert a.validation_accuracy == b.validation_accuracy

@@ -1,0 +1,71 @@
+"""Tests for the global surrogate-tree explanation."""
+
+import numpy as np
+
+from repro.classifiers import KNN, RandomForest
+from repro.interpret import global_surrogate
+
+
+def _axis_aligned_problem(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1, 1, size=(n, 3))
+    y = (X[:, 0] > 0.2).astype(np.int64)
+    return X, y
+
+
+def test_surrogate_high_fidelity_on_simple_box():
+    X, y = _axis_aligned_problem()
+    model = RandomForest(ntree=20, seed=0).fit(X, y)
+    explanation = global_surrogate(model, X, max_depth=2)
+    assert explanation.fidelity > 0.9
+    assert explanation.n_leaves <= 4
+
+
+def test_surrogate_rules_mention_true_feature():
+    X, y = _axis_aligned_problem()
+    model = RandomForest(ntree=20, seed=0).fit(X, y)
+    explanation = global_surrogate(model, X, feature_names=["alpha", "beta", "gamma"])
+    rules = explanation.rules()
+    assert rules
+    assert any("alpha" in rule for rule in rules)
+
+
+def test_surrogate_predict_matches_tree():
+    X, y = _axis_aligned_problem(seed=2)
+    model = KNN(k=5).fit(X, y)
+    explanation = global_surrogate(model, X)
+    predictions = explanation.predict(X)
+    agreement = (predictions == model.predict(X)).mean()
+    assert abs(agreement - explanation.fidelity) < 1e-9
+
+
+def test_surrogate_fidelity_decreases_for_complex_boundary():
+    rng = np.random.default_rng(3)
+    X = rng.uniform(-1, 1, size=(400, 2))
+    simple_y = (X[:, 0] > 0).astype(np.int64)
+    xor_y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(np.int64)
+
+    simple_model = KNN(k=7).fit(X, simple_y)
+    xor_model = KNN(k=7).fit(X, xor_y)
+    simple_expl = global_surrogate(simple_model, X, max_depth=1)
+    xor_expl = global_surrogate(xor_model, X, max_depth=1)
+    # Depth-1 tree explains an axis cut perfectly but cannot explain XOR.
+    assert simple_expl.fidelity > 0.95
+    assert xor_expl.fidelity < 0.8
+
+
+def test_surrogate_describe_contains_fidelity_and_rules():
+    X, y = _axis_aligned_problem(seed=4)
+    model = KNN(k=3).fit(X, y)
+    text = global_surrogate(model, X).describe()
+    assert "fidelity" in text
+    assert "=> class" in text
+
+
+def test_surrogate_on_multiclass(multi_ds):
+    model = RandomForest(ntree=10, seed=1).fit(
+        multi_ds.X, multi_ds.y, n_classes=multi_ds.n_classes
+    )
+    explanation = global_surrogate(model, multi_ds.X, max_depth=3)
+    assert 0.0 <= explanation.fidelity <= 1.0
+    assert set(explanation.predict(multi_ds.X)) <= set(range(multi_ds.n_classes))

@@ -1,0 +1,166 @@
+"""Unit + property tests for the append-log record store."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import KnowledgeBaseError
+from repro.kb import RecordStore
+
+
+def test_in_memory_roundtrip():
+    store = RecordStore()
+    record_id = store.append("t", {"a": 1})
+    assert store.get("t", record_id) == {"a": 1}
+    assert store.count("t") == 1
+
+
+def test_ids_monotonically_increase():
+    store = RecordStore()
+    ids = [store.append("t", {"i": i}) for i in range(5)]
+    assert ids == sorted(ids)
+    assert len(set(ids)) == 5
+
+
+def test_scan_ordered():
+    store = RecordStore()
+    for i in range(4):
+        store.append("t", {"i": i})
+    scanned = store.scan("t")
+    assert [data["i"] for _, data in scanned] == [0, 1, 2, 3]
+
+
+def test_multiple_tables_isolated():
+    store = RecordStore()
+    store.append("a", {"x": 1})
+    store.append("b", {"y": 2})
+    assert store.count("a") == 1
+    assert store.count("b") == 1
+    assert store.tables() == ["a", "b"]
+
+
+def test_update_overwrites():
+    store = RecordStore()
+    rid = store.append("t", {"v": 1})
+    store.update("t", rid, {"v": 2})
+    assert store.get("t", rid) == {"v": 2}
+
+
+def test_delete_tombstones():
+    store = RecordStore()
+    rid = store.append("t", {"v": 1})
+    store.delete("t", rid)
+    assert store.count("t") == 0
+    with pytest.raises(KnowledgeBaseError):
+        store.get("t", rid)
+
+
+def test_update_missing_raises():
+    store = RecordStore()
+    with pytest.raises(KnowledgeBaseError):
+        store.update("t", 99, {})
+
+
+def test_delete_missing_raises():
+    store = RecordStore()
+    with pytest.raises(KnowledgeBaseError):
+        store.delete("t", 99)
+
+
+def test_persistence_across_reopen(tmp_path):
+    path = tmp_path / "kb.jsonl"
+    with RecordStore(path) as store:
+        rid = store.append("t", {"v": 42})
+        store.append("t", {"v": 43})
+        store.delete("t", rid)
+    with RecordStore(path) as reopened:
+        assert reopened.count("t") == 1
+        records = reopened.scan("t")
+        assert records[0][1] == {"v": 43}
+
+
+def test_ids_continue_after_reopen(tmp_path):
+    path = tmp_path / "kb.jsonl"
+    with RecordStore(path) as store:
+        first = store.append("t", {})
+    with RecordStore(path) as reopened:
+        second = reopened.append("t", {})
+    assert second > first
+
+
+def test_torn_final_write_repaired(tmp_path):
+    path = tmp_path / "kb.jsonl"
+    with RecordStore(path) as store:
+        store.append("t", {"v": 1})
+        store.append("t", {"v": 2})
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write('{"op": "put", "table": "t", "id": 3, "da')  # torn write
+    with RecordStore(path) as recovered:
+        assert recovered.count("t") == 2
+    # Repair must have rewritten a clean file.
+    for line in path.read_text().splitlines():
+        json.loads(line)
+
+
+def test_mid_file_corruption_raises(tmp_path):
+    path = tmp_path / "kb.jsonl"
+    with RecordStore(path) as store:
+        store.append("t", {"v": 1})
+        store.append("t", {"v": 2})
+    lines = path.read_text().splitlines()
+    lines[0] = "garbage{{{"
+    path.write_text("\n".join(lines) + "\n")
+    with pytest.raises(KnowledgeBaseError):
+        RecordStore(path)
+
+
+def test_malformed_entry_raises(tmp_path):
+    path = tmp_path / "kb.jsonl"
+    path.write_text('{"op": "put", "table": 5, "id": "x"}\n{"op":"noop"}\n')
+    with pytest.raises(KnowledgeBaseError):
+        RecordStore(path)
+
+
+def test_compaction_shrinks_log(tmp_path):
+    path = tmp_path / "kb.jsonl"
+    with RecordStore(path) as store:
+        rid = store.append("t", {"v": 0})
+        for i in range(20):
+            store.update("t", rid, {"v": i})
+        size_before = path.stat().st_size
+        store.compact()
+        size_after = path.stat().st_size
+        assert size_after < size_before
+        assert store.get("t", rid) == {"v": 19}
+    with RecordStore(path) as reopened:
+        assert reopened.get("t", rid) == {"v": 19}
+
+
+def test_store_appendable_after_compaction(tmp_path):
+    path = tmp_path / "kb.jsonl"
+    with RecordStore(path) as store:
+        store.append("t", {"v": 1})
+        store.compact()
+        store.append("t", {"v": 2})
+    with RecordStore(path) as reopened:
+        assert reopened.count("t") == 2
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.sampled_from(["a", "b"]), st.integers(min_value=0, max_value=99)),
+        min_size=1,
+        max_size=30,
+    )
+)
+def test_property_reopen_equals_in_memory(tmp_path_factory, ops):
+    path = tmp_path_factory.mktemp("kb") / "log.jsonl"
+    with RecordStore(path) as store:
+        for table, value in ops:
+            store.append(table, {"v": value})
+        snapshot = {t: store.scan(t) for t in store.tables()}
+    with RecordStore(path) as reopened:
+        assert {t: reopened.scan(t) for t in reopened.tables()} == snapshot

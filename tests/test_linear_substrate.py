@@ -1,0 +1,140 @@
+"""Unit tests for the linear substrate (logistic regression, PLS) and rules."""
+
+import numpy as np
+import pytest
+
+from repro.classifiers.linear import MultinomialLogisticRegression, PLSRegression, softmax
+from repro.classifiers.rules import Condition, DecisionList, Rule, simplify_rule
+
+
+# ----------------------------------------------------------------- softmax
+def test_softmax_rows_sum_to_one():
+    rng = np.random.default_rng(0)
+    scores = rng.normal(size=(20, 4)) * 10
+    proba = softmax(scores)
+    assert np.allclose(proba.sum(axis=1), 1.0)
+    assert (proba > 0).all()
+
+
+def test_softmax_shift_invariant():
+    scores = np.array([[1.0, 2.0, 3.0]])
+    assert np.allclose(softmax(scores), softmax(scores + 100.0))
+
+
+def test_softmax_handles_extreme_values():
+    proba = softmax(np.array([[1e4, 0.0], [-1e4, 0.0]]))
+    assert np.isfinite(proba).all()
+
+
+# ---------------------------------------------------------------- logistic
+def test_logistic_separable_high_accuracy(tiny_ds):
+    clf = MultinomialLogisticRegression().fit(tiny_ds.X, tiny_ds.y)
+    assert (clf.predict(tiny_ds.X) == tiny_ds.y).mean() > 0.9
+
+
+def test_logistic_l2_shrinks_weights(tiny_ds):
+    weak = MultinomialLogisticRegression(l2=1e-6).fit(tiny_ds.X, tiny_ds.y)
+    strong = MultinomialLogisticRegression(l2=10.0).fit(tiny_ds.X, tiny_ds.y)
+    assert np.abs(strong.weights_).sum() < np.abs(weak.weights_).sum()
+
+
+def test_logistic_multiclass(multi_ds):
+    clf = MultinomialLogisticRegression().fit(multi_ds.X, multi_ds.y)
+    proba = clf.predict_proba(multi_ds.X)
+    assert proba.shape == (multi_ds.n_instances, multi_ds.n_classes)
+    assert np.allclose(proba.sum(axis=1), 1.0)
+
+
+def test_logistic_decision_scores_monotone_with_proba(tiny_ds):
+    clf = MultinomialLogisticRegression().fit(tiny_ds.X, tiny_ds.y)
+    scores = clf.decision_scores(tiny_ds.X)
+    proba = clf.predict_proba(tiny_ds.X)
+    assert np.array_equal(np.argmax(scores, axis=1), np.argmax(proba, axis=1))
+
+
+# --------------------------------------------------------------------- PLS
+def test_pls_recovers_linear_relationship():
+    rng = np.random.default_rng(1)
+    X = rng.normal(size=(200, 6))
+    beta = np.array([2.0, -1.0, 0.5, 0.0, 0.0, 0.0])
+    Y = X @ beta + 0.01 * rng.normal(size=200)
+    pls = PLSRegression(n_components=3).fit(X, Y)
+    pred = pls.predict(X).ravel()
+    ss_res = ((pred - Y) ** 2).sum()
+    ss_tot = ((Y - Y.mean()) ** 2).sum()
+    assert 1 - ss_res / ss_tot > 0.95
+
+
+def test_pls_components_clipped():
+    rng = np.random.default_rng(2)
+    X = rng.normal(size=(20, 3))
+    Y = rng.normal(size=(20, 2))
+    pls = PLSRegression(n_components=50).fit(X, Y)
+    assert pls.n_components_ <= 3
+
+
+def test_pls_transform_shape():
+    rng = np.random.default_rng(3)
+    X = rng.normal(size=(50, 5))
+    Y = rng.normal(size=50)
+    pls = PLSRegression(n_components=2).fit(X, Y)
+    assert pls.transform(X).shape == (50, pls.n_components_)
+
+
+def test_pls_constant_target_degenerates_gracefully():
+    X = np.random.default_rng(4).normal(size=(30, 4))
+    Y = np.ones(30)
+    pls = PLSRegression(n_components=2).fit(X, Y)
+    assert np.allclose(pls.predict(X), 1.0, atol=1e-8)
+
+
+def test_pls_invalid_components():
+    with pytest.raises(Exception):
+        PLSRegression(n_components=0)
+
+
+# ------------------------------------------------------------------- rules
+def test_condition_matching():
+    X = np.array([[1.0], [3.0], [5.0]])
+    le = Condition(0, "le", 3.0)
+    gt = Condition(0, "gt", 3.0)
+    assert list(le.matches(X)) == [True, True, False]
+    assert list(gt.matches(X)) == [False, False, True]
+
+
+def test_rule_confidence_laplace():
+    rule = Rule([Condition(0, "le", 1.0)], np.array([8.0, 2.0]))
+    assert rule.prediction == 0
+    assert rule.confidence == pytest.approx((8 + 1) / (10 + 2))
+
+
+def test_decision_list_first_match_wins():
+    rules = [
+        Rule([Condition(0, "le", 0.0)], np.array([10.0, 0.0])),
+        Rule([Condition(0, "le", 10.0)], np.array([0.0, 10.0])),
+    ]
+    dl = DecisionList(rules, default_counts=np.array([1.0, 1.0]))
+    X = np.array([[-1.0], [5.0], [100.0]])
+    proba = dl.predict_proba(X, 2)
+    assert np.argmax(proba[0]) == 0   # first rule
+    assert np.argmax(proba[1]) == 1   # second rule
+    assert proba[2, 0] == pytest.approx(0.5)  # default
+
+
+def test_simplify_rule_drops_redundant_condition():
+    rng = np.random.default_rng(5)
+    X = rng.uniform(-1, 1, size=(200, 2))
+    y = (X[:, 0] > 0).astype(np.int64)
+    # Second condition on an irrelevant feature.
+    rule = Rule(
+        [Condition(0, "gt", 0.0), Condition(1, "le", 0.9)],
+        np.bincount(y[(X[:, 0] > 0) & (X[:, 1] <= 0.9)], minlength=2).astype(float),
+    )
+    simplified = simplify_rule(rule, X, y, 2)
+    assert len(simplified.conditions) == 1
+    assert simplified.conditions[0].feature == 0
+
+
+def test_rule_describe_uses_feature_names():
+    rule = Rule([Condition(0, "le", 1.5)], np.array([3.0, 1.0]))
+    assert "age <= 1.5" in rule.describe(["age"])

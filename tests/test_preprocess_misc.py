@@ -1,0 +1,185 @@
+"""Unit tests for imputation, encoding, feature selection, and the pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset
+from repro.exceptions import ConfigurationError
+from repro.preprocess import (
+    Imputer,
+    OneHotEncoder,
+    PREPROCESSOR_REGISTRY,
+    Pipeline,
+    UnivariateSelector,
+    anova_f_scores,
+    build_preprocessor,
+    mutual_information_scores,
+)
+
+
+def _with_missing() -> Dataset:
+    X = np.array(
+        [
+            [1.0, 0.0],
+            [np.nan, 1.0],
+            [3.0, np.nan],
+            [5.0, 1.0],
+            [np.nan, 1.0],
+        ]
+    )
+    return Dataset(
+        X=X, y=np.array([0, 1, 0, 1, 1]), categorical_mask=np.array([False, True])
+    )
+
+
+# ------------------------------------------------------------------- imputer
+def test_imputer_numeric_median():
+    out = Imputer().fit_transform(_with_missing())
+    assert out.X[1, 0] == pytest.approx(3.0)  # median of [1, 3, 5]
+
+
+def test_imputer_categorical_mode():
+    out = Imputer().fit_transform(_with_missing())
+    assert out.X[2, 1] == pytest.approx(1.0)  # mode of [0, 1, 1, 1]
+
+
+def test_imputer_all_missing_column_filled_with_zero():
+    X = np.column_stack([np.full(4, np.nan), np.arange(4.0)])
+    ds = Dataset(X=X, y=np.array([0, 1, 0, 1]))
+    out = Imputer().fit_transform(ds)
+    assert np.allclose(out.X[:, 0], 0.0)
+
+
+def test_imputer_uses_training_statistics():
+    imputer = Imputer().fit(_with_missing())
+    fresh = Dataset(
+        X=np.array([[np.nan, np.nan]]),
+        y=np.array([0]),
+        categorical_mask=np.array([False, True]),
+        class_names=["c0", "c1"],
+    )
+    out = imputer.transform(fresh)
+    assert out.X[0, 0] == pytest.approx(3.0)
+    assert out.X[0, 1] == pytest.approx(1.0)
+
+
+# ------------------------------------------------------------------- one-hot
+def test_onehot_expands_categoricals(mixed_ds):
+    out = OneHotEncoder().fit_transform(mixed_ds)
+    assert out.n_features > mixed_ds.n_features
+    assert not out.categorical_mask.any()  # all expanded (few levels)
+
+
+def test_onehot_indicator_rows_sum_to_one(mixed_ds):
+    prepared = Imputer().fit_transform(mixed_ds)
+    encoder = OneHotEncoder().fit(prepared)
+    out = encoder.transform(prepared)
+    for j in prepared.categorical_indices:
+        name = prepared.feature_names[int(j)]
+        cols = [i for i, n in enumerate(out.feature_names) if n.startswith(f"{name}=")]
+        assert np.allclose(out.X[:, cols].sum(axis=1), 1.0)
+
+
+def test_onehot_unseen_category_all_zeros():
+    ds = Dataset(
+        X=np.array([[0.0], [1.0], [1.0], [0.0]]),
+        y=np.array([0, 1, 1, 0]),
+        categorical_mask=np.array([True]),
+    )
+    encoder = OneHotEncoder().fit(ds)
+    fresh = Dataset(
+        X=np.array([[7.0]]), y=np.array([0]),
+        categorical_mask=np.array([True]), class_names=["c0", "c1"],
+    )
+    out = encoder.transform(fresh)
+    assert np.allclose(out.X, 0.0)
+
+
+def test_onehot_high_cardinality_kept_as_codes():
+    rng = np.random.default_rng(0)
+    ds = Dataset(
+        X=rng.integers(0, 50, size=(60, 1)).astype(float),
+        y=rng.integers(0, 2, size=60),
+        categorical_mask=np.array([True]),
+    )
+    out = OneHotEncoder(max_levels=10).fit_transform(ds)
+    assert out.n_features == 1
+
+
+# ---------------------------------------------------------- feature selection
+def test_anova_prefers_informative_feature(tiny_ds):
+    scores = anova_f_scores(tiny_ds)
+    rng = np.random.default_rng(0)
+    noise = Dataset(
+        X=np.column_stack([tiny_ds.X, rng.normal(size=tiny_ds.n_instances)]),
+        y=tiny_ds.y,
+    )
+    noisy_scores = anova_f_scores(noise)
+    assert noisy_scores[-1] < max(scores)
+
+
+def test_mutual_information_nonnegative(mixed_ds):
+    assert (mutual_information_scores(mixed_ds) >= 0).all()
+
+
+def test_selector_keeps_k(multi_ds):
+    out = UnivariateSelector(k=3).fit_transform(multi_ds)
+    assert out.n_features == 3
+
+
+def test_selector_k_clipped(tiny_ds):
+    out = UnivariateSelector(k=99).fit_transform(tiny_ds)
+    assert out.n_features == tiny_ds.n_features
+
+
+def test_selector_rejects_bad_args():
+    with pytest.raises(ConfigurationError):
+        UnivariateSelector(k=0)
+    with pytest.raises(ConfigurationError):
+        UnivariateSelector(k=2, score="nope")
+
+
+def test_selector_mutual_info_mode(multi_ds):
+    out = UnivariateSelector(k=2, score="mutual_info").fit_transform(multi_ds)
+    assert out.n_features == 2
+
+
+# ------------------------------------------------------------------ pipeline
+def test_registry_has_exactly_the_eight_table2_operators():
+    assert sorted(PREPROCESSOR_REGISTRY) == sorted(
+        ["center", "scale", "range", "zv", "boxcox", "yeojohnson", "pca", "ica"]
+    )
+
+
+def test_build_preprocessor_prepends_imputer():
+    pipe = build_preprocessor(["center"])
+    assert type(pipe.steps[0]).__name__ == "Imputer"
+    assert len(pipe) == 2
+
+
+def test_build_preprocessor_unknown_name():
+    with pytest.raises(ConfigurationError):
+        build_preprocessor(["nope"])
+
+
+def test_pipeline_chains_fit_statistics(mixed_ds):
+    pipe = build_preprocessor(["center", "scale"])
+    out = pipe.fit_transform(mixed_ds)
+    numeric = out.numeric_indices
+    assert np.allclose(out.X[:, numeric].mean(axis=0), 0.0, atol=1e-8)
+
+
+def test_pipeline_transform_matches_fit_transform(mixed_ds):
+    pipe = build_preprocessor(["center", "scale", "zv"])
+    out_a = pipe.fit_transform(mixed_ds)
+    out_b = pipe.transform(mixed_ds)
+    assert np.allclose(out_a.X, out_b.X)
+
+
+def test_full_table2_pipeline_runs(mixed_ds):
+    pipe = build_preprocessor(
+        ["zv", "center", "scale", "range", "yeojohnson", "pca"]
+    )
+    out = pipe.fit_transform(mixed_ds)
+    assert np.isfinite(out.X).all()
+    assert out.n_instances == mixed_ds.n_instances

@@ -1,0 +1,115 @@
+"""Unit + property tests for Box-Cox / Yeo-Johnson (Table 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from scipy import stats
+
+from repro.data import Dataset
+from repro.preprocess import BoxCox, YeoJohnson
+from repro.preprocess.power import boxcox_transform, yeojohnson_transform
+
+
+def _skewed_positive(n=300, seed=0) -> Dataset:
+    rng = np.random.default_rng(seed)
+    X = np.column_stack([
+        rng.lognormal(0, 1, size=n),       # strongly right-skewed, positive
+        rng.exponential(2.0, size=n) + 0.1,
+    ])
+    return Dataset(X=X, y=rng.integers(0, 2, size=n))
+
+
+def test_boxcox_reduces_skewness():
+    ds = _skewed_positive()
+    out = BoxCox().fit_transform(ds)
+    for j in range(ds.n_features):
+        assert abs(stats.skew(out.X[:, j])) < abs(stats.skew(ds.X[:, j]))
+
+
+def test_boxcox_lambda_zero_is_log():
+    x = np.array([1.0, 2.0, 4.0])
+    assert np.allclose(boxcox_transform(x, 0.0), np.log(x))
+
+
+def test_boxcox_lambda_one_is_shift():
+    x = np.array([1.0, 2.0, 4.0])
+    assert np.allclose(boxcox_transform(x, 1.0), x - 1.0)
+
+
+def test_boxcox_skips_nonpositive_columns():
+    rng = np.random.default_rng(1)
+    X = np.column_stack([rng.normal(size=50), rng.lognormal(size=50)])
+    ds = Dataset(X=X, y=rng.integers(0, 2, size=50))
+    transformer = BoxCox().fit(ds)
+    assert 0 not in transformer.lambdas_
+    assert 1 in transformer.lambdas_
+
+
+def test_boxcox_skips_categoricals(mixed_ds):
+    transformer = BoxCox().fit(mixed_ds)
+    for j in mixed_ds.categorical_indices:
+        assert int(j) not in transformer.lambdas_
+
+
+def test_yeojohnson_handles_negative_values():
+    rng = np.random.default_rng(2)
+    X = (rng.normal(size=(200, 1)) - 2.0) ** 3  # skewed, mixed sign
+    ds = Dataset(X=X, y=rng.integers(0, 2, size=200))
+    out = YeoJohnson().fit_transform(ds)
+    assert np.isfinite(out.X).all()
+    assert abs(stats.skew(out.X[:, 0])) < abs(stats.skew(ds.X[:, 0]))
+
+
+def test_yeojohnson_lambda_one_is_identity():
+    x = np.array([-2.0, -0.5, 0.0, 1.0, 3.0])
+    assert np.allclose(yeojohnson_transform(x, 1.0), x)
+
+
+def test_yeojohnson_matches_scipy_reference():
+    x = np.linspace(-2, 3, 11)
+    for lam in (0.0, 0.5, 1.5, 2.0):
+        ours = yeojohnson_transform(x, lam)
+        reference = stats.yeojohnson(x, lmbda=lam)
+        assert np.allclose(ours, reference, atol=1e-10)
+
+
+def test_boxcox_matches_scipy_reference():
+    x = np.linspace(0.1, 5, 17)
+    for lam in (-0.5, 0.0, 0.5, 2.0):
+        ours = boxcox_transform(x, lam)
+        reference = stats.boxcox(x, lmbda=lam)
+        assert np.allclose(ours, reference, atol=1e-10)
+
+
+def test_nan_cells_preserved():
+    rng = np.random.default_rng(3)
+    X = rng.lognormal(size=(60, 1))
+    X[5, 0] = np.nan
+    ds = Dataset(X=X, y=rng.integers(0, 2, size=60))
+    out = YeoJohnson().fit_transform(ds)
+    assert np.isnan(out.X[5, 0])
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    lam=st.floats(min_value=-2.0, max_value=2.0, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_yeojohnson_monotone(lam, seed):
+    rng = np.random.default_rng(seed)
+    x = np.sort(rng.normal(scale=2.0, size=30))
+    z = yeojohnson_transform(x, lam)
+    assert (np.diff(z) >= -1e-9).all()
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    lam=st.floats(min_value=-2.0, max_value=2.0, allow_nan=False),
+    seed=st.integers(min_value=0, max_value=1000),
+)
+def test_property_boxcox_monotone(lam, seed):
+    rng = np.random.default_rng(seed)
+    x = np.sort(rng.lognormal(size=30)) + 0.01
+    z = boxcox_transform(x, lam)
+    assert (np.diff(z) >= -1e-9).all()

@@ -1,0 +1,106 @@
+"""Unit tests for PCA / ICA (Table 2)."""
+
+import numpy as np
+import pytest
+
+from repro.data import Dataset
+from repro.exceptions import ConfigurationError
+from repro.preprocess import ICA, PCA
+
+
+def _correlated(n=200, seed=0) -> Dataset:
+    rng = np.random.default_rng(seed)
+    latent = rng.normal(size=(n, 2))
+    X = np.column_stack([
+        latent[:, 0],
+        0.9 * latent[:, 0] + 0.1 * rng.normal(size=n),
+        latent[:, 1],
+        latent[:, 1] + latent[:, 0],
+        rng.normal(size=n) * 0.01,
+    ])
+    return Dataset(X=X, y=rng.integers(0, 2, size=n))
+
+
+def test_pca_output_columns_uncorrelated():
+    out = PCA(variance_kept=0.99).fit_transform(_correlated())
+    corr = np.corrcoef(out.X.T)
+    off_diag = corr - np.diag(np.diag(corr))
+    assert np.abs(off_diag).max() < 0.05
+
+
+def test_pca_explained_variance_sorted_and_reaches_threshold():
+    pca = PCA(variance_kept=0.95).fit(_correlated())
+    ratio = pca.explained_variance_ratio_
+    assert (np.diff(ratio) <= 1e-12).all()
+
+
+def test_pca_reduces_dimensionality_of_redundant_data():
+    pca = PCA(variance_kept=0.95).fit(_correlated())
+    assert pca.loadings_.shape[1] < 5
+
+
+def test_pca_fixed_component_count():
+    out = PCA(n_components=2).fit_transform(_correlated())
+    assert out.n_features == 2
+    assert out.feature_names == ["pc0", "pc1"]
+
+
+def test_pca_train_test_consistency():
+    ds = _correlated()
+    pca = PCA(n_components=3).fit(ds)
+    again = pca.transform(ds)
+    direct = pca.transform(ds)
+    assert np.allclose(again.X, direct.X)
+
+
+def test_pca_keeps_categoricals(mixed_ds):
+    out = PCA(n_components=2).fit_transform(mixed_ds)
+    n_cat = int(mixed_ds.categorical_mask.sum())
+    assert out.n_features == 2 + n_cat
+    assert int(out.categorical_mask.sum()) == n_cat
+
+
+def test_pca_invalid_threshold():
+    with pytest.raises(ConfigurationError):
+        PCA(variance_kept=0.0)
+
+
+def test_ica_recovers_independent_sources():
+    rng = np.random.default_rng(4)
+    n = 500
+    s1 = rng.uniform(-1, 1, size=n)             # non-Gaussian sources
+    s2 = np.sign(rng.normal(size=n)) * rng.uniform(0.5, 1.0, size=n)
+    sources = np.column_stack([s1, s2])
+    mixing = np.array([[1.0, 0.6], [0.4, 1.0]])
+    X = sources @ mixing.T
+    ds = Dataset(X=X, y=rng.integers(0, 2, size=n))
+    out = ICA(n_components=2, seed=0).fit_transform(ds)
+    # Each recovered component should correlate strongly with one source.
+    corr = np.abs(np.corrcoef(out.X.T, sources.T)[:2, 2:])
+    assert corr.max(axis=1).min() > 0.9
+
+
+def test_ica_components_roughly_uncorrelated():
+    out = ICA(n_components=3, seed=1).fit_transform(_correlated())
+    corr = np.corrcoef(out.X.T)
+    off = corr - np.diag(np.diag(corr))
+    assert np.abs(off).max() < 0.1
+
+
+def test_ica_deterministic_given_seed():
+    ds = _correlated()
+    a = ICA(n_components=2, seed=5).fit_transform(ds)
+    b = ICA(n_components=2, seed=5).fit_transform(ds)
+    assert np.allclose(a.X, b.X)
+
+
+def test_projections_on_pure_categorical_noop():
+    rng = np.random.default_rng(6)
+    ds = Dataset(
+        X=rng.integers(0, 3, size=(30, 2)).astype(float),
+        y=rng.integers(0, 2, size=30),
+        categorical_mask=np.array([True, True]),
+    )
+    for transformer in (PCA(), ICA()):
+        out = transformer.fit_transform(ds)
+        assert np.array_equal(out.X, ds.X)

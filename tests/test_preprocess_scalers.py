@@ -1,0 +1,101 @@
+"""Unit + property tests for center/scale/range/zv (Table 2)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import Dataset
+from repro.exceptions import NotFittedError
+from repro.preprocess import Center, RangeScaler, Scale, ZeroVarianceFilter
+
+
+def test_center_zero_mean(tiny_ds):
+    out = Center().fit_transform(tiny_ds)
+    assert np.allclose(out.X.mean(axis=0), 0.0, atol=1e-10)
+
+
+def test_scale_unit_std(tiny_ds):
+    out = Scale().fit_transform(tiny_ds)
+    assert np.allclose(out.X.std(axis=0, ddof=1), 1.0, atol=1e-10)
+
+
+def test_range_in_unit_interval(tiny_ds):
+    out = RangeScaler().fit_transform(tiny_ds)
+    assert out.X.min() >= -1e-12
+    assert out.X.max() <= 1 + 1e-12
+
+
+def test_transforms_use_training_statistics(tiny_ds):
+    center = Center().fit(tiny_ds)
+    shifted = tiny_ds.copy()
+    shifted.X = shifted.X + 100.0
+    out = center.transform(shifted)
+    assert np.allclose(out.X.mean(axis=0), 100.0, atol=1e-8)
+
+
+def test_categorical_columns_untouched(mixed_ds):
+    for transformer in (Center(), Scale(), RangeScaler()):
+        out = transformer.fit_transform(mixed_ds)
+        for j in mixed_ds.categorical_indices:
+            a, b = out.X[:, j], mixed_ds.X[:, j]
+            assert np.array_equal(a[~np.isnan(a)], b[~np.isnan(b)])
+
+
+def test_scale_constant_column_left_alone():
+    ds = Dataset(X=np.column_stack([np.ones(5), np.arange(5.0)]), y=np.array([0, 1, 0, 1, 0]))
+    out = Scale().fit_transform(ds)
+    assert np.allclose(out.X[:, 0], 1.0)
+
+
+def test_zv_drops_constant_columns():
+    ds = Dataset(
+        X=np.column_stack([np.ones(6), np.arange(6.0), np.zeros(6)]),
+        y=np.array([0, 1] * 3),
+    )
+    out = ZeroVarianceFilter().fit_transform(ds)
+    assert out.n_features == 1
+    assert out.feature_names == ["f1"]
+
+
+def test_zv_keeps_one_column_when_all_constant():
+    ds = Dataset(X=np.ones((4, 3)), y=np.array([0, 1, 0, 1]))
+    out = ZeroVarianceFilter().fit_transform(ds)
+    assert out.n_features == 1
+
+
+def test_zv_handles_all_nan_column():
+    X = np.column_stack([np.full(4, np.nan), np.arange(4.0)])
+    ds = Dataset(X=X, y=np.array([0, 1, 0, 1]))
+    out = ZeroVarianceFilter().fit_transform(ds)
+    assert out.n_features == 1
+
+
+def test_transform_before_fit_raises(tiny_ds):
+    for transformer in (Center(), Scale(), RangeScaler(), ZeroVarianceFilter()):
+        with pytest.raises(NotFittedError):
+            transformer.transform(tiny_ds)
+
+
+def test_original_dataset_unchanged(tiny_ds):
+    before = tiny_ds.X.copy()
+    Center().fit_transform(tiny_ds)
+    assert np.array_equal(tiny_ds.X, before)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    n=st.integers(min_value=5, max_value=60),
+    d=st.integers(min_value=1, max_value=6),
+)
+def test_property_center_then_scale_standardises(seed, n, d):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d)) * rng.uniform(0.5, 5.0, size=d) + rng.normal(size=d)
+    y = rng.integers(0, 2, size=n)
+    ds = Dataset(X=X, y=y)
+    out = Scale().fit_transform(Center().fit_transform(ds))
+    stds = out.X.std(axis=0, ddof=1)
+    nontrivial = X.std(axis=0, ddof=1) > 1e-12
+    assert np.allclose(out.X.mean(axis=0), 0.0, atol=1e-8)
+    assert np.allclose(stds[nontrivial], 1.0, atol=1e-8)

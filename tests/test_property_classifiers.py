@@ -1,0 +1,87 @@
+"""Property-based tests: classifier contracts under arbitrary valid inputs."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classifiers import make_classifier
+from repro.data import SyntheticSpec, make_dataset
+
+#: Fast classifiers suitable for many hypothesis examples.
+FAST_NAMES = ["knn", "naive_bayes", "lda", "rda", "rpart", "j48", "plsda"]
+
+
+@st.composite
+def small_problem(draw):
+    n = draw(st.integers(min_value=12, max_value=60))
+    d = draw(st.integers(min_value=1, max_value=6))
+    k = draw(st.integers(min_value=2, max_value=4))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    n = max(n, 3 * k)
+    ds = make_dataset(
+        SyntheticSpec(name="prop", n_instances=n, n_features=d, n_classes=k,
+                      class_sep=1.5, seed=seed)
+    )
+    return ds
+
+
+@settings(max_examples=20, deadline=None)
+@given(ds=small_problem(), which=st.sampled_from(FAST_NAMES))
+def test_property_fit_predict_contract(ds, which):
+    clf = make_classifier(which)
+    clf.fit(ds.X, ds.y, n_classes=ds.n_classes)
+    proba = clf.predict_proba(ds.X)
+    assert proba.shape == (ds.n_instances, ds.n_classes)
+    assert np.isfinite(proba).all()
+    assert np.allclose(proba.sum(axis=1), 1.0, atol=1e-6)
+    predictions = clf.predict(ds.X)
+    assert predictions.min() >= 0
+    assert predictions.max() < ds.n_classes
+
+
+@settings(max_examples=15, deadline=None)
+@given(ds=small_problem())
+def test_property_prediction_invariant_to_row_order(ds):
+    clf = make_classifier("lda")
+    clf.fit(ds.X, ds.y, n_classes=ds.n_classes)
+    order = np.random.default_rng(0).permutation(ds.n_instances)
+    direct = clf.predict_proba(ds.X)[order]
+    shuffled = clf.predict_proba(ds.X[order])
+    assert np.allclose(direct, shuffled, atol=1e-10)
+
+
+@settings(max_examples=15, deadline=None)
+@given(ds=small_problem(), scale=st.floats(min_value=0.1, max_value=10.0))
+def test_property_knn_scale_invariance(ds, scale):
+    # KNN standardises internally, so uniform feature scaling is a no-op.
+    a = make_classifier("knn", k=3)
+    a.fit(ds.X, ds.y, n_classes=ds.n_classes)
+    b = make_classifier("knn", k=3)
+    b.fit(ds.X * scale, ds.y, n_classes=ds.n_classes)
+    assert np.array_equal(a.predict(ds.X), b.predict(ds.X * scale))
+
+
+@settings(max_examples=15, deadline=None)
+@given(ds=small_problem(), shift=st.floats(min_value=-100, max_value=100))
+def test_property_tree_shift_invariance(ds, shift):
+    # Axis-aligned splits are invariant to per-column monotone shifts.
+    a = make_classifier("rpart")
+    a.fit(ds.X, ds.y, n_classes=ds.n_classes)
+    b = make_classifier("rpart")
+    b.fit(ds.X + shift, ds.y, n_classes=ds.n_classes)
+    assert np.array_equal(a.predict(ds.X), b.predict(ds.X + shift))
+
+
+@settings(max_examples=10, deadline=None)
+@given(ds=small_problem())
+def test_property_label_permutation_consistency(ds):
+    # Swapping class labels 0<->1 must swap the probability columns.
+    if ds.n_classes != 2:
+        return
+    a = make_classifier("naive_bayes")
+    a.fit(ds.X, ds.y, n_classes=2)
+    b = make_classifier("naive_bayes")
+    b.fit(ds.X, 1 - ds.y, n_classes=2)
+    assert np.allclose(
+        a.predict_proba(ds.X), b.predict_proba(ds.X)[:, ::-1], atol=1e-8
+    )

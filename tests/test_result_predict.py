@@ -1,0 +1,85 @@
+"""Tests for end-to-end prediction through a SmartML result."""
+
+import numpy as np
+import pytest
+
+from repro import SmartML, SmartMLConfig
+from repro.core.result import SmartMLResult
+from repro.data import SyntheticSpec, make_dataset
+from repro.evaluation import accuracy
+from repro.exceptions import NotFittedError
+
+FAST = dict(
+    time_budget_s=None,
+    max_evals_per_algorithm=2,
+    n_folds=2,
+    fallback_portfolio=["knn", "rpart"],
+    n_algorithms=2,
+)
+
+
+@pytest.fixture
+def train_and_fresh():
+    # One generating process, disjoint rows: the held-back slice plays the
+    # role of genuinely new data arriving after deployment.
+    full = make_dataset(
+        SyntheticSpec(name="deploy", n_instances=180, n_features=6, n_classes=2,
+                      class_sep=2.2, missing_ratio=0.03, seed=61)
+    )
+    rows = np.arange(full.n_instances)
+    train = full.subset(rows[:120], name="train")
+    fresh = full.subset(rows[120:], name="fresh")
+    return train, fresh
+
+
+def test_predict_on_raw_dataset(train_and_fresh):
+    train, fresh = train_and_fresh
+    result = SmartML().run(train, SmartMLConfig(preprocessing=["center", "scale"], **FAST))
+    predictions = result.predict(fresh)
+    assert predictions.shape == (fresh.n_instances,)
+    # Same generating process: the model must clearly beat chance.
+    assert accuracy(fresh.y, predictions) > 0.7
+
+
+def test_predict_handles_missing_values(train_and_fresh):
+    train, fresh = train_and_fresh
+    result = SmartML().run(train, SmartMLConfig(**FAST))
+    withheld = fresh.copy()
+    withheld.X[0, :3] = np.nan
+    predictions = result.predict(withheld)
+    assert predictions.shape == (fresh.n_instances,)
+
+
+def test_predict_proba_normalised(train_and_fresh):
+    train, fresh = train_and_fresh
+    result = SmartML().run(train, SmartMLConfig(**FAST))
+    proba = result.predict_proba(fresh)
+    assert proba.shape == (fresh.n_instances, train.n_classes)
+    assert np.allclose(proba.sum(axis=1), 1.0, atol=1e-6)
+
+
+def test_predict_through_ensemble(train_and_fresh):
+    train, fresh = train_and_fresh
+    result = SmartML().run(train, SmartMLConfig(ensemble=True, **FAST))
+    assert result.ensemble is not None
+    direct = result.predict(fresh)
+    via_ensemble = result.predict(fresh, use_ensemble=True)
+    assert via_ensemble.shape == direct.shape
+
+
+def test_predict_consistent_with_feature_selection(train_and_fresh):
+    train, fresh = train_and_fresh
+    result = SmartML().run(train, SmartMLConfig(feature_selection_k=3, **FAST))
+    predictions = result.predict(fresh)  # pipeline reduces to 3 columns itself
+    assert predictions.shape == (fresh.n_instances,)
+
+
+def test_predict_without_pipeline_raises():
+    bare = SmartMLResult(
+        dataset_name="x", best_algorithm="knn", best_config={},
+        validation_accuracy=0.0, model=None,
+    )
+    ds = make_dataset(SyntheticSpec(name="d", n_instances=10, n_features=2,
+                                    n_classes=2, seed=1))
+    with pytest.raises(NotFittedError):
+        bare.predict(ds)

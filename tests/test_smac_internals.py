@@ -1,0 +1,106 @@
+"""White-box tests for SMAC's proposal and racing internals."""
+
+import numpy as np
+import pytest
+
+from repro.hpo import SMAC, Float, ParamSpace, SMACSettings
+from repro.hpo.smac import TrialRecord
+
+
+def _space():
+    return ParamSpace([Float("x", 0.0, 1.0, default=0.5)])
+
+
+class _CountingObjective:
+    """Objective whose per-fold costs are fully scripted."""
+
+    def __init__(self, costs_by_x, n_folds=3):
+        self.costs_by_x = costs_by_x
+        self.n_folds = n_folds
+        self.n_fold_evaluations = 0
+        self._cache = {}
+
+    def _cost(self, config):
+        x = round(float(config["x"]), 3)
+        return self.costs_by_x.get(x, 0.9)
+
+    def evaluate_fold(self, config, key, fold_id):
+        per = self._cache.setdefault(key, {})
+        if fold_id not in per:
+            per[fold_id] = self._cost(config)
+            self.n_fold_evaluations += 1
+        return per[fold_id]
+
+    def evaluate(self, config, key, fold_ids=None):
+        fold_ids = fold_ids if fold_ids is not None else range(self.n_folds)
+        return float(np.mean([self.evaluate_fold(config, key, f) for f in fold_ids]))
+
+    def known_mean(self, key):
+        per = self._cache.get(key)
+        return float(np.mean(list(per.values()))) if per else None
+
+    def evaluated_folds(self, key):
+        return sorted(self._cache.get(key, {}))
+
+
+def test_racing_rejects_clear_loser_after_one_fold():
+    # default (0.5) is good; everything else is bad -> every challenger
+    # must die after exactly one fold.
+    objective = _CountingObjective({0.5: 0.1})
+    smac = SMAC(_space(), SMACSettings(max_config_evals=6, seed=0))
+    result = smac.optimize(objective)
+    assert result.incumbent["x"] == pytest.approx(0.5)
+    # incumbent: 3 folds; 5 challengers x 1 fold each = 8 total.
+    assert objective.n_fold_evaluations == 3 + 5
+
+
+def test_racing_promotes_strictly_better_challenger():
+    objective = _CountingObjective({0.5: 0.4, 0.2: 0.1})
+    smac = SMAC(_space(), SMACSettings(max_config_evals=3, seed=0))
+    result = smac.optimize(objective, initial_configs=[{"x": 0.2}])
+    assert result.incumbent["x"] == pytest.approx(0.2)
+    assert result.incumbent_cost == pytest.approx(0.1)
+    promoted = [r for r in result.history if r.was_incumbent]
+    assert len(promoted) == 2  # default first, then the warm config
+
+
+def test_duplicate_configs_not_reevaluated():
+    objective = _CountingObjective({0.5: 0.2})
+    smac = SMAC(_space(), SMACSettings(max_config_evals=4, seed=1))
+    result = smac.optimize(
+        objective, initial_configs=[{"x": 0.5}, {"x": 0.5}]  # dupes of default
+    )
+    keys = {tuple(sorted((k, repr(v)) for k, v in r.config.items()))
+            for r in result.history}
+    assert len(keys) == len(result.history)  # every history entry distinct
+
+
+def test_proposal_uses_surrogate_after_min_history():
+    # With enough history and random_interleave=0, proposals come from EI.
+    space = _space()
+    history = [
+        TrialRecord({"x": x}, cost=(x - 0.7) ** 2, n_folds=3, elapsed_s=0.0)
+        for x in (0.0, 0.2, 0.4, 0.6, 0.8, 1.0)
+    ]
+    smac = SMAC(space, SMACSettings(max_config_evals=1, random_interleave=0.0, seed=2))
+    proposals = [smac._propose(history, {"x": 0.6}) for _ in range(10)]
+    mean_x = np.mean([p["x"] for p in proposals])
+    # EI should concentrate proposals near the optimum at 0.7.
+    assert 0.4 < mean_x < 1.0
+
+
+def test_proposal_random_before_min_history():
+    space = _space()
+    smac = SMAC(space, SMACSettings(max_config_evals=1, seed=3))
+    history = [TrialRecord({"x": 0.5}, cost=0.5, n_folds=3, elapsed_s=0.0)]
+    config = smac._propose(history, {"x": 0.5})
+    space.validate(config)  # simply a valid random sample
+
+
+def test_history_n_folds_reflects_racing_depth():
+    objective = _CountingObjective({0.5: 0.1})
+    smac = SMAC(_space(), SMACSettings(max_config_evals=4, seed=4))
+    result = smac.optimize(objective)
+    assert result.history[0].n_folds == objective.n_folds
+    for record in result.history[1:]:
+        assert record.n_folds == 1  # losers rejected on the first fold
