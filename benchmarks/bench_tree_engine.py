@@ -1,0 +1,112 @@
+"""Predict-throughput micro-benchmark for the flat tree engine.
+
+Builds one bootstrap forest, then times ``predict_proba`` over a large batch
+through (a) the recursive per-row reference walkers and (b) the flat
+vectorized engine, asserting the two outputs are numerically identical.
+Writes ``BENCH_tree_engine.json`` at the repo root so future PRs have a
+perf trajectory to compare against.
+
+Run: ``PYTHONPATH=src python benchmarks/bench_tree_engine.py``
+(``--rows/--trees/--repeats`` shrink it for CI smoke runs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.classifiers.tree import FlatTree, TreeParams, build_tree, tree_predict_proba
+from repro.evaluation.resampling import bootstrap_indices
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_tree_engine.json"
+
+
+def build_forest(n_train: int, n_features: int, n_classes: int, n_trees: int, seed: int):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n_train, n_features))
+    y = rng.integers(0, n_classes, size=n_train)
+    params = TreeParams(
+        criterion="gini", max_depth=40, min_split=2, min_bucket=1,
+        max_features=max(1, int(np.sqrt(n_features))),
+    )
+    roots = []
+    for _ in range(n_trees):
+        sample = bootstrap_indices(n_train, rng)
+        roots.append(build_tree(X[sample], y[sample], n_classes, params, rng=rng))
+    return roots
+
+
+def forest_proba_recursive(roots, X, n_classes):
+    total = np.zeros((X.shape[0], n_classes))
+    for root in roots:
+        total += tree_predict_proba(root, X, n_classes)
+    return total / len(roots)
+
+
+def forest_proba_flat(flats, X):
+    total = np.zeros((X.shape[0], flats[0].n_classes))
+    for flat in flats:
+        total += flat.predict_proba(X)
+    return total / len(flats)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", type=int, default=10_000, help="prediction batch size")
+    parser.add_argument("--trees", type=int, default=100, help="forest size")
+    parser.add_argument("--features", type=int, default=20)
+    parser.add_argument("--classes", type=int, default=3)
+    parser.add_argument("--train-rows", type=int, default=1_000)
+    parser.add_argument("--repeats", type=int, default=3, help="flat-path timing repeats")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    print(f"building {args.trees}-tree forest on {args.train_rows} rows ...")
+    roots = build_forest(args.train_rows, args.features, args.classes, args.trees, args.seed)
+    flats = [FlatTree.from_node(root, args.classes) for root in roots]
+
+    rng = np.random.default_rng(args.seed + 1)
+    X = rng.normal(size=(args.rows, args.features))
+
+    print(f"timing recursive per-row traversal over {args.rows} rows ...")
+    started = time.perf_counter()
+    recursive = forest_proba_recursive(roots, X, args.classes)
+    recursive_s = time.perf_counter() - started
+
+    print(f"timing flat vectorized traversal ({args.repeats} repeats, best kept) ...")
+    flat_s = np.inf
+    for _ in range(max(1, args.repeats)):
+        started = time.perf_counter()
+        flat = forest_proba_flat(flats, X)
+        flat_s = min(flat_s, time.perf_counter() - started)
+
+    identical = bool(np.array_equal(recursive, flat))
+    speedup = recursive_s / flat_s if flat_s > 0 else float("inf")
+    payload = {
+        "benchmark": "forest_predict_proba",
+        "rows": args.rows,
+        "trees": args.trees,
+        "features": args.features,
+        "classes": args.classes,
+        "recursive_seconds": round(recursive_s, 6),
+        "flat_seconds": round(flat_s, 6),
+        "speedup": round(speedup, 2),
+        "rows_per_second_flat": round(args.rows / flat_s, 1),
+        "predictions_identical": identical,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    if not identical:
+        raise SystemExit("flat predictions diverged from the recursive reference")
+    print(f"wrote {OUTPUT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -12,10 +12,10 @@ import numpy as np
 
 from repro.classifiers.base import Classifier
 from repro.classifiers.tree import (
+    FlatTree,
     TreeParams,
     build_tree,
     cost_complexity_prune,
-    tree_predict_proba,
 )
 from repro.evaluation.resampling import bootstrap_indices
 
@@ -58,13 +58,13 @@ class Bagging(Classifier):
             sample = bootstrap_indices(y.shape[0], rng)
             root = build_tree(X[sample], y[sample], self.n_classes_, params)
             cost_complexity_prune(root, float(self.cp))
-            self.trees_.append(root)
+            self.trees_.append(FlatTree.from_node(root, self.n_classes_))
         return self
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         X = self._check_predict_ready(X)
         total = np.zeros((X.shape[0], self.n_classes_), dtype=np.float64)
         for tree in self.trees_:
-            total += tree_predict_proba(tree, X, self.n_classes_)
+            total += tree.predict_proba(X)
         total /= len(self.trees_)
         return total

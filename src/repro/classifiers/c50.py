@@ -20,11 +20,11 @@ import numpy as np
 from repro.classifiers.base import Classifier
 from repro.classifiers.rules import DecisionList, Rule, path_to_rule, simplify_rule
 from repro.classifiers.tree import (
+    FlatTree,
     TreeNode,
     TreeParams,
     build_tree,
     pessimistic_prune,
-    tree_predict_proba,
 )
 from repro.exceptions import ConfigurationError
 from repro.preprocess.feature_selection import mutual_information_scores
@@ -88,7 +88,7 @@ class C50(Classifier):
         self.no_global_pruning = no_global_pruning
         self.trials = trials
         self.cf = cf
-        self.members_: list[TreeNode | DecisionList] = []
+        self.members_: list[FlatTree | DecisionList] = []
         self.alphas_: list[float] = []
         self.feature_subset_: np.ndarray | None = None
 
@@ -122,18 +122,19 @@ class C50(Classifier):
             root = build_tree(Xw, y, self.n_classes_, params, weights=weights * n)
             if self.no_global_pruning == "no":
                 pessimistic_prune(root, float(self.cf))
-            proba = tree_predict_proba(root, Xw, self.n_classes_)
+            flat = FlatTree.from_node(root, self.n_classes_)
+            proba = flat.predict_proba(Xw)
             predictions = np.argmax(proba, axis=1)
             err = float(weights[predictions != y].sum())
             if err >= 1.0 - 1.0 / self.n_classes_ or root.is_leaf:
                 if not self.members_:
-                    self._append_member(root, 1.0, Xw, y)
+                    self._append_member(root, flat, 1.0, Xw, y)
                 break
             alpha = float(
                 np.log(max(1.0 - err, 1e-12) / max(err, 1e-12))
                 + np.log(self.n_classes_ - 1)
             )
-            self._append_member(root, alpha, Xw, y)
+            self._append_member(root, flat, alpha, Xw, y)
             if err < 1e-12:
                 break
             weights *= np.exp(alpha * (predictions != y))
@@ -141,7 +142,7 @@ class C50(Classifier):
         return self
 
     def _append_member(
-        self, root: TreeNode, alpha: float, Xw: np.ndarray, y: np.ndarray
+        self, root: TreeNode, flat: FlatTree, alpha: float, Xw: np.ndarray, y: np.ndarray
     ) -> None:
         if self.model == "rules":
             rules = [
@@ -152,7 +153,7 @@ class C50(Classifier):
             default = np.bincount(y, minlength=self.n_classes_).astype(np.float64)
             self.members_.append(DecisionList(rules, default))
         else:
-            self.members_.append(root)
+            self.members_.append(flat)
         self.alphas_.append(alpha)
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
@@ -163,7 +164,7 @@ class C50(Classifier):
             if isinstance(member, DecisionList):
                 proba = member.predict_proba(Xw, self.n_classes_)
             else:
-                proba = tree_predict_proba(member, Xw, self.n_classes_)
+                proba = member.predict_proba(Xw)
             total += alpha * proba
         total /= max(sum(self.alphas_), 1e-12)
         total /= total.sum(axis=1, keepdims=True)

@@ -18,10 +18,10 @@ import numpy as np
 
 from repro.classifiers.base import Classifier
 from repro.classifiers.tree import (
+    FlatTree,
     TreeParams,
     build_tree,
     count_leaves,
-    tree_predict_proba,
 )
 from repro.exceptions import ConfigurationError
 
@@ -61,7 +61,8 @@ class _BinaryDeepBoost:
             weights = weights / total
 
             root = build_tree(X, target, 2, params, weights=weights * n)
-            proba = tree_predict_proba(root, X, 2)
+            flat = FlatTree.from_node(root, 2)
+            proba = flat.predict_proba(X)
             h = np.where(proba[:, 1] >= 0.5, 1.0, -1.0)
             err = float(weights[(h * sign) < 0].sum())
             err = min(max(err, 1e-6), 1 - 1e-6)
@@ -75,14 +76,14 @@ class _BinaryDeepBoost:
                     vote = raw_vote
                 else:
                     break
-            self.trees.append(root)
+            self.trees.append(flat)
             self.votes.append(vote)
             margins += vote * h * 1.0
 
     def decision(self, X: np.ndarray) -> np.ndarray:
         score = np.zeros(X.shape[0])
-        for root, vote in zip(self.trees, self.votes):
-            proba = tree_predict_proba(root, X, 2)
+        for flat, vote in zip(self.trees, self.votes):
+            proba = flat.predict_proba(X)
             score += vote * np.where(proba[:, 1] >= 0.5, 1.0, -1.0)
         total = sum(self.votes)
         return score / total if total > 0 else score

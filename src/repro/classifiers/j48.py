@@ -10,10 +10,10 @@ import numpy as np
 
 from repro.classifiers.base import Classifier
 from repro.classifiers.tree import (
+    FlatTree,
     TreeParams,
     build_tree,
     pessimistic_prune,
-    tree_predict_proba,
 )
 from repro.exceptions import ConfigurationError
 
@@ -52,6 +52,7 @@ class J48(Classifier):
         self.confidence = confidence
         self.min_instances = min_instances
         self.root_ = None
+        self.flat_: FlatTree | None = None
 
     def fit(self, X: np.ndarray, y: np.ndarray, n_classes: int | None = None):
         X, y = self._start_fit(X, y, n_classes)
@@ -65,8 +66,9 @@ class J48(Classifier):
         self.root_ = build_tree(X, y, self.n_classes_, params)
         if self.pruned == "pruned":
             pessimistic_prune(self.root_, float(self.confidence))
+        self.flat_ = FlatTree.from_node(self.root_, self.n_classes_)
         return self
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         X = self._check_predict_ready(X)
-        return tree_predict_proba(self.root_, X, self.n_classes_)
+        return self.flat_.predict_proba(X)

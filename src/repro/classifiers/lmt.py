@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.classifiers.base import Classifier
 from repro.classifiers.linear import MultinomialLogisticRegression
-from repro.classifiers.tree import TreeParams, build_tree, tree_apply
+from repro.classifiers.tree import FlatTree, TreeParams, build_tree
 
 __all__ = ["LMT"]
 
@@ -31,6 +31,8 @@ class LMT(Classifier):
     def __init__(self, iterations: int = 30):
         self.iterations = iterations
         self.root_ = None
+        self.flat_: FlatTree | None = None
+        # Keyed by flat leaf-node index.
         self.leaf_models_: dict[int, MultinomialLogisticRegression] = {}
         self.global_model_: MultinomialLogisticRegression | None = None
 
@@ -48,29 +50,24 @@ class LMT(Classifier):
             min_bucket=_MIN_LEAF_MODEL,
         )
         self.root_ = build_tree(X, y, self.n_classes_, params)
+        self.flat_ = FlatTree.from_node(self.root_, self.n_classes_)
 
         self.leaf_models_ = {}
-        leaves = tree_apply(self.root_, X)
-        leaf_rows: dict[int, list[int]] = {}
-        for i, leaf in enumerate(leaves):
-            leaf_rows.setdefault(id(leaf), []).append(i)
-        for leaf_id, rows in leaf_rows.items():
-            rows_arr = np.asarray(rows)
+        leaf_idx = self.flat_.apply(X)
+        for leaf_id in np.unique(leaf_idx):
+            rows_arr = np.flatnonzero(leaf_idx == leaf_id)
             if rows_arr.size >= _MIN_LEAF_MODEL and np.unique(y[rows_arr]).size > 1:
                 model = MultinomialLogisticRegression(max_iter=iterations)
                 model.fit(X[rows_arr], y[rows_arr], n_classes=self.n_classes_)
-                self.leaf_models_[leaf_id] = model
+                self.leaf_models_[int(leaf_id)] = model
         return self
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         X = self._check_predict_ready(X)
         out = np.empty((X.shape[0], self.n_classes_), dtype=np.float64)
-        leaves = tree_apply(self.root_, X)
-        groups: dict[int, list[int]] = {}
-        for i, leaf in enumerate(leaves):
-            groups.setdefault(id(leaf), []).append(i)
-        for leaf_id, rows in groups.items():
-            rows_arr = np.asarray(rows)
-            model = self.leaf_models_.get(leaf_id, self.global_model_)
+        leaf_idx = self.flat_.apply(X)
+        for leaf_id in np.unique(leaf_idx):
+            rows_arr = np.flatnonzero(leaf_idx == leaf_id)
+            model = self.leaf_models_.get(int(leaf_id), self.global_model_)
             out[rows_arr] = model.predict_proba(X[rows_arr])
         return out

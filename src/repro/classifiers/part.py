@@ -15,9 +15,9 @@ from __future__ import annotations
 import numpy as np
 
 from repro.classifiers.base import Classifier
-from repro.classifiers.rules import DecisionList, Rule, path_to_rule
+from repro.classifiers.rules import Condition, DecisionList, Rule
 from repro.classifiers.tree import (
-    TreeNode,
+    FlatTree,
     TreeParams,
     build_tree,
     pessimistic_prune,
@@ -27,25 +27,20 @@ from repro.exceptions import ConfigurationError
 __all__ = ["Part"]
 
 
-def _best_leaf_rule(root: TreeNode) -> Rule:
-    """Rule for the leaf covering the most training instances."""
-    best_path: list[tuple[TreeNode, bool]] = []
-    best_leaf = root
-    best_n = -1.0
+def _best_leaf_rule(flat: FlatTree) -> tuple[int, Rule]:
+    """(leaf index, rule) for the leaf covering the most training instances.
 
-    def walk(node: TreeNode, path: list[tuple[TreeNode, bool]]) -> None:
-        nonlocal best_path, best_leaf, best_n
-        if node.is_leaf:
-            if node.n > best_n:
-                best_n = node.n
-                best_leaf = node
-                best_path = list(path)
-            return
-        walk(node.left, path + [(node, True)])
-        walk(node.right, path + [(node, False)])
-
-    walk(root, [])
-    return path_to_rule(best_path, best_leaf)
+    The flat layout is pre-order with left subtrees first, so the first
+    occurrence of the maximum leaf mass (``argmax``) is the same leaf a
+    left-first depth-first walk would pick.
+    """
+    leaf_mass = np.where(flat.feature < 0, flat.counts.sum(axis=1), -np.inf)
+    leaf = int(np.argmax(leaf_mass))
+    conditions = [
+        Condition(feature, "le" if went_left else "gt", threshold)
+        for feature, went_left, threshold in flat.path_conditions(leaf)
+    ]
+    return leaf, Rule(conditions, flat.counts[leaf].copy())
 
 
 class Part(Classifier):
@@ -97,8 +92,9 @@ class Part(Classifier):
                 pessimistic_prune(root, float(self.confidence))
             if root.is_leaf:
                 break
-            rule = _best_leaf_rule(root)
-            covered = rule.matches(sub_X)
+            flat = FlatTree.from_node(root, self.n_classes_)
+            leaf, rule = _best_leaf_rule(flat)
+            covered = flat.apply(sub_X) == leaf
             if not covered.any():
                 break
             rules.append(rule)

@@ -9,7 +9,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.classifiers.base import Classifier
-from repro.classifiers.tree import TreeParams, build_tree, tree_predict_proba
+from repro.classifiers.tree import FlatTree, TreeParams, build_tree
 from repro.evaluation.resampling import bootstrap_indices
 
 __all__ = ["RandomForest"]
@@ -54,15 +54,14 @@ class RandomForest(Classifier):
         self.trees_ = []
         for _ in range(max(1, int(self.ntree))):
             sample = bootstrap_indices(y.shape[0], rng)
-            self.trees_.append(
-                build_tree(X[sample], y[sample], self.n_classes_, params, rng=rng)
-            )
+            root = build_tree(X[sample], y[sample], self.n_classes_, params, rng=rng)
+            self.trees_.append(FlatTree.from_node(root, self.n_classes_))
         return self
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         X = self._check_predict_ready(X)
         total = np.zeros((X.shape[0], self.n_classes_), dtype=np.float64)
         for tree in self.trees_:
-            total += tree_predict_proba(tree, X, self.n_classes_)
+            total += tree.predict_proba(X)
         total /= len(self.trees_)
         return total

@@ -10,10 +10,10 @@ import numpy as np
 
 from repro.classifiers.base import Classifier
 from repro.classifiers.tree import (
+    FlatTree,
     TreeParams,
     build_tree,
     cost_complexity_prune,
-    tree_predict_proba,
 )
 
 __all__ = ["RPart"]
@@ -42,6 +42,7 @@ class RPart(Classifier):
         self.minbucket = minbucket
         self.maxdepth = maxdepth
         self.root_ = None
+        self.flat_: FlatTree | None = None
 
     def fit(self, X: np.ndarray, y: np.ndarray, n_classes: int | None = None):
         X, y = self._start_fit(X, y, n_classes)
@@ -53,8 +54,9 @@ class RPart(Classifier):
         )
         self.root_ = build_tree(X, y, self.n_classes_, params)
         cost_complexity_prune(self.root_, float(self.cp))
+        self.flat_ = FlatTree.from_node(self.root_, self.n_classes_)
         return self
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         X = self._check_predict_ready(X)
-        return tree_predict_proba(self.root_, X, self.n_classes_)
+        return self.flat_.predict_proba(X)

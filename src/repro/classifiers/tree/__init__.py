@@ -10,6 +10,11 @@ from repro.classifiers.tree.builder import (
     tree_depth,
     tree_predict_proba,
 )
+from repro.classifiers.tree.flat import (
+    FlatRegressionTree,
+    FlatTree,
+    flatten_structure,
+)
 from repro.classifiers.tree.criteria import (
     children_impurity,
     entropy,
@@ -24,6 +29,9 @@ from repro.classifiers.tree.pruning import (
 )
 
 __all__ = [
+    "FlatTree",
+    "FlatRegressionTree",
+    "flatten_structure",
     "TreeNode",
     "TreeParams",
     "build_tree",

@@ -21,7 +21,7 @@ import numpy as np
 from repro.classifiers.tree.criteria import children_impurity, impurity_function
 
 __all__ = ["TreeNode", "TreeParams", "build_tree", "tree_predict_proba", "tree_apply",
-           "count_leaves", "tree_depth", "iter_nodes"]
+           "count_leaves", "tree_depth", "iter_nodes", "select_best_column_split"]
 
 
 class TreeNode:
@@ -77,6 +77,81 @@ class TreeParams:
 
 def _class_counts(y: np.ndarray, weights: np.ndarray, n_classes: int) -> np.ndarray:
     return np.bincount(y, weights=weights, minlength=n_classes).astype(np.float64)
+
+
+#: Workspace cell budget below which the split search runs as one
+#: all-columns pass; above it, per-column passes bound peak memory.  Here a
+#: cell is one entry of the (rows x columns x classes) one-hot workspace;
+#: the regression twin in ``hpo/surrogate.py`` counts (rows x columns).
+_VECTOR_CELLS = 1 << 22
+
+
+def select_best_column_split(
+    scores: np.ndarray, xs: np.ndarray
+) -> tuple[float, int, float] | None:
+    """Winning (score, column, threshold) from a masked per-position score matrix.
+
+    ``scores`` has shape (rows-1, columns) with invalid positions set to
+    ``inf``; ``xs`` is the column-sorted value matrix the positions refer
+    to.  Encodes the tie-break contract shared by the classification and
+    regression split searches: within a column the first (lowest-threshold)
+    minimum wins, across columns the earliest candidate column wins — both
+    via first-occurrence ``argmin`` — exactly matching the sequential
+    per-column loops they replace.
+    """
+    col_pos = np.argmin(scores, axis=0)
+    col_scores = scores[col_pos, np.arange(scores.shape[1])]
+    j = int(np.argmin(col_scores))
+    if not np.isfinite(col_scores[j]):
+        return None
+    pos = int(col_pos[j])
+    threshold = 0.5 * (xs[pos, j] + xs[pos + 1, j])
+    return float(col_scores[j]), j, float(threshold)
+
+
+def _best_split_all_columns(
+    Xc: np.ndarray,
+    y: np.ndarray,
+    weights: np.ndarray,
+    n_classes: int,
+    params: TreeParams,
+    parent_impurity: float,
+) -> tuple[float, int, float] | None:
+    """Best (score, column, threshold) over every column of ``Xc`` at once.
+
+    One stable sort, one one-hot scatter and one prefix sum over the whole
+    (rows x columns x classes) workspace replace the per-column Python loop.
+    Tie-breaking matches the sequential search exactly: within a column the
+    lowest threshold position wins, across columns the earliest candidate
+    column wins (both via first-occurrence ``argmin``).
+    """
+    n, c = Xc.shape
+    order = np.argsort(Xc, axis=0, kind="stable")
+    xs = np.take_along_axis(Xc, order, axis=0)
+    boundary = np.diff(xs, axis=0) > 1e-12
+    if not boundary.any():
+        return None
+
+    onehot = np.zeros((n, c, n_classes), dtype=np.float64)
+    onehot[np.arange(n)[:, None], np.arange(c)[None, :], y[order]] = weights[order]
+    prefix = np.cumsum(onehot, axis=0)
+
+    left = prefix[:-1]
+    right = prefix[-1][None, :, :] - left
+    n_left = left.sum(axis=2)
+    n_right = right.sum(axis=2)
+    valid = boundary & (n_left >= params.min_bucket) & (n_right >= params.min_bucket)
+    if not valid.any():
+        return None
+
+    scores = children_impurity(
+        left.reshape(-1, n_classes),
+        right.reshape(-1, n_classes),
+        params.criterion,
+        parent_impurity,
+    ).reshape(n - 1, c)
+    scores = np.where(valid, scores, np.inf)
+    return select_best_column_split(scores, xs)
 
 
 def _best_split_for_column(
@@ -154,13 +229,22 @@ def build_tree(
         best_score = np.inf
         best_feature = -1
         best_threshold = 0.0
-        for j in candidates:
-            found = _best_split_for_column(
-                X[indices, j], node_y, node_w, n_classes, params, parent_impurity
+        if indices.size * candidates.size * n_classes <= _VECTOR_CELLS:
+            found = _best_split_all_columns(
+                X[np.ix_(indices, candidates)],
+                node_y, node_w, n_classes, params, parent_impurity,
             )
-            if found is not None and found[0] < best_score:
-                best_score, best_threshold = found
-                best_feature = int(j)
+            if found is not None:
+                best_score, j, best_threshold = found
+                best_feature = int(candidates[j])
+        else:
+            for j in candidates:
+                found = _best_split_for_column(
+                    X[indices, j], node_y, node_w, n_classes, params, parent_impurity
+                )
+                if found is not None and found[0] < best_score:
+                    best_score, best_threshold = found
+                    best_feature = int(j)
 
         if best_feature < 0:
             return node
@@ -185,6 +269,11 @@ def build_tree(
 
 
 # ------------------------------------------------------------------ queries
+#
+# The row-at-a-time walkers below are the *reference* prediction path; hot
+# paths freeze the fitted tree into arrays via ``flat.FlatTree`` and use its
+# vectorized traversal instead.  Both must stay bit-for-bit identical
+# (enforced by tests/test_tree_flat.py).
 def tree_apply(root: TreeNode, X: np.ndarray) -> list[TreeNode]:
     """Leaf reached by each row."""
     leaves = []

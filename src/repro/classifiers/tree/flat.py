@@ -1,0 +1,157 @@
+"""Flat contiguous-array tree representation with vectorized traversal.
+
+The recursive :class:`~repro.classifiers.tree.builder.TreeNode` structure is
+ideal for induction and pruning (both are naturally recursive and touch
+every node once), but prediction over it walks the tree one Python row at a
+time.  This module freezes a fitted (and pruned) tree into five parallel
+NumPy arrays — ``feature``, ``threshold``, ``left``, ``right`` and a payload
+(class-count matrix or regression value vector) — laid out in pre-order, and
+routes whole batches with level-synchronous index propagation: every still-
+internal row advances one level per iteration, so the Python-level work is
+O(depth) regardless of batch size.
+
+Predictions are bit-for-bit identical to the recursive reference path
+(`tree_predict_proba`/`tree_apply`): the per-leaf probability is precomputed
+with exactly the same smoothing arithmetic, and traversal applies exactly
+the same ``x[feature] <= threshold`` routing.  See DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["FlatTree", "FlatRegressionTree", "flatten_structure"]
+
+
+def flatten_structure(root) -> tuple[dict[str, np.ndarray], list]:
+    """Pre-order flatten of any binary node structure.
+
+    ``root`` needs ``feature``, ``threshold``, ``left``, ``right`` and an
+    ``is_leaf`` property (leaves have ``feature == -1``).  Returns the
+    structural arrays plus the nodes in pre-order, so callers can extract
+    their own payload column.  Pre-order means node 0 is the root and every
+    left subtree precedes its sibling, which keeps leaf enumeration order
+    identical to a left-first depth-first walk.
+    """
+    nodes: list = []
+    index: dict[int, int] = {}
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        index[id(node)] = len(nodes)
+        nodes.append(node)
+        if not node.is_leaf:
+            stack.append(node.right)
+            stack.append(node.left)
+
+    n = len(nodes)
+    feature = np.full(n, -1, dtype=np.intp)
+    threshold = np.zeros(n, dtype=np.float64)
+    left = np.full(n, -1, dtype=np.intp)
+    right = np.full(n, -1, dtype=np.intp)
+    parent = np.full(n, -1, dtype=np.intp)
+    for i, node in enumerate(nodes):
+        if not node.is_leaf:
+            feature[i] = node.feature
+            threshold[i] = node.threshold
+            li, ri = index[id(node.left)], index[id(node.right)]
+            left[i] = li
+            right[i] = ri
+            parent[li] = i
+            parent[ri] = i
+    arrays = {
+        "feature": feature,
+        "threshold": threshold,
+        "left": left,
+        "right": right,
+        "parent": parent,
+    }
+    return arrays, nodes
+
+
+class _FlatBase:
+    """Structural arrays + the vectorized traversal shared by both payloads."""
+
+    __slots__ = ("feature", "threshold", "left", "right", "parent", "n_nodes")
+
+    def __init__(self, arrays: dict[str, np.ndarray]):
+        self.feature = arrays["feature"]
+        self.threshold = arrays["threshold"]
+        self.left = arrays["left"]
+        self.right = arrays["right"]
+        self.parent = arrays["parent"]
+        self.n_nodes = int(self.feature.shape[0])
+
+    def apply(self, X: np.ndarray) -> np.ndarray:
+        """Node index of the leaf reached by each row (level-synchronous)."""
+        X = np.asarray(X, dtype=np.float64)
+        idx = np.zeros(X.shape[0], dtype=np.intp)
+        active = np.flatnonzero(self.feature[idx] >= 0)
+        while active.size:
+            sub = idx[active]
+            go_left = X[active, self.feature[sub]] <= self.threshold[sub]
+            idx[active] = np.where(go_left, self.left[sub], self.right[sub])
+            active = active[self.feature[idx[active]] >= 0]
+        return idx
+
+    def path_conditions(self, node: int) -> list[tuple[int, bool, float]]:
+        """Root-to-``node`` path as ``(feature, went_left, threshold)`` tests."""
+        conditions: list[tuple[int, bool, float]] = []
+        child = int(node)
+        p = int(self.parent[child])
+        while p >= 0:
+            went_left = int(self.left[p]) == child
+            conditions.append((int(self.feature[p]), went_left, float(self.threshold[p])))
+            child, p = p, int(self.parent[p])
+        conditions.reverse()
+        return conditions
+
+
+class FlatTree(_FlatBase):
+    """Flat classification tree: class-count payload + precomputed probas."""
+
+    __slots__ = ("counts", "proba", "n_classes")
+
+    def __init__(self, arrays: dict[str, np.ndarray], counts: np.ndarray):
+        super().__init__(arrays)
+        self.counts = counts
+        self.n_classes = int(counts.shape[1])
+        # Exactly the reference smoothing: (counts + 1e-9) / row-sum.
+        smoothed = counts + 1e-9
+        self.proba = smoothed / smoothed.sum(axis=1, keepdims=True)
+
+    @classmethod
+    def from_node(cls, root, n_classes: int) -> "FlatTree":
+        """Freeze a fitted (and already pruned) ``TreeNode`` tree."""
+        arrays, nodes = flatten_structure(root)
+        counts = np.zeros((len(nodes), n_classes), dtype=np.float64)
+        for i, node in enumerate(nodes):
+            counts[i] = node.counts
+        return cls(arrays, counts)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Leaf class-frequency estimates; matches ``tree_predict_proba``."""
+        return self.proba[self.apply(X)]
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return np.argmax(self.predict_proba(X), axis=1)
+
+
+class FlatRegressionTree(_FlatBase):
+    """Flat regression tree: scalar leaf-value payload."""
+
+    __slots__ = ("values",)
+
+    def __init__(self, arrays: dict[str, np.ndarray], values: np.ndarray):
+        super().__init__(arrays)
+        self.values = values
+
+    @classmethod
+    def from_node(cls, root) -> "FlatRegressionTree":
+        """Freeze a node structure carrying a scalar ``value`` per node."""
+        arrays, nodes = flatten_structure(root)
+        values = np.array([node.value for node in nodes], dtype=np.float64)
+        return cls(arrays, values)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        return self.values[self.apply(X)]

@@ -55,6 +55,11 @@ class SmartMLConfig:
         Append this run's outcome to the knowledge base afterwards.
     n_folds:
         Stratified folds used inside SMAC's racing.
+    n_jobs:
+        Worker threads tuning nominated algorithms concurrently in phase 4
+        (1 = sequential).  Per-candidate seeds are drawn up front in
+        nomination order, so results are identical to a sequential run
+        whenever the budget is evaluation-count based.
     seed:
         Master seed; all phase seeds derive from it.
     """
@@ -75,6 +80,7 @@ class SmartMLConfig:
     interpretability: bool = False
     update_kb: bool = True
     n_folds: int = 3
+    n_jobs: int = 1
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -106,6 +112,8 @@ class SmartMLConfig:
             )
         if self.n_folds < 2:
             raise ConfigurationError("n_folds must be >= 2")
+        if self.n_jobs < 1:
+            raise ConfigurationError("n_jobs must be >= 1")
         if not self.fallback_portfolio:
             raise ConfigurationError("fallback_portfolio must not be empty")
 
@@ -126,6 +134,7 @@ class SmartMLConfig:
             "interpretability": self.interpretability,
             "update_kb": self.update_kb,
             "n_folds": self.n_folds,
+            "n_jobs": self.n_jobs,
             "seed": self.seed,
         }
 

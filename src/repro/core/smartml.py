@@ -21,6 +21,7 @@ Phases (names match the architecture figure):
 from __future__ import annotations
 
 import time
+from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
@@ -113,19 +114,28 @@ class SmartML:
         else:
             budgets = {algo: None for algo in algorithms}
 
-        candidates: list[CandidateResult] = []
-        for nomination in nominations:
-            candidates.append(
-                self._tune_candidate(
-                    nomination,
-                    budgets[nomination.algorithm],
-                    config,
-                    train_p,
-                    validation_p,
-                    dataset.n_classes,
-                    seed=int(rng.integers(0, 2**31 - 1)),
-                )
+        # Seeds are drawn up front in nomination order so the stream of rng
+        # draws — and with it every candidate's SMAC run — is identical
+        # whether tuning happens sequentially or on a thread pool.
+        seeds = [int(rng.integers(0, 2**31 - 1)) for _ in nominations]
+
+        def tune(nomination: Nomination, seed: int) -> CandidateResult:
+            return self._tune_candidate(
+                nomination,
+                budgets[nomination.algorithm],
+                config,
+                train_p,
+                validation_p,
+                dataset.n_classes,
+                seed=seed,
             )
+
+        if config.n_jobs > 1 and len(nominations) > 1:
+            workers = min(config.n_jobs, len(nominations))
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                candidates = list(pool.map(tune, nominations, seeds))
+        else:
+            candidates = [tune(n, s) for n, s in zip(nominations, seeds)]
         phase_seconds["hyperparameter_tuning"] = time.monotonic() - started
 
         # ---- phase 5: output + KB update ----------------------------------

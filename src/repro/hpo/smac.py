@@ -143,6 +143,12 @@ class SMAC:
             except Exception:
                 continue  # stale KB entry referencing renamed params: skip
 
+        # Running prefix sums of the incumbent's per-fold costs:
+        # incumbent_prefix[i] == sum of its costs over folds 0..i.  Racing
+        # reads the running mean as prefix[i] / (i + 1) instead of
+        # re-averaging the fold cache on every fold of every race.
+        incumbent_prefix: list[float] = []
+
         def out_of_budget() -> bool:
             if (
                 self.settings.time_budget_s is not None
@@ -187,13 +193,16 @@ class SMAC:
                         break
                 cost = float(np.mean(fold_costs))
                 incumbent, incumbent_cost = challenger, cost
+                incumbent_prefix = list(np.cumsum(fold_costs))
                 history.append(
                     TrialRecord(challenger, cost, len(fold_costs),
                                 time.monotonic() - started, was_incumbent=True)
                 )
                 continue
 
-            cost, completed = self._race(challenger, key, incumbent, objective, started)
+            cost, completed, challenger_costs = self._race(
+                challenger, key, incumbent, incumbent_prefix, objective, started
+            )
             promoted = completed and cost < incumbent_cost
             history.append(
                 TrialRecord(
@@ -205,6 +214,7 @@ class SMAC:
             )
             if promoted:
                 incumbent, incumbent_cost = challenger, cost
+                incumbent_prefix = list(np.cumsum(challenger_costs))
 
         if incumbent is None:
             # Budget too tight for even one configuration: fall back to the
@@ -229,32 +239,40 @@ class SMAC:
         challenger: Config,
         key: tuple,
         incumbent: Config,
+        incumbent_prefix: list[float],
         objective: CrossValObjective,
         started: float,
-    ) -> tuple[float, bool]:
+    ) -> tuple[float, bool, list[float]]:
         """Race challenger vs incumbent fold by fold.
 
-        Returns ``(mean cost over folds run, finished all folds)``.
+        ``incumbent_prefix`` carries the incumbent's cumulative fold costs
+        across races; it is extended in place when a race forces incumbent
+        folds that have not been reached before.  Returns ``(mean cost over
+        folds run, finished all folds, per-fold challenger costs)``.
         """
         incumbent_key = self.space.config_key(incumbent)
         challenger_costs: list[float] = []
+        challenger_total = 0.0
         for fold_id in range(objective.n_folds):
-            challenger_costs.append(objective.evaluate_fold(challenger, key, fold_id))
-            incumbent_mean = float(
-                np.mean([
-                    objective.evaluate_fold(incumbent, incumbent_key, f)
-                    for f in range(fold_id + 1)
-                ])
-            )
-            challenger_mean = float(np.mean(challenger_costs))
+            fold_cost = objective.evaluate_fold(challenger, key, fold_id)
+            challenger_costs.append(fold_cost)
+            challenger_total += fold_cost
+            while len(incumbent_prefix) <= fold_id:
+                cost = objective.evaluate_fold(
+                    incumbent, incumbent_key, len(incumbent_prefix)
+                )
+                previous = incumbent_prefix[-1] if incumbent_prefix else 0.0
+                incumbent_prefix.append(previous + cost)
+            incumbent_mean = incumbent_prefix[fold_id] / (fold_id + 1)
+            challenger_mean = challenger_total / (fold_id + 1)
             if challenger_mean > incumbent_mean + self.settings.racing_epsilon:
-                return challenger_mean, False
+                return challenger_mean, False, challenger_costs
             if (
                 self.settings.time_budget_s is not None
                 and time.monotonic() - started >= self.settings.time_budget_s
             ):
-                return challenger_mean, fold_id + 1 == objective.n_folds
-        return float(np.mean(challenger_costs)), True
+                return challenger_mean, fold_id + 1 == objective.n_folds, challenger_costs
+        return challenger_total / objective.n_folds, True, challenger_costs
 
     def _propose(self, history: list[TrialRecord], incumbent: Config | None) -> Config:
         """Next challenger: EI on the surrogate, or a random interleave."""

@@ -12,9 +12,55 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.classifiers.tree.builder import select_best_column_split
+from repro.classifiers.tree.flat import FlatRegressionTree
 from repro.exceptions import NotFittedError
 
 __all__ = ["RegressionTree", "RandomForestSurrogate"]
+
+#: Cell budget for the all-columns split search; above it the per-column
+#: fallback bounds peak memory.  A cell here is one entry of the
+#: (rows x columns) prefix-sum workspace — note the classification twin in
+#: ``classifiers/tree/builder.py`` counts (rows x columns x classes).
+_VECTOR_CELLS = 1 << 22
+
+
+def _best_split_all_columns(
+    Xc: np.ndarray, node_y: np.ndarray, min_bucket: int
+) -> tuple[float, int, float] | None:
+    """Best (SSE, column, threshold) over every candidate column at once.
+
+    The per-column prefix sums of ``y`` and ``y**2`` become one cumulative
+    sum over the (rows x columns) workspace.  Tie-breaking matches the
+    sequential search: first threshold position within a column, earliest
+    column across columns (first-occurrence ``argmin``).
+    """
+    n = Xc.shape[0]
+    order = np.argsort(Xc, axis=0, kind="stable")
+    xs = np.take_along_axis(Xc, order, axis=0)
+    boundary = np.diff(xs, axis=0) > 1e-12
+    if not boundary.any():
+        return None
+
+    ys = node_y[order]
+    csum = np.cumsum(ys, axis=0)
+    csum2 = np.cumsum(ys**2, axis=0)
+    n_left = np.arange(1, n, dtype=np.float64)[:, None]
+    n_right = n - n_left
+    valid = boundary & (n_left >= min_bucket) & (n_right >= min_bucket)
+    if not valid.any():
+        return None
+
+    sum_left = csum[:-1]
+    sum_right = csum[-1][None, :] - sum_left
+    sq_left = csum2[:-1]
+    sq_right = csum2[-1][None, :] - sq_left
+    sse = (
+        sq_left - sum_left**2 / n_left
+        + sq_right - sum_right**2 / n_right
+    )
+    sse = np.where(valid, sse, np.inf)
+    return select_best_column_split(sse, xs)
 
 
 class _RegressionNode:
@@ -47,6 +93,7 @@ class RegressionTree:
         self.min_bucket = min_bucket
         self.max_features = max_features
         self.root_: _RegressionNode | None = None
+        self.flat_: FlatRegressionTree | None = None
 
     def fit(
         self, X: np.ndarray, y: np.ndarray, rng: np.random.Generator | None = None
@@ -71,37 +118,24 @@ class RegressionTree:
             else:
                 candidates = np.arange(d)
 
-            best_score = np.inf
             best_feature, best_threshold = -1, 0.0
-            for j in candidates:
-                x = X[indices, j]
-                order = np.argsort(x, kind="stable")
-                xs, ys = x[order], node_y[order]
-                boundaries = np.flatnonzero(np.diff(xs) > 1e-12)
-                if boundaries.size == 0:
-                    continue
-                csum = np.cumsum(ys)
-                csum2 = np.cumsum(ys**2)
-                n_total = ys.size
-                n_left = boundaries + 1
-                n_right = n_total - n_left
-                valid = (n_left >= self.min_bucket) & (n_right >= self.min_bucket)
-                if not valid.any():
-                    continue
-                sum_left = csum[boundaries]
-                sum_right = csum[-1] - sum_left
-                sq_left = csum2[boundaries]
-                sq_right = csum2[-1] - sq_left
-                sse = (
-                    sq_left - sum_left**2 / n_left
-                    + sq_right - sum_right**2 / n_right
+            if indices.size * candidates.size <= _VECTOR_CELLS:
+                found = _best_split_all_columns(
+                    X[np.ix_(indices, candidates)], node_y, self.min_bucket
                 )
-                sse = np.where(valid, sse, np.inf)
-                idx = int(np.argmin(sse))
-                if sse[idx] < best_score:
-                    best_score = float(sse[idx])
-                    best_feature = int(j)
-                    best_threshold = 0.5 * (xs[boundaries[idx]] + xs[boundaries[idx] + 1])
+                if found is not None:
+                    _, j, best_threshold = found
+                    best_feature = int(candidates[j])
+            else:
+                best_score = np.inf
+                for j in candidates:
+                    found = _best_split_all_columns(
+                        X[indices, j][:, None], node_y, self.min_bucket
+                    )
+                    if found is not None and found[0] < best_score:
+                        best_score = found[0]
+                        best_feature = int(j)
+                        best_threshold = found[2]
 
             if best_feature < 0:
                 return node
@@ -116,19 +150,13 @@ class RegressionTree:
             return node
 
         self.root_ = grow(np.arange(y.shape[0]), 0)
+        self.flat_ = FlatRegressionTree.from_node(self.root_)
         return self
 
     def predict(self, X: np.ndarray) -> np.ndarray:
-        if self.root_ is None:
+        if self.flat_ is None:
             raise NotFittedError("RegressionTree is not fitted")
-        X = np.asarray(X, dtype=np.float64)
-        out = np.empty(X.shape[0])
-        for i, row in enumerate(X):
-            node = self.root_
-            while not node.is_leaf:
-                node = node.left if row[node.feature] <= node.threshold else node.right
-            out[i] = node.value
-        return out
+        return self.flat_.predict(np.asarray(X, dtype=np.float64))
 
 
 class RandomForestSurrogate:

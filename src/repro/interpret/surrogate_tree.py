@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.classifiers.base import Classifier
 from repro.classifiers.rules import path_to_rule
-from repro.classifiers.tree import TreeParams, build_tree, count_leaves, tree_predict_proba
+from repro.classifiers.tree import FlatTree, TreeParams, build_tree, count_leaves
 
 __all__ = ["SurrogateExplanation", "global_surrogate"]
 
@@ -29,9 +29,15 @@ class SurrogateExplanation:
     fidelity: float          # agreement with black-box predictions
     n_leaves: int
     feature_names: list[str]
+    flat: FlatTree | None = None
+
+    def _flat(self) -> FlatTree:
+        if self.flat is None:
+            self.flat = FlatTree.from_node(self.root, self.n_classes)
+        return self.flat
 
     def predict(self, X: np.ndarray) -> np.ndarray:
-        proba = tree_predict_proba(self.root, np.asarray(X, dtype=np.float64), self.n_classes)
+        proba = self._flat().predict_proba(np.asarray(X, dtype=np.float64))
         return np.argmax(proba, axis=1)
 
     def rules(self) -> list[str]:
@@ -85,7 +91,8 @@ def global_surrogate(
             min_bucket=min_bucket,
         ),
     )
-    surrogate_pred = np.argmax(tree_predict_proba(root, X, n_classes), axis=1)
+    flat = FlatTree.from_node(root, n_classes)
+    surrogate_pred = np.argmax(flat.predict_proba(X), axis=1)
     fidelity = float((surrogate_pred == black_box).mean())
     names = feature_names or [f"f{j}" for j in range(X.shape[1])]
     return SurrogateExplanation(
@@ -94,4 +101,5 @@ def global_surrogate(
         fidelity=fidelity,
         n_leaves=count_leaves(root),
         feature_names=list(names),
+        flat=flat,
     )

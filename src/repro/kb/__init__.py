@@ -5,6 +5,7 @@ from repro.kb.knowledge_base import KnowledgeBase
 from repro.kb.similarity import (
     Neighbor,
     Nomination,
+    SimilarityIndex,
     distance_only_nomination,
     nearest_datasets,
     weighted_nomination,
@@ -18,6 +19,7 @@ __all__ = [
     "bootstrap_knowledge_base",
     "Neighbor",
     "Nomination",
+    "SimilarityIndex",
     "nearest_datasets",
     "weighted_nomination",
     "distance_only_nomination",

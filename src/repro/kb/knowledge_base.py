@@ -22,8 +22,8 @@ import numpy as np
 from repro.kb.similarity import (
     Neighbor,
     Nomination,
+    SimilarityIndex,
     distance_only_nomination,
-    nearest_datasets,
     weighted_nomination,
 )
 from repro.kb.store import RecordStore
@@ -37,10 +37,14 @@ class KnowledgeBase:
 
     def __init__(self, path: str | Path | None = None):
         self.store = RecordStore(path)
+        # Lazily-built z-scored similarity index; invalidated whenever the
+        # stored dataset set changes so cached normalisers never go stale.
+        self._similarity_index: SimilarityIndex | None = None
 
     # --------------------------------------------------------------- writes
     def add_dataset(self, name: str, metafeatures: MetaFeatures) -> int:
         """Register a processed dataset; returns its KB id."""
+        self._similarity_index = None
         return self.store.append(
             "datasets",
             {"name": name, "metafeatures": metafeatures.to_dict()},
@@ -121,8 +125,12 @@ class KnowledgeBase:
     # ----------------------------------------------------------- similarity
     def similar_datasets(self, metafeatures: MetaFeatures, k: int = 3) -> list[Neighbor]:
         """The k most similar stored datasets."""
-        ids, matrix = self.dataset_vectors()
-        return nearest_datasets(metafeatures.to_vector(), ids, matrix, k)
+        if self._similarity_index is None:
+            ids, matrix = self.dataset_vectors()
+            if matrix.shape[0] == 0:
+                return []
+            self._similarity_index = SimilarityIndex(ids, matrix)
+        return self._similarity_index.query(metafeatures.to_vector(), k)
 
     def nominate(
         self,

@@ -20,6 +20,7 @@ import numpy as np
 __all__ = [
     "Neighbor",
     "Nomination",
+    "SimilarityIndex",
     "zscore_normaliser",
     "nearest_datasets",
     "weighted_nomination",
@@ -57,32 +58,49 @@ def zscore_normaliser(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     return mean, std
 
 
+class SimilarityIndex:
+    """Reusable z-scored view of the stored meta-feature matrix.
+
+    The normaliser and the z-scored matrix depend only on the stored
+    datasets, so callers answering many queries against an unchanged store
+    (the knowledge base, between ``add_dataset`` calls) build this once
+    instead of re-deriving both on every nomination.
+    """
+
+    def __init__(self, stored_ids: list[int], stored_vectors: np.ndarray):
+        self.ids = list(stored_ids)
+        self.mean, self.std = zscore_normaliser(stored_vectors)
+        self.z_matrix = (stored_vectors - self.mean) / self.std
+
+    def query(self, query: np.ndarray, k: int) -> list[Neighbor]:
+        """The ``k`` nearest stored datasets by z-scored Euclidean distance.
+
+        Similarity is ``1 / (1 + distance)``, a bounded monotone transform
+        used as the weight of factor (1) in the nomination rule.
+        """
+        z_query = (query - self.mean) / self.std
+        distances = np.sqrt(((self.z_matrix - z_query) ** 2).sum(axis=1))
+        order = np.argsort(distances, kind="stable")[: max(k, 0)]
+        return [
+            Neighbor(
+                dataset_id=self.ids[int(i)],
+                distance=float(distances[i]),
+                similarity=float(1.0 / (1.0 + distances[i])),
+            )
+            for i in order
+        ]
+
+
 def nearest_datasets(
     query: np.ndarray,
     stored_ids: list[int],
     stored_vectors: np.ndarray,
     k: int,
 ) -> list[Neighbor]:
-    """The ``k`` nearest stored datasets by z-scored Euclidean distance.
-
-    Similarity is ``1 / (1 + distance)``, a bounded monotone transform used
-    as the weight of factor (1) in the nomination rule.
-    """
+    """One-shot convenience wrapper over :class:`SimilarityIndex`."""
     if stored_vectors.shape[0] == 0:
         return []
-    mean, std = zscore_normaliser(stored_vectors)
-    z_stored = (stored_vectors - mean) / std
-    z_query = (query - mean) / std
-    distances = np.sqrt(((z_stored - z_query) ** 2).sum(axis=1))
-    order = np.argsort(distances, kind="stable")[: max(k, 0)]
-    return [
-        Neighbor(
-            dataset_id=stored_ids[int(i)],
-            distance=float(distances[i]),
-            similarity=float(1.0 / (1.0 + distances[i])),
-        )
-        for i in order
-    ]
+    return SimilarityIndex(stored_ids, stored_vectors).query(query, k)
 
 
 def weighted_nomination(

@@ -1,0 +1,179 @@
+"""Flat-engine equivalence: the vectorized tree path must match the
+recursive reference bit-for-bit, and parallel tuning must match sequential.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classifiers import Bagging, RandomForest
+from repro.classifiers.tree import (
+    FlatTree,
+    TreeParams,
+    build_tree,
+    cost_complexity_prune,
+    count_leaves,
+    pessimistic_prune,
+    tree_apply,
+    tree_predict_proba,
+)
+from repro.core import SmartML, SmartMLConfig
+from repro.data import SyntheticSpec, make_dataset
+from repro.evaluation.resampling import bootstrap_indices
+
+
+# ------------------------------------------------- flat vs recursive trees
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    depth=st.integers(min_value=1, max_value=8),
+    criterion=st.sampled_from(["gini", "entropy", "gain_ratio"]),
+    pruning=st.sampled_from(["none", "cost_complexity", "pessimistic"]),
+    weighted=st.booleans(),
+)
+def test_property_flat_matches_recursive(seed, depth, criterion, pruning, weighted):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(20, 150))
+    d = int(rng.integers(1, 6))
+    k = int(rng.integers(2, 5))
+    X = rng.normal(size=(n, d))
+    X[:, 0] = np.round(X[:, 0], 1)  # duplicated values exercise ties
+    y = rng.integers(0, k, size=n)
+    weights = rng.uniform(0.1, 5.0, size=n) if weighted else None
+
+    root = build_tree(X, y, k, TreeParams(criterion=criterion, max_depth=depth), weights=weights)
+    if pruning == "cost_complexity":
+        cost_complexity_prune(root, cp=0.05)
+    elif pruning == "pessimistic":
+        pessimistic_prune(root, confidence=0.25)
+
+    flat = FlatTree.from_node(root, k)
+    X_query = rng.normal(size=(50, d))
+    assert np.array_equal(
+        flat.predict_proba(X_query), tree_predict_proba(root, X_query, k)
+    )
+
+
+def test_flat_apply_matches_recursive_leaves():
+    rng = np.random.default_rng(3)
+    X = rng.normal(size=(120, 4))
+    y = rng.integers(0, 3, size=120)
+    root = build_tree(X, y, 3, TreeParams(max_depth=6))
+    flat = FlatTree.from_node(root, 3)
+
+    idx = flat.apply(X)
+    leaves = tree_apply(root, X)
+    for i, leaf in enumerate(leaves):
+        assert np.array_equal(flat.counts[idx[i]], leaf.counts)
+    assert (flat.feature[idx] == -1).all()
+
+
+def test_flat_node_count_and_leaves():
+    rng = np.random.default_rng(4)
+    X = rng.normal(size=(200, 3))
+    y = (X[:, 0] > 0).astype(np.int64)
+    root = build_tree(X, y, 2, TreeParams(max_depth=5))
+    flat = FlatTree.from_node(root, 2)
+    assert int((flat.feature < 0).sum()) == count_leaves(root)
+    # pre-order: node 0 is the root, children indices point forward
+    internal = np.flatnonzero(flat.feature >= 0)
+    assert (flat.left[internal] > internal).all() or internal.size == 0
+
+
+def test_flat_single_leaf_tree():
+    X = np.ones((10, 2))
+    y = np.zeros(10, dtype=np.int64)
+    root = build_tree(X, y, 2, TreeParams())
+    flat = FlatTree.from_node(root, 2)
+    assert flat.n_nodes == 1
+    proba = flat.predict_proba(np.zeros((5, 2)))
+    assert np.array_equal(proba, tree_predict_proba(root, np.zeros((5, 2)), 2))
+
+
+def test_flat_boosted_weighted_tree_matches():
+    # AdaBoost-style: heavily non-uniform weights from a previous round.
+    rng = np.random.default_rng(9)
+    X = rng.normal(size=(150, 3))
+    y = rng.integers(0, 2, size=150)
+    weights = np.exp(rng.normal(size=150))
+    root = build_tree(X, y, 2, TreeParams(max_depth=3, min_bucket=2), weights=weights)
+    pessimistic_prune(root, 0.25)
+    flat = FlatTree.from_node(root, 2)
+    assert np.array_equal(flat.predict_proba(X), tree_predict_proba(root, X, 2))
+
+
+@pytest.mark.parametrize("klass,kwargs", [
+    (RandomForest, dict(ntree=10, seed=5)),
+    (Bagging, dict(nbagg=8, seed=5)),
+])
+def test_forest_matches_recursive_composition(klass, kwargs):
+    """Ensemble output equals the recursive reference rebuilt tree by tree."""
+    rng = np.random.default_rng(21)
+    X = rng.normal(size=(120, 5))
+    y = rng.integers(0, 3, size=120)
+    model = klass(**kwargs).fit(X, y)
+
+    reference = np.zeros((X.shape[0], 3))
+    if klass is RandomForest:
+        tree_rng = np.random.default_rng(5)
+        params = TreeParams(
+            criterion="gini", max_depth=40, min_split=2, min_bucket=1,
+            max_features=max(1, int(np.sqrt(5))),
+        )
+        for _ in range(10):
+            sample = bootstrap_indices(120, tree_rng)
+            root = build_tree(X[sample], y[sample], 3, params, rng=tree_rng)
+            reference += tree_predict_proba(root, X, 3)
+        reference /= 10
+    else:
+        tree_rng = np.random.default_rng(5)
+        params = TreeParams(criterion="gini", max_depth=30, min_split=20, min_bucket=7)
+        for _ in range(8):
+            sample = bootstrap_indices(120, tree_rng)
+            root = build_tree(X[sample], y[sample], 3, params)
+            cost_complexity_prune(root, 0.01)
+            reference += tree_predict_proba(root, X, 3)
+        reference /= 8
+
+    assert np.array_equal(model.predict_proba(X), reference)
+
+
+# ------------------------------------------------- parallel vs sequential
+def _result_fingerprint(result):
+    return (
+        result.best_algorithm,
+        repr(sorted(result.best_config.items())),
+        result.validation_accuracy,
+        [(c.algorithm, c.cv_error, c.validation_accuracy, repr(sorted(c.best_config.items())))
+         for c in result.candidates],
+    )
+
+
+def test_parallel_tuning_matches_sequential():
+    ds = make_dataset(
+        SyntheticSpec(name="par", n_instances=90, n_features=5, n_classes=2,
+                      class_sep=2.0, seed=33)
+    )
+    base = dict(
+        time_budget_s=None,
+        max_evals_per_algorithm=2,
+        n_folds=2,
+        fallback_portfolio=["rpart", "j48", "naive_bayes"],
+        update_kb=False,
+        seed=11,
+    )
+    sequential = SmartML().run(ds, SmartMLConfig(n_jobs=1, **base))
+    parallel = SmartML().run(ds, SmartMLConfig(n_jobs=3, **base))
+    assert _result_fingerprint(sequential) == _result_fingerprint(parallel)
+
+
+def test_n_jobs_validation():
+    from repro.exceptions import ConfigurationError
+    with pytest.raises(ConfigurationError):
+        SmartMLConfig(n_jobs=0)
+
+
+def test_n_jobs_roundtrips_through_dict():
+    config = SmartMLConfig(n_jobs=4)
+    assert SmartMLConfig.from_dict(config.to_dict()).n_jobs == 4
