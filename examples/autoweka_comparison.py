@@ -10,6 +10,7 @@ Run:  python examples/autoweka_comparison.py [dataset] [budget_seconds]
 
 from __future__ import annotations
 
+import os
 import sys
 import time
 
@@ -19,20 +20,22 @@ from repro.data import eval_dataset_names, load_eval_dataset, load_kb_corpus
 
 
 def main() -> None:
+    smoke = os.environ.get("SMARTML_SMOKE") == "1"
     key = sys.argv[1] if len(sys.argv) > 1 else "gisette"
-    budget = float(sys.argv[2]) if len(sys.argv) > 2 else 5.0
+    budget = float(sys.argv[2]) if len(sys.argv) > 2 else (1.0 if smoke else 5.0)
     if key not in eval_dataset_names():
         raise SystemExit(f"unknown dataset {key!r}; choose from {eval_dataset_names()}")
 
     dataset = load_eval_dataset(key)
     print(f"dataset: {dataset}   budget: {budget:.0f}s per system")
 
-    print("\nbootstrapping a 10-dataset knowledge base ...")
+    corpus_n = 3 if smoke else 10
+    print(f"\nbootstrapping a {corpus_n}-dataset knowledge base ...")
     started = time.monotonic()
     kb = KnowledgeBase()
     bootstrap_knowledge_base(
-        kb, load_kb_corpus(n=10, seed=7), configs_per_algorithm=2, n_folds=2,
-        max_instances=150,
+        kb, load_kb_corpus(n=corpus_n, seed=7), configs_per_algorithm=2, n_folds=2,
+        max_instances=80 if smoke else 150,
     )
     print(f"  {kb.n_runs()} leaderboard rows in {time.monotonic() - started:.1f}s")
 

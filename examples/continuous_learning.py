@@ -12,10 +12,13 @@ Run:  python examples/continuous_learning.py
 
 from __future__ import annotations
 
+import os
+
 from repro import SmartML, SmartMLConfig
 from repro.data import SyntheticSpec, make_dataset
 
-N_TASKS = 8
+SMOKE = os.environ.get("SMARTML_SMOKE") == "1"
+N_TASKS = 4 if SMOKE else 8
 
 
 def task_stream():
@@ -37,7 +40,7 @@ def task_stream():
 def main() -> None:
     smartml = SmartML()
     config = SmartMLConfig(
-        time_budget_s=3.0,
+        time_budget_s=0.5 if SMOKE else 3.0,
         n_algorithms=3,
         fallback_portfolio=["random_forest", "svm", "knn"],
         seed=0,

@@ -12,6 +12,8 @@ Run:  python examples/interpretability_demo.py
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro import SmartML, SmartMLConfig
@@ -24,9 +26,10 @@ from repro.preprocess import build_preprocessor
 
 def main() -> None:
     dataset = load_eval_dataset("occupancy")
+    smoke = os.environ.get("SMARTML_SMOKE") == "1"
     result = SmartML().run(
         dataset,
-        SmartMLConfig(time_budget_s=3.0, interpretability=True, seed=0),
+        SmartMLConfig(time_budget_s=0.5 if smoke else 3.0, interpretability=True, seed=0),
     )
     print(result.describe())
 

@@ -15,21 +15,25 @@ Run:  python examples/kb_warmstart.py
 
 from __future__ import annotations
 
+import os
 import time
 
 from repro import KnowledgeBase, SmartML, SmartMLConfig, bootstrap_knowledge_base
 from repro.data import load_eval_dataset, load_kb_corpus
 
-BUDGET_S = 4.0
+SMOKE = os.environ.get("SMARTML_SMOKE") == "1"
+BUDGET_S = 1.0 if SMOKE else 4.0
+CORPUS_N = 3 if SMOKE else 12
 
 
 def main() -> None:
-    print("bootstrapping knowledge base from 12 prior datasets ...")
+    print(f"bootstrapping knowledge base from {CORPUS_N} prior datasets ...")
     started = time.monotonic()
     kb = KnowledgeBase()
-    corpus = load_kb_corpus(n=12, seed=7)
+    corpus = load_kb_corpus(n=CORPUS_N, seed=7)
     bootstrap_knowledge_base(
-        kb, corpus, configs_per_algorithm=2, n_folds=2, max_instances=150, seed=0
+        kb, corpus, configs_per_algorithm=2, n_folds=2,
+        max_instances=80 if SMOKE else 150, seed=0,
     )
     print(
         f"  done in {time.monotonic() - started:.1f}s: "
@@ -58,11 +62,20 @@ def main() -> None:
     gap = warm.validation_accuracy - cold.validation_accuracy
     print(f"warm-start advantage at this budget: {gap:+.4f} accuracy")
 
-    # The continuously-updated KB: append this run, then show the growth.
-    dataset_id = kb.add_dataset(dataset.name, warm.metafeatures)
-    for candidate in warm.candidates:
-        kb.add_run(dataset_id, candidate.algorithm, candidate.best_config,
-                   accuracy=candidate.validation_accuracy)
+    # The continuously-updated KB: append this run (one batched write —
+    # the same unit the REST job service's single writer lands per job).
+    kb.add_result_batch(
+        dataset.name,
+        warm.metafeatures,
+        [
+            {
+                "algorithm": candidate.algorithm,
+                "config": candidate.best_config,
+                "accuracy": candidate.validation_accuracy,
+            }
+            for candidate in warm.candidates
+        ],
+    )
     print(
         f"\nafter recording this task the KB holds {kb.n_datasets()} datasets "
         f"and {kb.n_runs()} runs — each future task benefits from it."

@@ -6,12 +6,17 @@ nomination (cold start here — the KB is empty), SMAC tuning under a time
 budget, and the final recommendation.
 
 Run:  python examples/quickstart.py
+      SMARTML_SMOKE=1 python examples/quickstart.py   # fast CI variant
 """
 
 from __future__ import annotations
 
+import os
+
 from repro import SmartML, SmartMLConfig
 from repro.data import load_eval_dataset
+
+SMOKE = os.environ.get("SMARTML_SMOKE") == "1"
 
 
 def main() -> None:
@@ -21,7 +26,7 @@ def main() -> None:
     smartml = SmartML()
     config = SmartMLConfig(
         preprocessing=["center", "scale"],
-        time_budget_s=5.0,           # the paper used 10 minutes; we scale down
+        time_budget_s=1.0 if SMOKE else 5.0,  # the paper used 10 minutes
         n_algorithms=3,
         ensemble=True,
         interpretability=True,

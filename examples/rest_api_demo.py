@@ -2,24 +2,33 @@
 
 SmartML is "programming language agnostic so that it can be embedded in any
 programming language using its available REST APIs".  This example starts a
-local server, uploads a CSV exactly as the web form would, configures an
-experiment, runs it, and prints the output panel — including the
-meta-features-only mode where a client asks just for algorithm nominations.
+local server with a two-worker experiment pool, uploads a CSV exactly as
+the web form would, then drives the **async job lifecycle**: ``POST
+/experiments`` returns 202 with a job id immediately, the client polls the
+job's per-phase progress, and fetches the result once the job lands.  It
+also shows queued-job cancellation and the meta-features-only mode where a
+client asks just for algorithm nominations.
 
 Run:  python examples/rest_api_demo.py
+      SMARTML_SMOKE=1 python examples/rest_api_demo.py   # fast CI variant
 """
 
 from __future__ import annotations
 
 import json
+import os
+import time
 
 from repro.api import SmartMLClient, SmartMLServer
 from repro.core import SmartML
 from repro.data import load_eval_dataset
+from repro.exceptions import SmartMLError
+
+SMOKE = os.environ.get("SMARTML_SMOKE") == "1"
 
 EXPERIMENT_CONFIG = {
     "preprocessing": ["center", "scale"],
-    "time_budget_s": 4.0,
+    "time_budget_s": 1.0 if SMOKE else 4.0,
     "n_algorithms": 2,
     "interpretability": True,
     "seed": 1,
@@ -38,9 +47,9 @@ def dataset_as_csv() -> str:
 
 
 def main() -> None:
-    server = SmartMLServer(SmartML())
+    server = SmartMLServer(SmartML(), workers=2)
     server.serve_background()
-    print(f"SmartML server listening on {server.base_url}")
+    print(f"SmartML server listening on {server.base_url} (2 experiment workers)")
     try:
         client = SmartMLClient(port=server.port)
         print("health:", client.health())
@@ -50,8 +59,24 @@ def main() -> None:
         print(f"\nuploaded dataset: {json.dumps(upload, indent=2)}")
         print(f"experiment config: {json.dumps(EXPERIMENT_CONFIG, indent=2)}")
 
-        # --- run it ------------------------------------------------------
-        result = client.run_experiment(upload["dataset_id"], EXPERIMENT_CONFIG)
+        # --- submit: 202 + job id, no blocking --------------------------
+        job = client.submit_experiment(upload["dataset_id"], EXPERIMENT_CONFIG)
+        print(f"\nsubmitted: job {job['job_id']} is {job['status']!r}")
+
+        # --- poll: phase-by-phase progress -------------------------------
+        seen_phases: list[str] = []
+        while True:
+            status = client.get_experiment(job["job_id"])
+            phase = status["progress"]["phase"]
+            if phase and (not seen_phases or seen_phases[-1] != phase):
+                seen_phases.append(phase)
+                print(f"  [{status['status']:8s}] phase: {phase}")
+            if status["status"] in ("done", "failed", "cancelled"):
+                break
+            time.sleep(0.05)
+        print(f"job finished: {status['status']} "
+              f"(queued {status['queue_seconds']:.2f}s, ran {status['run_seconds']:.2f}s)")
+        result = status["result"]
 
         # --- Figure 3: sample experiment output --------------------------
         print("\n--- experiment output ---")
@@ -69,6 +94,30 @@ def main() -> None:
             print("most important features:")
             for row in result["importance_top"]:
                 print(f"  {row['feature']}: +{row['importance']:.4f}")
+
+        # --- queue + cancel ----------------------------------------------
+        # Fill both workers, then cancel a job that is still queued.
+        backlog = [
+            client.submit_experiment(upload["dataset_id"], EXPERIMENT_CONFIG)
+            for _ in range(3)
+        ]
+        victim = backlog[-1]
+        try:
+            cancelled = client.cancel_experiment(victim["job_id"])
+            print(f"\ncancelled queued job {cancelled['job_id']} "
+                  f"(now {cancelled['status']!r})")
+        except SmartMLError as exc:
+            # A worker may grab the job first; cancel is queued-only (409).
+            print(f"\njob {victim['job_id']} started before we could cancel: {exc}")
+        for job in backlog:
+            try:
+                client.wait_experiment(job["job_id"], timeout=120)
+            except Exception:
+                pass  # the cancelled one
+        print("job board:")
+        for row in client.list_experiments()["jobs"]:
+            print(f"  job {row['job_id']}: {row['status']:9s} "
+                  f"dataset={row['dataset_name']}")
 
         # --- meta-features-only mode -------------------------------------
         # "it is possible to upload only the dataset meta-features file

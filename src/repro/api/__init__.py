@@ -1,6 +1,14 @@
-"""REST API: server and client."""
+"""REST API: async experiment-job server, job manager, and client."""
 
 from repro.api.client import SmartMLClient
+from repro.api.jobs import ExperimentJob, JobManager, JobNotFoundError, JobStateError
 from repro.api.server import SmartMLServer
 
-__all__ = ["SmartMLServer", "SmartMLClient"]
+__all__ = [
+    "SmartMLServer",
+    "SmartMLClient",
+    "JobManager",
+    "ExperimentJob",
+    "JobNotFoundError",
+    "JobStateError",
+]

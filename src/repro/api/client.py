@@ -2,12 +2,21 @@
 
 Pure stdlib (``http.client``), so any Python process — or, as the paper
 advertises, any language with an HTTP client — can drive a SmartML server.
+
+Experiments are asynchronous on the server: :meth:`SmartMLClient.submit_experiment`
+returns a queued job immediately, :meth:`~SmartMLClient.get_experiment`
+polls its status/progress, and :meth:`~SmartMLClient.wait_experiment` polls
+until the job lands and hands back the result (raising on failure).
+:meth:`~SmartMLClient.run_experiment` is the submit-then-wait convenience —
+the same blocking call the old synchronous endpoint offered, now built on
+the job lifecycle.
 """
 
 from __future__ import annotations
 
 import http.client
 import json
+import time
 
 from repro.exceptions import SmartMLError
 
@@ -34,7 +43,7 @@ class SmartMLClient:
                 data = json.loads(raw)
             except json.JSONDecodeError as exc:
                 raise SmartMLError(f"non-JSON response from server: {raw!r}") from exc
-            if response.status != 200:
+            if response.status >= 400:
                 raise SmartMLError(
                     f"{method} {path} failed ({response.status}): {data.get('error')}"
                 )
@@ -76,7 +85,51 @@ class SmartMLClient:
             },
         )
 
-    def run_experiment(self, dataset_id: int, config: dict | None = None) -> dict:
+    # ------------------------------------------------------- job lifecycle
+    def submit_experiment(self, dataset_id: int, config: dict | None = None) -> dict:
+        """Enqueue an experiment; returns the queued job (202) immediately."""
         return self._request(
             "POST", "/experiments", {"dataset_id": dataset_id, "config": config or {}}
         )
+
+    def list_experiments(self) -> dict:
+        """Summaries of every job the server knows about."""
+        return self._request("GET", "/experiments")
+
+    def get_experiment(self, job_id: int) -> dict:
+        """One job's status, progress, timings — and result once done."""
+        return self._request("GET", f"/experiments/{job_id}")
+
+    def cancel_experiment(self, job_id: int) -> dict:
+        """Cancel a queued job (409 once it is running or finished)."""
+        return self._request("DELETE", f"/experiments/{job_id}")
+
+    def wait_experiment(
+        self, job_id: int, timeout: float | None = None, poll_s: float = 0.1
+    ) -> dict:
+        """Poll until the job reaches a terminal state; return its result.
+
+        Raises :class:`~repro.exceptions.SmartMLError` if the job failed or
+        was cancelled, or if ``timeout`` seconds elapse first.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            job = self.get_experiment(job_id)
+            status = job["status"]
+            if status == "done":
+                return job["result"]
+            if status in ("failed", "cancelled"):
+                raise SmartMLError(
+                    f"experiment job {job_id} {status}: {job.get('error')}"
+                )
+            if deadline is not None and time.monotonic() > deadline:
+                raise SmartMLError(
+                    f"timed out after {timeout}s waiting for job {job_id} "
+                    f"(status {status})"
+                )
+            time.sleep(poll_s)
+
+    def run_experiment(self, dataset_id: int, config: dict | None = None) -> dict:
+        """Submit and block until the result is ready (submit + wait)."""
+        job = self.submit_experiment(dataset_id, config)
+        return self.wait_experiment(job["job_id"], timeout=self.timeout)

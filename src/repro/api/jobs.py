@@ -1,0 +1,324 @@
+"""Async experiment-job service behind ``POST /experiments``.
+
+The paper positions SmartML as a language-agnostic *service*; a service
+cannot hold an HTTP connection open for a whole tuning run.  This module
+turns experiment execution into a job lifecycle:
+
+* :meth:`JobManager.submit` validates the request eagerly (unknown dataset
+  or bad config fail fast with a 4xx), enqueues an :class:`ExperimentJob`,
+  and returns immediately;
+* a fixed pool of worker threads drains the queue in submission order and
+  runs the SmartML pipeline, publishing per-phase progress as it goes;
+* job state advances ``queued -> running -> done | failed``; queued jobs
+  can be cancelled (``queued -> cancelled``);
+* knowledge-base appends from all workers are funnelled through **one
+  writer thread** which lands each finished run as a single batched append
+  (:meth:`~repro.kb.KnowledgeBase.add_result_batch`), so the underlying
+  :class:`~repro.kb.store.RecordStore` log keeps exactly one writer no
+  matter how many workers run concurrently.
+
+Determinism: a job's result is produced by the same ``SmartML.run`` call a
+synchronous caller would make, with the same config and seed — only the KB
+append is routed through the writer thread, and the batched append lays
+down records in the same order as the inline path.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core import SmartML, SmartMLConfig
+from repro.data.dataset import Dataset
+from repro.exceptions import SmartMLError
+
+__all__ = [
+    "ExperimentJob",
+    "JobManager",
+    "JobNotFoundError",
+    "JobStateError",
+    "JOB_STATUSES",
+]
+
+#: Every state a job can be in, in lifecycle order.
+JOB_STATUSES = ("queued", "running", "done", "failed", "cancelled")
+
+#: States that no worker will ever pick up again.
+TERMINAL_STATUSES = ("done", "failed", "cancelled")
+
+
+class JobNotFoundError(SmartMLError):
+    """The referenced job id does not exist."""
+
+    http_status = 404
+
+
+class JobStateError(SmartMLError):
+    """The operation is invalid for the job's current state."""
+
+    http_status = 409
+
+
+@dataclass
+class ExperimentJob:
+    """One submitted experiment and everything known about its progress."""
+
+    job_id: int
+    dataset_id: int
+    dataset_name: str
+    config: dict
+    status: str = "queued"
+    submitted_at: float = field(default_factory=time.time)
+    started_at: float | None = None
+    finished_at: float | None = None
+    phase: str | None = None
+    phases_done: list[str] = field(default_factory=list)
+    error: str | None = None
+    result: dict | None = None
+
+    def to_dict(self, include_result: bool = True) -> dict:
+        """JSON wire form; summaries omit the (large) result payload."""
+        now = time.time()
+        queue_s = (self.started_at or (now if self.status == "queued" else self.submitted_at)) - self.submitted_at
+        run_s = None
+        if self.started_at is not None:
+            run_s = (self.finished_at or now) - self.started_at
+        payload = {
+            "job_id": self.job_id,
+            "dataset_id": self.dataset_id,
+            "dataset_name": self.dataset_name,
+            "status": self.status,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "queue_seconds": max(0.0, queue_s),
+            "run_seconds": run_s,
+            "progress": {
+                "phase": self.phase,
+                "phases_done": list(self.phases_done),
+            },
+            "error": self.error,
+            "config": dict(self.config),
+        }
+        if include_result:
+            payload["result"] = self.result
+        return payload
+
+
+class _KBWrite:
+    """One finished run waiting for the single KB writer thread."""
+
+    __slots__ = ("dataset_name", "metafeatures", "runs", "done", "dataset_id", "error")
+
+    def __init__(self, dataset_name, metafeatures, runs):
+        self.dataset_name = dataset_name
+        self.metafeatures = metafeatures
+        self.runs = runs
+        self.done = threading.Event()
+        self.dataset_id: int | None = None
+        self.error: Exception | None = None
+
+
+class JobManager:
+    """Queue + worker pool + single KB writer for experiment jobs.
+
+    Parameters
+    ----------
+    smartml:
+        The shared :class:`SmartML` instance (and with it the shared KB).
+    workers:
+        Worker threads draining the queue concurrently.  Follows the
+        ``SmartMLConfig.n_jobs`` convention: 1 means strictly sequential
+        execution in submission order.
+    """
+
+    def __init__(self, smartml: SmartML, workers: int = 1):
+        if workers < 1:
+            raise SmartMLError("workers must be >= 1")
+        self.smartml = smartml
+        self.workers = workers
+        self._jobs: dict[int, ExperimentJob] = {}
+        self._job_inputs: dict[int, tuple[Dataset, SmartMLConfig]] = {}
+        self._ids = itertools.count(1)
+        self._lock = threading.Lock()
+        self._wakeup = threading.Condition(self._lock)
+        self._pending: deque[int] = deque()
+        self._stopping = False
+        self._kb_queue: queue.SimpleQueue[_KBWrite | None] = queue.SimpleQueue()
+        self._kb_writer = threading.Thread(
+            target=self._kb_writer_loop, name="smartml-kb-writer", daemon=True
+        )
+        self._kb_writer.start()
+        self._threads = [
+            threading.Thread(
+                target=self._worker_loop, name=f"smartml-worker-{i}", daemon=True
+            )
+            for i in range(workers)
+        ]
+        for thread in self._threads:
+            thread.start()
+
+    # ----------------------------------------------------------------- API
+    def submit(self, dataset: Dataset, dataset_id: int, config_payload: dict | None) -> ExperimentJob:
+        """Validate and enqueue an experiment; returns the queued job.
+
+        Raises :class:`~repro.exceptions.ConfigurationError` (hence a 400 at
+        the HTTP layer) *before* anything is enqueued when the config is
+        invalid — failures a client can fix never enter the queue.
+        """
+        config = SmartMLConfig.from_dict(config_payload or {})
+        with self._lock:
+            if self._stopping:
+                raise JobStateError("server is shutting down; not accepting jobs")
+            job = ExperimentJob(
+                job_id=next(self._ids),
+                dataset_id=dataset_id,
+                dataset_name=dataset.name,
+                config=config.to_dict(),
+            )
+            self._jobs[job.job_id] = job
+            self._job_inputs[job.job_id] = (dataset, config)
+            self._pending.append(job.job_id)
+            self._wakeup.notify()
+        return job
+
+    def get(self, job_id: int) -> ExperimentJob:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise JobNotFoundError(f"unknown job_id {job_id}")
+        return job
+
+    def list_jobs(self) -> list[ExperimentJob]:
+        with self._lock:
+            return [self._jobs[job_id] for job_id in sorted(self._jobs)]
+
+    def cancel(self, job_id: int) -> ExperimentJob:
+        """Cancel a *queued* job; running/finished jobs raise (HTTP 409)."""
+        with self._lock:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise JobNotFoundError(f"unknown job_id {job_id}")
+            if job.status != "queued":
+                raise JobStateError(
+                    f"job {job_id} is {job.status}; only queued jobs can be cancelled"
+                )
+            job.status = "cancelled"
+            job.finished_at = time.time()
+            self._job_inputs.pop(job_id, None)
+        return job
+
+    def wait(self, job_id: int, timeout: float | None = None, poll_s: float = 0.01) -> ExperimentJob:
+        """Block until the job reaches a terminal state (in-process helper)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            job = self.get(job_id)
+            if job.status in TERMINAL_STATUSES:
+                return job
+            if deadline is not None and time.monotonic() > deadline:
+                raise JobStateError(f"timed out waiting for job {job_id} ({job.status})")
+            time.sleep(poll_s)
+
+    def shutdown(self, wait: bool = True, timeout: float = 10.0) -> None:
+        """Stop accepting work, let running jobs finish, stop the threads."""
+        with self._lock:
+            if self._stopping:
+                return
+            self._stopping = True
+            # Queued-but-unstarted jobs will never run now; say so honestly.
+            while self._pending:
+                job = self._jobs[self._pending.popleft()]
+                if job.status == "queued":
+                    job.status = "cancelled"
+                    job.finished_at = time.time()
+                    self._job_inputs.pop(job.job_id, None)
+            self._wakeup.notify_all()
+        if wait:
+            for thread in self._threads:
+                thread.join(timeout=timeout)
+        # Only retire the KB writer once no worker can hand it more work;
+        # a worker that outlived the join timeout (long tuning run) must
+        # still find a live writer or its kb_sink could wait forever.
+        if not any(thread.is_alive() for thread in self._threads):
+            self._kb_queue.put(None)
+            if wait:
+                self._kb_writer.join(timeout=timeout)
+
+    # ------------------------------------------------------------- internals
+    def _next_job(self) -> ExperimentJob | None:
+        """Block for the next queued job; None means shut down."""
+        with self._wakeup:
+            while True:
+                while self._pending:
+                    job = self._jobs[self._pending.popleft()]
+                    if job.status == "queued":  # skip cancelled entries
+                        job.status = "running"
+                        job.started_at = time.time()
+                        return job
+                if self._stopping:
+                    return None
+                self._wakeup.wait()
+
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._next_job()
+            if job is None:
+                return
+            dataset, config = self._job_inputs.pop(job.job_id)
+
+            def on_phase(phase: str, _job=job) -> None:
+                with self._lock:
+                    if _job.phase is not None:
+                        _job.phases_done.append(_job.phase)
+                    _job.phase = phase
+
+            try:
+                result = self.smartml.run(
+                    dataset, config, on_phase=on_phase, kb_sink=self._kb_sink
+                )
+                payload = result.to_dict()
+                with self._lock:
+                    if job.phase is not None:
+                        job.phases_done.append(job.phase)
+                        job.phase = None
+                    job.result = payload
+                    job.status = "done"
+                    job.finished_at = time.time()
+            except Exception as exc:  # surface *any* pipeline failure on the job
+                with self._lock:
+                    job.phase = None
+                    job.error = f"{type(exc).__name__}: {exc}"
+                    job.status = "failed"
+                    job.finished_at = time.time()
+
+    # ------------------------------------------------------------ KB writer
+    def _kb_sink(self, dataset_name, metafeatures, runs) -> int:
+        """Route a finished run's KB append through the single writer."""
+        item = _KBWrite(dataset_name, metafeatures, runs)
+        self._kb_queue.put(item)
+        # Wake periodically: if the writer thread died (shutdown race, hard
+        # failure) the append can never land — fail the job, don't hang it.
+        while not item.done.wait(timeout=1.0):
+            if not self._kb_writer.is_alive():
+                raise SmartMLError("KB writer stopped before the append landed")
+        if item.error is not None:
+            raise item.error
+        return item.dataset_id
+
+    def _kb_writer_loop(self) -> None:
+        while True:
+            item = self._kb_queue.get()
+            if item is None:
+                return
+            try:
+                item.dataset_id = self.smartml.kb.add_result_batch(
+                    item.dataset_name, item.metafeatures, item.runs
+                )
+            except Exception as exc:
+                item.error = exc
+            finally:
+                item.done.set()

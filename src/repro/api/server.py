@@ -15,11 +15,19 @@ GET       /metafeatures/<id>     the 25 meta-features of an uploaded dataset
 POST      /nominate              algorithm selection only, from raw
                                  meta-features (the paper's "upload only the
                                  dataset meta-features file" mode)
-POST      /experiments           run the full SmartML pipeline synchronously
+POST      /experiments           **enqueue** a pipeline run; returns 202 with
+                                 a job id immediately (never blocks on tuning)
+GET       /experiments           list all jobs (summaries, no result payload)
+GET       /experiments/<id>      job status/progress/timings + result when done
+DELETE    /experiments/<id>      cancel a *queued* job (409 once running)
 ========  =====================  ==============================================
 
-All requests and responses are JSON.  The server is intended for local /
-demo use (single process; the KB store is serialised behind one lock).
+All requests and responses are JSON.  Experiments execute on a background
+worker pool (``workers=N``, following the ``SmartMLConfig.n_jobs``
+convention) managed by :class:`~repro.api.jobs.JobManager`; knowledge-base
+appends from those workers are batched through the manager's single writer
+thread, so the handler threads stay I/O-only and the KB log has exactly one
+writer.  See ``docs/rest_api.md`` for request/response examples.
 """
 
 from __future__ import annotations
@@ -28,7 +36,8 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
-from repro.core import SmartML, SmartMLConfig
+from repro.api.jobs import JobManager
+from repro.core import SmartML
 from repro.data.io import parse_arff_text, parse_csv_text
 from repro.exceptions import SmartMLError
 from repro.metafeatures import MetaFeatures, extract_metafeatures
@@ -37,11 +46,28 @@ __all__ = ["SmartMLServer"]
 
 
 class SmartMLServer:
-    """Wraps a :class:`SmartML` instance behind the REST interface."""
+    """Wraps a :class:`SmartML` instance behind the REST interface.
 
-    def __init__(self, smartml: SmartML | None = None, host: str = "127.0.0.1", port: int = 0):
+    Parameters
+    ----------
+    smartml:
+        Pipeline + knowledge base to serve (a fresh in-memory one when
+        omitted).
+    workers:
+        Background experiment workers draining the job queue (default 1,
+        i.e. jobs run one at a time in submission order).
+    """
+
+    def __init__(
+        self,
+        smartml: SmartML | None = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        workers: int = 1,
+    ):
         self.smartml = smartml or SmartML()
         self.host = host
+        self.jobs = JobManager(self.smartml, workers=workers)
         self._datasets: dict[int, object] = {}
         self._next_dataset_id = 1
         self._lock = threading.Lock()
@@ -56,11 +82,16 @@ class SmartMLServer:
         self._thread = threading.Thread(target=self._httpd.serve_forever, daemon=True)
         self._thread.start()
 
+    def serve_forever(self) -> None:
+        """Serve on the calling thread until interrupted."""
+        self._httpd.serve_forever()
+
     def shutdown(self) -> None:
         self._httpd.shutdown()
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5)
+        self.jobs.shutdown()
 
     @property
     def base_url(self) -> str:
@@ -137,15 +168,22 @@ class SmartMLServer:
             ]
         }
 
-    def _run_experiment(self, payload: dict) -> dict:
+    def _submit_experiment(self, payload: dict) -> dict:
         dataset_id = payload.get("dataset_id")
         if not isinstance(dataset_id, int):
             raise SmartMLError("payload must contain an integer 'dataset_id'")
         ds = self._get_dataset(dataset_id)
-        config = SmartMLConfig.from_dict(payload.get("config", {}))
-        with self._lock:  # one experiment at a time keeps the KB consistent
-            result = self.smartml.run(ds, config)
-        return result.to_dict()
+        job = self.jobs.submit(ds, dataset_id, payload.get("config", {}))
+        return job.to_dict(include_result=False)
+
+    def _list_experiments(self) -> dict:
+        return {"jobs": [job.to_dict(include_result=False) for job in self.jobs.list_jobs()]}
+
+    def _get_experiment(self, job_id: int) -> dict:
+        return self.jobs.get(job_id).to_dict()
+
+    def _cancel_experiment(self, job_id: int) -> dict:
+        return self.jobs.cancel(job_id).to_dict(include_result=False)
 
     def _kb_stats(self) -> dict:
         return {
@@ -169,6 +207,11 @@ class SmartMLServer:
                 self.end_headers()
                 self.wfile.write(body)
 
+            def _fail(self, exc: Exception) -> None:
+                # Exceptions may carry their HTTP status (404/409); plain
+                # validation errors map to 400.
+                self._reply(getattr(exc, "http_status", 400), {"error": str(exc)})
+
             def _read_json(self) -> dict:
                 length = int(self.headers.get("Content-Length", "0"))
                 raw = self.rfile.read(length) if length else b"{}"
@@ -188,13 +231,18 @@ class SmartMLServer:
                         self._reply(200, server._kb_stats())
                     elif self.path == "/datasets":
                         self._reply(200, server._list_datasets())
+                    elif self.path == "/experiments":
+                        self._reply(200, server._list_experiments())
+                    elif self.path.startswith("/experiments/"):
+                        job_id = int(self.path.rsplit("/", 1)[1])
+                        self._reply(200, server._get_experiment(job_id))
                     elif self.path.startswith("/metafeatures/"):
                         dataset_id = int(self.path.rsplit("/", 1)[1])
                         self._reply(200, server._metafeatures(dataset_id))
                     else:
                         self._reply(404, {"error": f"unknown path {self.path}"})
                 except (SmartMLError, ValueError) as exc:
-                    self._reply(400, {"error": str(exc)})
+                    self._fail(exc)
 
             def do_POST(self):  # noqa: N802 - http.server API
                 try:
@@ -204,10 +252,20 @@ class SmartMLServer:
                     elif self.path == "/nominate":
                         self._reply(200, server._nominate(payload))
                     elif self.path == "/experiments":
-                        self._reply(200, server._run_experiment(payload))
+                        self._reply(202, server._submit_experiment(payload))
                     else:
                         self._reply(404, {"error": f"unknown path {self.path}"})
                 except (SmartMLError, ValueError) as exc:
-                    self._reply(400, {"error": str(exc)})
+                    self._fail(exc)
+
+            def do_DELETE(self):  # noqa: N802 - http.server API
+                try:
+                    if self.path.startswith("/experiments/"):
+                        job_id = int(self.path.rsplit("/", 1)[1])
+                        self._reply(200, server._cancel_experiment(job_id))
+                    else:
+                        self._reply(404, {"error": f"unknown path {self.path}"})
+                except (SmartMLError, ValueError) as exc:
+                    self._fail(exc)
 
         return Handler

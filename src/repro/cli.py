@@ -11,8 +11,12 @@ APIs; this module is the command-line face of the Python reproduction:
     Run the full pipeline on a CSV/ARFF file (or a built-in dataset).
 ``repro nominate --dataset my.csv --target label --kb kb.jsonl``
     Algorithm selection only (no tuning).
-``repro serve --port 8080 --kb kb.jsonl``
-    Start the REST server.
+``repro serve --port 8080 --kb kb.jsonl --workers 2``
+    Start the REST server with an async experiment worker pool.
+``repro submit --dataset my.csv --target label --port 8080 [--wait]``
+    Upload a dataset to a running server and enqueue an experiment job.
+``repro status --port 8080 [--job 3]``
+    List a running server's experiment jobs, or show one job in full.
 """
 
 from __future__ import annotations
@@ -140,15 +144,76 @@ def cmd_serve(args, out) -> int:  # pragma: no cover - blocking loop
     from repro.api import SmartMLServer
 
     kb = _open_kb(args)
-    server = SmartMLServer(SmartML(kb), host=args.host, port=args.port)
-    print(f"SmartML REST server on {server.base_url} (Ctrl-C to stop)", file=out)
+    server = SmartMLServer(
+        SmartML(kb), host=args.host, port=args.port, workers=args.workers
+    )
+    print(
+        f"SmartML REST server on {server.base_url} "
+        f"({args.workers} experiment worker(s); Ctrl-C to stop)",
+        file=out,
+    )
     try:
-        server._httpd.serve_forever()
+        server.serve_forever()
     except KeyboardInterrupt:
         pass
     finally:
         server._httpd.server_close()
+        server.jobs.shutdown()
         kb.close()
+    return 0
+
+
+def cmd_submit(args, out) -> int:
+    from repro.api import SmartMLClient
+    from repro.data.writers import dataset_to_arff
+
+    dataset = _load_dataset(args)
+    client = SmartMLClient(host=args.host, port=args.port)
+    upload = client.upload_arff(dataset_to_arff(dataset), name=dataset.name)
+    config: dict = json.loads(args.config) if args.config else {}
+    config.setdefault("time_budget_s", args.budget)
+    config.setdefault("n_algorithms", args.algorithms)
+    config.setdefault("seed", args.seed)
+    job = client.submit_experiment(upload["dataset_id"], config)
+    print(
+        f"job {job['job_id']} {job['status']} "
+        f"(dataset {upload['dataset_id']}: {dataset.name})",
+        file=out,
+    )
+    if args.wait:
+        result = client.wait_experiment(job["job_id"])
+        if args.json:
+            print(json.dumps(result, indent=2), file=out)
+        else:
+            print(
+                f"best: {result['best_algorithm']} "
+                f"val_acc={result['validation_accuracy']:.4f} "
+                f"config={result['best_config']}",
+                file=out,
+            )
+    return 0
+
+
+def cmd_status(args, out) -> int:
+    from repro.api import SmartMLClient
+
+    client = SmartMLClient(host=args.host, port=args.port)
+    if args.job is not None:
+        print(json.dumps(client.get_experiment(args.job), indent=2), file=out)
+        return 0
+    jobs = client.list_experiments()["jobs"]
+    if not jobs:
+        print("no experiment jobs", file=out)
+        return 0
+    print(f"{'job':>4s} {'status':10s} {'dataset':16s} {'phase':22s} {'run_s':>8s}", file=out)
+    for job in jobs:
+        phase = job["progress"]["phase"] or "-"
+        run_s = f"{job['run_seconds']:.2f}" if job["run_seconds"] is not None else "-"
+        print(
+            f"{job['job_id']:>4d} {job['status']:10s} {job['dataset_name'][:16]:16s} "
+            f"{phase:22s} {run_s:>8s}",
+            file=out,
+        )
     return 0
 
 
@@ -192,6 +257,27 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--kb")
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8080)
+    p_serve.add_argument(
+        "--workers", type=int, default=1,
+        help="background experiment workers draining the job queue (default 1)",
+    )
+
+    p_submit = sub.add_parser("submit", help="submit an experiment job to a server")
+    p_submit.add_argument("--dataset", required=True, help="registry key or csv/arff path")
+    p_submit.add_argument("--target", help="target column name (files only)")
+    p_submit.add_argument("--host", default="127.0.0.1")
+    p_submit.add_argument("--port", type=int, default=8080)
+    p_submit.add_argument("--budget", type=float, default=10.0, help="seconds of tuning")
+    p_submit.add_argument("--algorithms", type=int, default=3, help="candidates to tune")
+    p_submit.add_argument("--seed", type=int, default=0)
+    p_submit.add_argument("--config", help="extra config as a JSON object (overrides flags)")
+    p_submit.add_argument("--wait", action="store_true", help="poll until the job finishes")
+    p_submit.add_argument("--json", action="store_true", help="with --wait: emit result JSON")
+
+    p_status = sub.add_parser("status", help="show a server's experiment jobs")
+    p_status.add_argument("--host", default="127.0.0.1")
+    p_status.add_argument("--port", type=int, default=8080)
+    p_status.add_argument("--job", type=int, help="show this job in full (JSON)")
 
     return parser
 
@@ -202,6 +288,8 @@ COMMANDS = {
     "run": cmd_run,
     "nominate": cmd_nominate,
     "serve": cmd_serve,
+    "submit": cmd_submit,
+    "status": cmd_status,
 }
 
 

@@ -21,6 +21,7 @@ Phases (names match the architecture figure):
 from __future__ import annotations
 
 import time
+from collections.abc import Callable
 from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
@@ -66,13 +67,37 @@ class SmartML:
         self.kb = knowledge_base if knowledge_base is not None else KnowledgeBase()
 
     # ------------------------------------------------------------------ run
-    def run(self, dataset: Dataset, config: SmartMLConfig | None = None) -> SmartMLResult:
-        """Execute the full pipeline on ``dataset``."""
+    def run(
+        self,
+        dataset: Dataset,
+        config: SmartMLConfig | None = None,
+        on_phase: Callable[[str], None] | None = None,
+        kb_sink: Callable[..., int] | None = None,
+    ) -> SmartMLResult:
+        """Execute the full pipeline on ``dataset``.
+
+        Parameters
+        ----------
+        on_phase:
+            Optional progress hook, called with the phase name as each
+            pipeline phase *starts* (names match ``result.phase_seconds``
+            keys).  Used by the async job service to publish partial
+            progress; must be cheap and must not raise.
+        kb_sink:
+            Optional override for the knowledge-base append.  Called as
+            ``kb_sink(dataset_name, metafeatures, runs)`` where ``runs`` is
+            a list of per-candidate record dicts; must return the new KB
+            dataset id.  The job service passes its single-writer batcher
+            here so concurrent workers never write the store directly.
+            ``None`` (the default) appends inline, as a single batch.
+        """
         config = config or SmartMLConfig()
         rng = np.random.default_rng(config.seed)
         phase_seconds: dict[str, float] = {}
+        notify = on_phase if on_phase is not None else (lambda phase: None)
 
         # ---- phase 2: preprocessing -------------------------------------
+        notify("preprocessing")
         started = time.monotonic()
         train, validation = train_validation_split(
             dataset, config.validation_fraction, seed=int(rng.integers(0, 2**31 - 1))
@@ -82,11 +107,13 @@ class SmartML:
         validation_p = pipeline.transform(validation)
         phase_seconds["preprocessing"] = time.monotonic() - started
 
+        notify("metafeatures")
         started = time.monotonic()
         metafeatures = extract_metafeatures(train)
         phase_seconds["metafeatures"] = time.monotonic() - started
 
         # ---- phase 3: algorithm selection --------------------------------
+        notify("algorithm_selection")
         started = time.monotonic()
         nominations = self.kb.nominate(
             metafeatures,
@@ -103,6 +130,7 @@ class SmartML:
         phase_seconds["algorithm_selection"] = time.monotonic() - started
 
         # ---- phase 4: hyperparameter tuning -------------------------------
+        notify("hyperparameter_tuning")
         started = time.monotonic()
         algorithms = [n.algorithm for n in nominations]
         if config.time_budget_s is not None:
@@ -139,6 +167,7 @@ class SmartML:
         phase_seconds["hyperparameter_tuning"] = time.monotonic() - started
 
         # ---- phase 5: output + KB update ----------------------------------
+        notify("computing_output")
         started = time.monotonic()
         best = max(candidates, key=lambda c: c.validation_accuracy)
         result = SmartMLResult(
@@ -176,19 +205,21 @@ class SmartML:
             )
         phase_seconds["computing_output"] = time.monotonic() - started
 
+        notify("kb_update")
         started = time.monotonic()
         if config.update_kb:
-            dataset_id = self.kb.add_dataset(dataset.name, metafeatures)
-            result.kb_dataset_id = dataset_id
-            for candidate in candidates:
-                self.kb.add_run(
-                    dataset_id,
-                    candidate.algorithm,
-                    candidate.best_config,
-                    accuracy=candidate.validation_accuracy,
-                    n_folds=config.n_folds,
-                    budget_s=candidate.tuning_seconds,
-                )
+            runs = [
+                {
+                    "algorithm": candidate.algorithm,
+                    "config": candidate.best_config,
+                    "accuracy": candidate.validation_accuracy,
+                    "n_folds": config.n_folds,
+                    "budget_s": candidate.tuning_seconds,
+                }
+                for candidate in candidates
+            ]
+            sink = kb_sink if kb_sink is not None else self.kb.add_result_batch
+            result.kb_dataset_id = sink(dataset.name, metafeatures, runs)
         phase_seconds["kb_update"] = time.monotonic() - started
 
         result.phase_seconds = phase_seconds

@@ -15,6 +15,7 @@ monotonically with use: the paper's "continuously updated knowledge base".
 
 from __future__ import annotations
 
+import threading
 from pathlib import Path
 
 import numpy as np
@@ -39,16 +40,23 @@ class KnowledgeBase:
         self.store = RecordStore(path)
         # Lazily-built z-scored similarity index; invalidated whenever the
         # stored dataset set changes so cached normalisers never go stale.
+        # The cache has its own lock so concurrent nominate() calls (async
+        # job workers share one KB) build/invalidate it consistently.
         self._similarity_index: SimilarityIndex | None = None
+        self._index_lock = threading.Lock()
 
     # --------------------------------------------------------------- writes
     def add_dataset(self, name: str, metafeatures: MetaFeatures) -> int:
         """Register a processed dataset; returns its KB id."""
-        self._similarity_index = None
-        return self.store.append(
+        dataset_id = self.store.append(
             "datasets",
             {"name": name, "metafeatures": metafeatures.to_dict()},
         )
+        # Invalidate AFTER the append: clearing first would let a concurrent
+        # similar_datasets() rebuild-and-cache an index that misses this row.
+        with self._index_lock:
+            self._similarity_index = None
+        return dataset_id
 
     def add_run(
         self,
@@ -72,6 +80,44 @@ class KnowledgeBase:
                 "budget_s": float(budget_s),
             },
         )
+
+    def add_result_batch(
+        self, name: str, metafeatures: MetaFeatures, runs: list[dict]
+    ) -> int:
+        """Land one finished experiment — dataset row + all run rows — as a
+        single batched append.
+
+        ``runs`` entries carry ``algorithm``, ``config``, ``accuracy`` and
+        optionally ``n_folds`` / ``budget_s``.  Ids are assigned exactly as
+        the sequential ``add_dataset`` + N × ``add_run`` path would assign
+        them, but the store flushes once and the log lines are contiguous —
+        this is the unit of write the async job service's single KB writer
+        thread performs per job.  Returns the new dataset id.
+        """
+        with self.store.locked():
+            dataset_id = self.store.peek_next_id()
+            rows = [
+                ("datasets", {"name": name, "metafeatures": metafeatures.to_dict()})
+            ] + [
+                (
+                    "runs",
+                    {
+                        "dataset_id": dataset_id,
+                        "algorithm": run["algorithm"],
+                        "config": dict(run["config"]),
+                        "accuracy": float(run["accuracy"]),
+                        "n_folds": int(run.get("n_folds", 0)),
+                        "budget_s": float(run.get("budget_s", 0.0)),
+                    },
+                )
+                for run in runs
+            ]
+            ids = self.store.append_many(rows)
+        assert ids[0] == dataset_id
+        # Invalidate AFTER the append (see add_dataset for why).
+        with self._index_lock:
+            self._similarity_index = None
+        return dataset_id
 
     # ---------------------------------------------------------------- reads
     def n_datasets(self) -> int:
@@ -125,12 +171,14 @@ class KnowledgeBase:
     # ----------------------------------------------------------- similarity
     def similar_datasets(self, metafeatures: MetaFeatures, k: int = 3) -> list[Neighbor]:
         """The k most similar stored datasets."""
-        if self._similarity_index is None:
-            ids, matrix = self.dataset_vectors()
-            if matrix.shape[0] == 0:
-                return []
-            self._similarity_index = SimilarityIndex(ids, matrix)
-        return self._similarity_index.query(metafeatures.to_vector(), k)
+        with self._index_lock:
+            if self._similarity_index is None:
+                ids, matrix = self.dataset_vectors()
+                if matrix.shape[0] == 0:
+                    return []
+                self._similarity_index = SimilarityIndex(ids, matrix)
+            index = self._similarity_index
+        return index.query(metafeatures.to_vector(), k)
 
     def nominate(
         self,

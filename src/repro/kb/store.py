@@ -10,16 +10,24 @@ store is a single JSON-lines log with:
   (the classic WAL tail repair); corruption anywhere else raises;
 * **tombstone deletes** and **offline compaction** that rewrites the log
   atomically (write temp file, ``os.replace``);
+* **batched appends** (:meth:`RecordStore.append_many`) — a group of
+  records lands as consecutive log lines with a single flush, so a crash
+  keeps either none or a prefix of the batch;
 * an in-memory per-table index for reads.
 
-The store is single-process by design (the REST layer serialises access);
-that trade-off is recorded in DESIGN.md.
+The store is single-process and **single-writer by design**: a lock makes
+individual operations safe to call from any thread, but the REST job
+service additionally funnels all appends through one writer thread
+(`api/jobs.py`) so the log never interleaves concurrent batches.  That
+trade-off is recorded in DESIGN.md.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
+from contextlib import contextmanager
 from pathlib import Path
 
 from repro.exceptions import KnowledgeBaseError
@@ -42,6 +50,7 @@ class RecordStore:
         self._tables: dict[str, dict[int, dict]] = {}
         self._next_id = 1
         self._file = None
+        self._lock = threading.RLock()
         if self.path is not None:
             self._load()
             self._file = open(self.path, "a", encoding="utf-8")
@@ -87,80 +96,123 @@ class RecordStore:
         self._next_id = max(self._next_id, record_id + 1)
 
     # ---------------------------------------------------------------- write
-    def _write(self, entry: dict) -> None:
-        if self._file is None:
+    @contextmanager
+    def locked(self):
+        """Hold the store lock across several calls (id-peek + batch append).
+
+        The lock is reentrant, so operations invoked inside the block work
+        unchanged; other threads are excluded for the duration.
+        """
+        with self._lock:
+            yield self
+
+    def peek_next_id(self) -> int:
+        """The id the next appended record will get (call under `locked`)."""
+        with self._lock:
+            return self._next_id
+
+    def _write(self, entries: list[dict]) -> None:
+        """Append log lines for ``entries`` with one flush for the lot."""
+        if self._file is None or not entries:
             return
-        self._file.write(json.dumps(entry, sort_keys=True) + "\n")
+        self._file.write(
+            "".join(json.dumps(entry, sort_keys=True) + "\n" for entry in entries)
+        )
         self._file.flush()
 
     def append(self, table: str, data: dict) -> int:
         """Insert a record; returns its id."""
-        record_id = self._next_id
-        entry = {"op": "put", "table": table, "id": record_id, "data": data}
-        self._apply(entry)
-        self._write(entry)
-        return record_id
+        return self.append_many([(table, data)])[0]
+
+    def append_many(self, rows: list[tuple[str, dict]]) -> list[int]:
+        """Insert a batch of ``(table, data)`` rows atomically-ish.
+
+        Ids are assigned consecutively in ``rows`` order and all log lines
+        are written with a **single flush**, so the batch hits the disk as
+        one contiguous run of lines — the unit the async job service's
+        single-writer thread lands per finished experiment.  A crash
+        mid-batch can only lose a suffix (the standard WAL-tail guarantee).
+        """
+        with self._lock:
+            entries = []
+            ids = []
+            for table, data in rows:
+                record_id = self._next_id
+                entry = {"op": "put", "table": table, "id": record_id, "data": data}
+                self._apply(entry)
+                entries.append(entry)
+                ids.append(record_id)
+            self._write(entries)
+            return ids
 
     def update(self, table: str, record_id: int, data: dict) -> None:
         """Overwrite a record in place (logged as a new put)."""
-        if record_id not in self._tables.get(table, {}):
-            raise KnowledgeBaseError(f"{table}/{record_id} does not exist")
-        entry = {"op": "put", "table": table, "id": record_id, "data": data}
-        self._apply(entry)
-        self._write(entry)
+        with self._lock:
+            if record_id not in self._tables.get(table, {}):
+                raise KnowledgeBaseError(f"{table}/{record_id} does not exist")
+            entry = {"op": "put", "table": table, "id": record_id, "data": data}
+            self._apply(entry)
+            self._write([entry])
 
     def delete(self, table: str, record_id: int) -> None:
         """Tombstone a record."""
-        if record_id not in self._tables.get(table, {}):
-            raise KnowledgeBaseError(f"{table}/{record_id} does not exist")
-        entry = {"op": "delete", "table": table, "id": record_id}
-        self._apply(entry)
-        self._write(entry)
+        with self._lock:
+            if record_id not in self._tables.get(table, {}):
+                raise KnowledgeBaseError(f"{table}/{record_id} does not exist")
+            entry = {"op": "delete", "table": table, "id": record_id}
+            self._apply(entry)
+            self._write([entry])
 
     # ----------------------------------------------------------------- read
     def get(self, table: str, record_id: int) -> dict:
-        try:
-            return self._tables[table][record_id]
-        except KeyError:
-            raise KnowledgeBaseError(f"{table}/{record_id} does not exist") from None
+        with self._lock:
+            try:
+                return self._tables[table][record_id]
+            except KeyError:
+                raise KnowledgeBaseError(f"{table}/{record_id} does not exist") from None
 
     def scan(self, table: str) -> list[tuple[int, dict]]:
-        """All (id, record) pairs of a table, id-ordered."""
-        return sorted(self._tables.get(table, {}).items())
+        """All (id, record) pairs of a table, id-ordered (a snapshot)."""
+        with self._lock:
+            return sorted(self._tables.get(table, {}).items())
 
     def count(self, table: str) -> int:
-        return len(self._tables.get(table, {}))
+        with self._lock:
+            return len(self._tables.get(table, {}))
 
     def tables(self) -> list[str]:
-        return sorted(self._tables)
+        with self._lock:
+            return sorted(self._tables)
 
     # ------------------------------------------------------------ lifecycle
     def compact(self) -> None:
         """Rewrite the log without tombstoned/overwritten entries."""
-        if self.path is None:
-            return
-        tmp = self.path.with_suffix(".compact")
-        with open(tmp, "w", encoding="utf-8") as fh:
-            for table in self.tables():
-                for record_id, data in self.scan(table):
-                    fh.write(
-                        json.dumps(
-                            {"op": "put", "table": table, "id": record_id, "data": data},
-                            sort_keys=True,
+        with self._lock:
+            if self.path is None:
+                return
+            tmp = self.path.with_suffix(".compact")
+            with open(tmp, "w", encoding="utf-8") as fh:
+                for table in self.tables():
+                    for record_id, data in self.scan(table):
+                        fh.write(
+                            json.dumps(
+                                {"op": "put", "table": table, "id": record_id, "data": data},
+                                sort_keys=True,
+                            )
+                            + "\n"
                         )
-                        + "\n"
-                    )
-            fh.flush()
-            os.fsync(fh.fileno())
-        if self._file is not None:
-            self._file.close()
-        os.replace(tmp, self.path)
-        self._file = open(self.path, "a", encoding="utf-8")
+                fh.flush()
+                os.fsync(fh.fileno())
+            if self._file is not None:
+                self._file.close()
+            os.replace(tmp, self.path)
+            self._file = open(self.path, "a", encoding="utf-8")
 
     def close(self) -> None:
-        if self._file is not None:
-            self._file.close()
-            self._file = None
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
 
     def __enter__(self) -> "RecordStore":
         return self

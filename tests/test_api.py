@@ -106,3 +106,31 @@ def test_invalid_config_rejected(client):
     info = client.upload_csv(CSV, target="label", name="bad-config")
     with pytest.raises(SmartMLError):
         client.run_experiment(info["dataset_id"], config={"mystery_option": 1})
+
+
+def test_experiment_post_returns_202_with_job_id(server, client):
+    import http.client as http_client
+    import json as json_module
+
+    info = client.upload_csv(CSV, target="label", name="status-202")
+    connection = http_client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+    try:
+        body = json_module.dumps(
+            {"dataset_id": info["dataset_id"], "config": FAST_CONFIG}
+        ).encode()
+        connection.request(
+            "POST", "/experiments", body=body,
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        payload = json_module.loads(response.read())
+    finally:
+        connection.close()
+    assert response.status == 202
+    assert isinstance(payload["job_id"], int)
+    assert payload["status"] in ("queued", "running")
+    # Listing shows the job; detail eventually carries the result.
+    jobs = client.list_experiments()["jobs"]
+    assert any(j["job_id"] == payload["job_id"] for j in jobs)
+    result = client.wait_experiment(payload["job_id"], timeout=60)
+    assert result["best_algorithm"] in ("knn", "rpart")

@@ -1,20 +1,50 @@
-"""Concurrency smoke tests for the REST server."""
+"""Concurrency and job-lifecycle tests for the REST server.
+
+The experiment endpoint is asynchronous: ``POST /experiments`` enqueues and
+returns 202 immediately; a worker pool executes jobs; KB appends from all
+workers are funnelled through one writer thread.  These tests cover the
+lifecycle (queued/running/done/failed/cancelled), concurrent submits,
+determinism versus direct synchronous runs, and KB consistency under
+parallel workers.
+"""
 
 import threading
 
 import pytest
 
 from repro.api import SmartMLClient, SmartMLServer
-from repro.core import SmartML
+from repro.core import SmartML, SmartMLConfig
+from repro.data.io import parse_csv_text
+from repro.exceptions import SmartMLError
 
 CSV = "x,y,label\n" + "\n".join(
     f"{i % 5},{(i * 2) % 7},{'a' if i % 2 else 'b'}" for i in range(40)
 )
 
+# Deterministic, evaluation-count-budgeted config so async results can be
+# compared bit-for-bit against direct SmartML.run calls.
+FAST_CONFIG = {
+    "time_budget_s": None,
+    "max_evals_per_algorithm": 2,
+    "n_folds": 2,
+    "fallback_portfolio": ["knn", "rpart"],
+    "n_algorithms": 2,
+    "update_kb": False,
+    "seed": 11,
+}
+
 
 @pytest.fixture()
 def server():
     server = SmartMLServer(SmartML())
+    server.serve_background()
+    yield server
+    server.shutdown()
+
+
+@pytest.fixture()
+def pooled_server():
+    server = SmartMLServer(SmartML(), workers=2)
     server.serve_background()
     yield server
     server.shutdown()
@@ -67,6 +97,241 @@ def test_parallel_reads_while_uploading(server):
         stop.set()
         thread.join()
     assert not errors
+
+
+# --------------------------------------------------------- job lifecycle
+
+
+def test_submit_does_not_block(server):
+    client = SmartMLClient(port=server.port)
+    info = client.upload_csv(CSV, target="label", name="async")
+    job = client.submit_experiment(info["dataset_id"], FAST_CONFIG)
+    # 202 semantics: the job comes back before it finished.
+    assert job["status"] in ("queued", "running")
+    assert job["result"] is None if "result" in job else True
+    # The server keeps answering while the job runs.
+    assert client.health() == {"status": "ok"}
+    result = client.wait_experiment(job["job_id"], timeout=60)
+    assert result["best_algorithm"] in ("knn", "rpart")
+
+
+def test_status_transitions_and_phase_progress(server):
+    client = SmartMLClient(port=server.port)
+    info = client.upload_csv(CSV, target="label", name="phases")
+    job = client.submit_experiment(info["dataset_id"], FAST_CONFIG)
+    client.wait_experiment(job["job_id"], timeout=60)
+    detail = client.get_experiment(job["job_id"])
+    assert detail["status"] == "done"
+    assert detail["submitted_at"] <= detail["started_at"] <= detail["finished_at"]
+    assert detail["run_seconds"] >= 0.0
+    assert detail["progress"]["phase"] is None
+    assert detail["progress"]["phases_done"] == [
+        "preprocessing",
+        "metafeatures",
+        "algorithm_selection",
+        "hyperparameter_tuning",
+        "computing_output",
+        "kb_update",
+    ]
+    assert detail["result"]["best_algorithm"] in ("knn", "rpart")
+
+
+def test_concurrent_submits_distinct_jobs_all_complete(pooled_server):
+    client = SmartMLClient(port=pooled_server.port)
+    info = client.upload_csv(CSV, target="label", name="burst")
+    jobs, errors = [], []
+
+    def submit():
+        try:
+            jobs.append(client.submit_experiment(info["dataset_id"], FAST_CONFIG))
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    threads = [threading.Thread(target=submit) for _ in range(6)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert len({j["job_id"] for j in jobs}) == 6
+    results = [client.wait_experiment(j["job_id"], timeout=120) for j in jobs]
+    # Same dataset, same deterministic config: every job must agree.
+    first = results[0]
+    for result in results[1:]:
+        assert result["best_algorithm"] == first["best_algorithm"]
+        assert result["best_config"] == first["best_config"]
+        assert result["validation_accuracy"] == first["validation_accuracy"]
+
+
+def test_async_result_matches_synchronous_run(pooled_server):
+    client = SmartMLClient(port=pooled_server.port)
+    info = client.upload_csv(CSV, target="label", name="sync-twin")
+    job = client.submit_experiment(info["dataset_id"], FAST_CONFIG)
+    async_result = client.wait_experiment(job["job_id"], timeout=60)
+
+    dataset = parse_csv_text(CSV, target="label", name="sync-twin")
+    sync_result = SmartML().run(dataset, SmartMLConfig.from_dict(FAST_CONFIG)).to_dict()
+    assert async_result["best_algorithm"] == sync_result["best_algorithm"]
+    assert async_result["best_config"] == sync_result["best_config"]
+    assert async_result["validation_accuracy"] == sync_result["validation_accuracy"]
+    sync_by_algo = {c["algorithm"]: c for c in sync_result["candidates"]}
+    for candidate in async_result["candidates"]:
+        twin = sync_by_algo[candidate["algorithm"]]
+        assert candidate["cv_error"] == twin["cv_error"]
+        assert candidate["n_config_evals"] == twin["n_config_evals"]
+
+
+def test_failed_job_surfaces_error(server):
+    client = SmartMLClient(port=server.port)
+    info = client.upload_csv(CSV, target="label", name="doomed")
+    # Passes config validation but explodes inside the pipeline.
+    bad = dict(FAST_CONFIG, fallback_portfolio=["no_such_algorithm"], n_algorithms=1)
+    job = client.submit_experiment(info["dataset_id"], bad)
+    with pytest.raises(SmartMLError, match="failed"):
+        client.wait_experiment(job["job_id"], timeout=60)
+    detail = client.get_experiment(job["job_id"])
+    assert detail["status"] == "failed"
+    assert "no_such_algorithm" in detail["error"]
+    # A failed job does not poison the worker: the next job succeeds.
+    ok = client.submit_experiment(info["dataset_id"], FAST_CONFIG)
+    assert client.wait_experiment(ok["job_id"], timeout=60)["best_algorithm"]
+
+
+def test_invalid_submissions_rejected_before_enqueue(server):
+    client = SmartMLClient(port=server.port)
+    with pytest.raises(SmartMLError, match="dataset_id"):
+        client.submit_experiment(424242, FAST_CONFIG)
+    info = client.upload_csv(CSV, target="label", name="precheck")
+    with pytest.raises(SmartMLError, match="unknown config keys"):
+        client.submit_experiment(info["dataset_id"], {"mystery_option": 1})
+    assert client.list_experiments()["jobs"] == []  # nothing was enqueued
+
+
+def test_unknown_job_is_404(server):
+    client = SmartMLClient(port=server.port)
+    with pytest.raises(SmartMLError, match="404"):
+        client.get_experiment(999)
+    with pytest.raises(SmartMLError, match="404"):
+        client.cancel_experiment(999)
+
+
+def test_kb_consistent_under_parallel_workers(pooled_server):
+    client = SmartMLClient(port=pooled_server.port)
+    info = client.upload_csv(CSV, target="label", name="kbload")
+    config = dict(FAST_CONFIG, update_kb=True)
+    jobs = [client.submit_experiment(info["dataset_id"], config) for _ in range(5)]
+    results = [client.wait_experiment(j["job_id"], timeout=120) for j in jobs]
+
+    stats = client.kb_stats()
+    assert stats["datasets"] == 5
+    assert stats["runs"] == 5 * FAST_CONFIG["n_algorithms"]
+    # Every job landed its own dataset row, and each run row references an
+    # existing dataset — no interleaved/torn batches from the writer thread.
+    ids = [r["kb_dataset_id"] for r in results]
+    assert len(set(ids)) == 5
+    kb = pooled_server.smartml.kb
+    dataset_ids = {record_id for record_id, _ in kb.store.scan("datasets")}
+    for _, run in kb.store.scan("runs"):
+        assert run["dataset_id"] in dataset_ids
+    per_dataset = {
+        ds_id: sum(1 for _, r in kb.store.scan("runs") if r["dataset_id"] == ds_id)
+        for ds_id in dataset_ids
+    }
+    assert all(n == FAST_CONFIG["n_algorithms"] for n in per_dataset.values())
+
+
+# ------------------------------------------- deterministic lifecycle (stub)
+
+
+class _StubDataset:
+    name = "stub"
+
+
+class _BlockingSmartML:
+    """Stands in for SmartML: runs block until released, then succeed."""
+
+    def __init__(self):
+        self.release = threading.Event()
+        self.kb = None
+        self.ran: list[int] = []
+        self._lock = threading.Lock()
+
+    def run(self, dataset, config, on_phase=None, kb_sink=None):
+        self.release.wait(timeout=30)
+        with self._lock:
+            self.ran.append(config.seed)
+
+        class _Result:
+            def to_dict(self):
+                return {"seed": config.seed}
+
+        return _Result()
+
+
+def _fast_payload(seed=0):
+    return {
+        "time_budget_s": None,
+        "max_evals_per_algorithm": 1,
+        "seed": seed,
+    }
+
+
+def test_cancel_queued_job_never_runs():
+    from repro.api import JobManager, JobStateError
+
+    stub = _BlockingSmartML()
+    manager = JobManager(stub, workers=1)
+    try:
+        first = manager.submit(_StubDataset(), 1, _fast_payload(seed=1))
+        second = manager.submit(_StubDataset(), 1, _fast_payload(seed=2))
+        third = manager.submit(_StubDataset(), 1, _fast_payload(seed=3))
+        # Worker 1 is parked inside job 1; job 3 is still queued.
+        assert manager.get(third.job_id).status == "queued"
+        cancelled = manager.cancel(third.job_id)
+        assert cancelled.status == "cancelled"
+        assert cancelled.finished_at is not None
+        # Cancelling again (or cancelling a non-queued job) conflicts.
+        with pytest.raises(JobStateError):
+            manager.cancel(third.job_id)
+        stub.release.set()
+        assert manager.wait(first.job_id, timeout=30).status == "done"
+        assert manager.wait(second.job_id, timeout=30).status == "done"
+        assert manager.wait(third.job_id, timeout=30).status == "cancelled"
+        # The cancelled job's config never reached the pipeline.
+        assert sorted(stub.ran) == [1, 2]
+    finally:
+        stub.release.set()
+        manager.shutdown()
+
+
+def test_jobs_run_in_submission_order_with_one_worker():
+    from repro.api import JobManager
+
+    stub = _BlockingSmartML()
+    stub.release.set()  # no blocking: measure pure ordering
+    manager = JobManager(stub, workers=1)
+    try:
+        jobs = [manager.submit(_StubDataset(), 1, _fast_payload(seed=i)) for i in range(5)]
+        for job in jobs:
+            manager.wait(job.job_id, timeout=30)
+        assert stub.ran == [0, 1, 2, 3, 4]
+    finally:
+        manager.shutdown()
+
+
+def test_shutdown_cancels_unstarted_jobs():
+    from repro.api import JobManager, JobStateError
+
+    stub = _BlockingSmartML()
+    manager = JobManager(stub, workers=1)
+    running = manager.submit(_StubDataset(), 1, _fast_payload(seed=1))
+    queued = manager.submit(_StubDataset(), 1, _fast_payload(seed=2))
+    stub.release.set()
+    manager.shutdown()
+    assert manager.get(running.job_id).status in ("done", "cancelled")
+    assert manager.get(queued.job_id).status in ("done", "cancelled")
+    with pytest.raises(JobStateError, match="shutting down"):
+        manager.submit(_StubDataset(), 1, _fast_payload(seed=3))
 
 
 def test_server_restart_frees_port():

@@ -102,3 +102,48 @@ def test_run_missing_file_errors(tmp_path):
 def test_parser_rejects_unknown_command():
     with pytest.raises(SystemExit):
         main(["frobnicate"])
+
+
+def test_submit_and_status_against_live_server(csv_file):
+    from repro.api import SmartMLServer
+    from repro.core import SmartML
+
+    server = SmartMLServer(SmartML(), workers=1)
+    server.serve_background()
+    try:
+        code, text = _run([
+            "submit", "--dataset", str(csv_file), "--target", "label",
+            "--port", str(server.port), "--budget", "2", "--algorithms", "2",
+            "--config", '{"max_evals_per_algorithm": 2, "n_folds": 2, '
+                        '"time_budget_s": null, "fallback_portfolio": ["knn", "rpart"]}',
+            "--wait",
+        ])
+        assert code == 0
+        assert "job 1 queued" in text
+        assert "best:" in text
+
+        code, text = _run(["status", "--port", str(server.port)])
+        assert code == 0
+        assert "done" in text
+
+        code, text = _run(["status", "--port", str(server.port), "--job", "1"])
+        assert code == 0
+        detail = json.loads(text)
+        assert detail["status"] == "done"
+        assert detail["result"]["best_algorithm"] in ("knn", "rpart")
+    finally:
+        server.shutdown()
+
+
+def test_status_with_no_jobs():
+    from repro.api import SmartMLServer
+    from repro.core import SmartML
+
+    server = SmartMLServer(SmartML())
+    server.serve_background()
+    try:
+        code, text = _run(["status", "--port", str(server.port)])
+        assert code == 0
+        assert "no experiment jobs" in text
+    finally:
+        server.shutdown()

@@ -137,3 +137,43 @@ def test_bootstrap_then_nominate_end_to_end():
     nominations = kb.nominate(_mf(9, class_sep=2.5), n_algorithms=2)
     assert len(nominations) == 2
     assert {n.algorithm for n in nominations} == {"knn", "lda"}
+
+
+def test_add_result_batch_matches_sequential_path(tmp_path):
+    runs = [
+        {"algorithm": "knn", "config": {"k": 3}, "accuracy": 0.8, "n_folds": 2, "budget_s": 1.0},
+        {"algorithm": "svm", "config": {"cost": 2.0}, "accuracy": 0.7},
+    ]
+    batch_path = tmp_path / "batch.jsonl"
+    seq_path = tmp_path / "seq.jsonl"
+
+    batched = KnowledgeBase(batch_path)
+    batch_id = batched.add_result_batch("d0", _mf(0), runs)
+    batched.close()
+
+    sequential = KnowledgeBase(seq_path)
+    seq_id = sequential.add_dataset("d0", _mf(0))
+    for run in runs:
+        sequential.add_run(
+            seq_id,
+            run["algorithm"],
+            run["config"],
+            accuracy=run["accuracy"],
+            n_folds=run.get("n_folds", 0),
+            budget_s=run.get("budget_s", 0.0),
+        )
+    sequential.close()
+
+    assert batch_id == seq_id
+    # Identical ids, identical log bytes: the batch is a drop-in for the
+    # sequential add_dataset + N x add_run path.
+    assert batch_path.read_text() == seq_path.read_text()
+
+
+def test_add_result_batch_invalidates_similarity_cache():
+    kb = KnowledgeBase()
+    kb.add_result_batch("d0", _mf(0), [{"algorithm": "knn", "config": {}, "accuracy": 0.9}])
+    assert kb.similar_datasets(_mf(1), k=1)  # builds the cache
+    kb.add_result_batch("d2", _mf(2), [{"algorithm": "svm", "config": {}, "accuracy": 0.6}])
+    neighbors = kb.similar_datasets(_mf(2), k=2)
+    assert len(neighbors) == 2  # sees the new dataset: cache was invalidated

@@ -164,3 +164,67 @@ def test_property_reopen_equals_in_memory(tmp_path_factory, ops):
         snapshot = {t: store.scan(t) for t in store.tables()}
     with RecordStore(path) as reopened:
         assert {t: reopened.scan(t) for t in reopened.tables()} == snapshot
+
+
+def test_append_many_consecutive_ids_single_batch(tmp_path):
+    path = tmp_path / "batch.jsonl"
+    store = RecordStore(path)
+    solo = store.append("t", {"solo": True})
+    ids = store.append_many([("t", {"i": 0}), ("u", {"i": 1}), ("t", {"i": 2})])
+    assert ids == [solo + 1, solo + 2, solo + 3]
+    assert store.get("u", ids[1]) == {"i": 1}
+    # The batch lands as contiguous, parseable log lines in append order.
+    lines = [json.loads(line) for line in path.read_text().splitlines()]
+    assert [entry["id"] for entry in lines] == [solo] + ids
+    store.close()
+    # And survives a reopen like any other writes.
+    reopened = RecordStore(path)
+    assert reopened.count("t") == 3
+    assert reopened.count("u") == 1
+    reopened.close()
+
+
+def test_append_many_matches_sequential_appends(tmp_path):
+    rows = [("t", {"i": i}) for i in range(4)]
+    batch_path = tmp_path / "batch.jsonl"
+    seq_path = tmp_path / "seq.jsonl"
+    batch = RecordStore(batch_path)
+    batch.append_many(rows)
+    batch.close()
+    seq = RecordStore(seq_path)
+    for table, data in rows:
+        seq.append(table, data)
+    seq.close()
+    assert batch_path.read_text() == seq_path.read_text()
+
+
+def test_locked_peek_next_id():
+    store = RecordStore()
+    with store.locked():
+        upcoming = store.peek_next_id()
+        ids = store.append_many([("t", {}), ("t", {})])
+    assert ids == [upcoming, upcoming + 1]
+
+
+def test_concurrent_appends_thread_safe():
+    import threading
+
+    store = RecordStore()
+    errors = []
+
+    def write(tag):
+        try:
+            for i in range(50):
+                store.append("t", {"tag": tag, "i": i})
+        except Exception as exc:  # pragma: no cover - failure reporting
+            errors.append(exc)
+
+    threads = [threading.Thread(target=write, args=(t,)) for t in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    assert not errors
+    assert store.count("t") == 200
+    ids = [record_id for record_id, _ in store.scan("t")]
+    assert len(set(ids)) == 200  # no id collisions under concurrency

@@ -1,0 +1,79 @@
+"""Docs link-checker: fail CI when README/docs references rot.
+
+Scans the repo's markdown (root ``*.md`` plus ``docs/``) for inline
+markdown links and reference-style definitions, and verifies that every
+*relative* target exists on disk (anchors are stripped; external
+``http(s)``/``mailto`` links are skipped — no network in CI).  Also flags
+empty link targets.
+
+Run:  python tools/check_docs.py   (from the repo root; exits non-zero on
+any broken link, listing file, line and target)
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: Inline links/images: [text](target) — target up to the first ')' or space.
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]*)(?:\s+\"[^\"]*\")?\)")
+#: Reference definitions: [label]: target
+REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+
+EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def markdown_files() -> list[Path]:
+    files = sorted(REPO.glob("*.md"))
+    files += sorted((REPO / "docs").glob("**/*.md")) if (REPO / "docs").is_dir() else []
+    return files
+
+
+def strip_code_blocks(text: str) -> str:
+    """Blank out fenced code blocks (links inside them are examples)."""
+    out, in_fence = [], False
+    for line in text.splitlines():
+        if line.lstrip().startswith("```"):
+            in_fence = not in_fence
+            out.append("")
+            continue
+        out.append("" if in_fence else line)
+    return "\n".join(out)
+
+
+def check_file(path: Path) -> list[str]:
+    text = strip_code_blocks(path.read_text(encoding="utf-8"))
+    problems = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        targets = INLINE_LINK.findall(line) + REF_DEF.findall(line)
+        for target in targets:
+            if target.startswith(EXTERNAL):
+                continue
+            if not target:
+                problems.append(f"{path.relative_to(REPO)}:{lineno}: empty link target")
+                continue
+            if target.startswith("#"):
+                continue  # same-page anchor
+            resolved = (path.parent / target.split("#", 1)[0]).resolve()
+            if not resolved.exists():
+                problems.append(
+                    f"{path.relative_to(REPO)}:{lineno}: broken link -> {target}"
+                )
+    return problems
+
+
+def main() -> int:
+    files = markdown_files()
+    problems = [problem for path in files for problem in check_file(path)]
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    print(f"checked {len(files)} markdown files: "
+          f"{'OK' if not problems else f'{len(problems)} broken link(s)'}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
