@@ -1,0 +1,266 @@
+"""Knowledge-base scale benchmark: nomination latency and startup time.
+
+Populates a file-backed KB with ``--datasets`` synthetic experiment
+outcomes (``--runs-per-dataset`` runs each) through the batched append
+path, then drives the busy-service pattern — one experiment lands between
+consecutive nominations — and times each query through:
+
+* **fast path** — the live incremental read caches
+  (``KnowledgeBase.nominate``: columnar similarity index + leaderboard
+  cache + argpartition top-k);
+* **seed path** — the pre-incremental full-scan implementation replicated
+  here as the reference: rebuild the meta-feature matrix from the store,
+  z-score it, full stable argsort, and scan every run record for the
+  leaderboards, on every query (exactly what the seed code paid per
+  nomination once any append had invalidated its caches).
+
+Nominations from the two paths are asserted identical on every query.
+Startup compares ``RecordStore`` open time via snapshot + log-tail replay
+(both the lazy open, after which the store assigns correct ids and
+accepts reads/writes, and the fully-materialised open with every frozen
+table deserialised) against a full per-line JSON replay of the same log,
+asserting the deep restored states match record for record.  Writes
+``BENCH_kb_scale.json`` at the repo root.
+
+Run: ``PYTHONPATH=src python benchmarks/bench_kb_scale.py``             (10k datasets / 50k runs)
+Smoke: ``... --datasets 300 --runs-per-dataset 3 --queries 10``
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import json
+import platform
+import tempfile
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.kb import KnowledgeBase, Neighbor, RecordStore, weighted_nomination, zscore_normaliser
+from repro.metafeatures import MetaFeatures
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_kb_scale.json"
+
+ALGORITHMS = [
+    "knn", "rpart", "svm", "random_forest", "lda", "naive_bayes", "j48", "c50",
+]
+
+
+def random_metafeatures(rng: np.random.Generator) -> MetaFeatures:
+    return MetaFeatures.from_vector(rng.normal(size=25) * rng.uniform(0.5, 50.0, size=25))
+
+
+def random_runs(rng: np.random.Generator, n_runs: int) -> list[dict]:
+    return [
+        {
+            "algorithm": ALGORITHMS[int(rng.integers(len(ALGORITHMS)))],
+            "config": {
+                "alpha": float(rng.uniform()),
+                "depth": int(rng.integers(1, 40)),
+            },
+            "accuracy": float(rng.uniform(0.4, 0.99)),
+            "n_folds": 3,
+            "budget_s": 1.0,
+        }
+        for _ in range(n_runs)
+    ]
+
+
+# --------------------------------------------------------------- seed path
+# Verbatim replica of the pre-incremental read path: every query rebuilds
+# the similarity state from the store and scans every run record.
+
+
+def seed_dataset_vectors(kb: KnowledgeBase):
+    ids, rows = [], []
+    for record_id, data in kb.store.scan("datasets"):
+        ids.append(record_id)
+        rows.append(MetaFeatures.from_dict(data["metafeatures"]).to_vector())
+    return ids, np.stack(rows)
+
+
+def seed_all_leaderboards(kb: KnowledgeBase):
+    best: dict[int, dict[str, tuple[float, dict]]] = {}
+    for _, run in kb.store.scan("runs"):
+        per_ds = best.setdefault(run["dataset_id"], {})
+        algorithm = run["algorithm"]
+        accuracy = float(run["accuracy"])
+        if algorithm not in per_ds or accuracy > per_ds[algorithm][0]:
+            per_ds[algorithm] = (accuracy, run["config"])
+    return {
+        dataset_id: [
+            (algorithm, accuracy, config)
+            for algorithm, (accuracy, config) in sorted(board.items())
+        ]
+        for dataset_id, board in best.items()
+    }
+
+
+def seed_nominate(kb: KnowledgeBase, metafeatures: MetaFeatures,
+                  n_algorithms: int = 3, n_neighbors: int = 3):
+    ids, matrix = seed_dataset_vectors(kb)
+    mean, std = zscore_normaliser(matrix)
+    z_matrix = (matrix - mean) / std
+    z_query = (metafeatures.to_vector() - mean) / std
+    distances = np.sqrt(((z_matrix - z_query) ** 2).sum(axis=1))
+    order = np.argsort(distances, kind="stable")[:n_neighbors]
+    neighbors = [
+        Neighbor(ids[int(i)], float(distances[i]), float(1.0 / (1.0 + distances[i])))
+        for i in order
+    ]
+    leaderboards = seed_all_leaderboards(kb)
+    return weighted_nomination(neighbors, leaderboards, n_algorithms)
+
+
+# ---------------------------------------------------------------- startup
+
+
+@contextlib.contextmanager
+def _without_snapshot(path: Path):
+    """Hide the sidecar so opens inside the block take the replay path."""
+    snapshot_path = Path(str(path) + ".snapshot")
+    moved = None
+    if snapshot_path.exists():
+        moved = snapshot_path.with_suffix(".aside")
+        snapshot_path.rename(moved)
+    try:
+        yield
+    finally:
+        if moved is not None:
+            moved.rename(snapshot_path)
+
+
+def time_startup(path: Path, use_snapshot: bool, repeats: int, materialise: bool) -> float:
+    """Best-of-N RecordStore open time.
+
+    ``materialise=False`` times the lazy snapshot open — header validated,
+    ids correct, store accepting writes, tables still frozen blobs.
+    ``materialise=True`` additionally touches every table so all records
+    are deserialised (the replay path is always fully materialised by
+    construction).
+    """
+    with _without_snapshot(path) if not use_snapshot else contextlib.nullcontext():
+        best = np.inf
+        for _ in range(max(1, repeats)):
+            started = time.perf_counter()
+            store = RecordStore(path, snapshot_every=None)
+            if materialise:
+                for table in store.tables():
+                    store.count(table)
+            best = min(best, time.perf_counter() - started)
+            store.close()
+        return best
+
+
+def load_state(path: Path) -> tuple[int, dict]:
+    """Full deep state of a store (next id + every record of every table)."""
+    store = RecordStore(path, snapshot_every=None)
+    state = {table: store.scan(table) for table in store.tables()}
+    next_id = store.peek_next_id()
+    store.close()
+    return next_id, state
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--datasets", type=int, default=10_000, help="stored datasets")
+    parser.add_argument("--runs-per-dataset", type=int, default=5)
+    parser.add_argument("--queries", type=int, default=15,
+                        help="interleaved append+nominate rounds to time")
+    parser.add_argument("--seed-queries", type=int, default=None,
+                        help="rounds also timed through the seed full-scan "
+                             "path (default: all of them)")
+    parser.add_argument("--snapshot-every", type=int, default=5000)
+    parser.add_argument("--startup-repeats", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+    seed_queries = args.queries if args.seed_queries is None else args.seed_queries
+
+    rng = np.random.default_rng(args.seed)
+    with tempfile.TemporaryDirectory(prefix="bench_kb_scale_") as tmp:
+        path = Path(tmp) / "kb.jsonl"
+        kb = KnowledgeBase(path, snapshot_every=args.snapshot_every)
+
+        n_populate = max(args.datasets - args.queries, 0)
+        print(f"populating {n_populate} datasets x {args.runs_per_dataset} runs ...")
+        started = time.perf_counter()
+        for i in range(n_populate):
+            kb.add_result_batch(f"ds{i}", random_metafeatures(rng),
+                                random_runs(rng, args.runs_per_dataset))
+        populate_s = time.perf_counter() - started
+        kb.nominate(random_metafeatures(rng))  # build the read caches once
+
+        print(f"interleaved service loop: {args.queries} append+nominate rounds ...")
+        fast_s = 0.0
+        seed_s = 0.0
+        identical = True
+        for q in range(args.queries):
+            kb.add_result_batch(f"live{q}", random_metafeatures(rng),
+                                random_runs(rng, args.runs_per_dataset))
+            query = random_metafeatures(rng)
+
+            started = time.perf_counter()
+            fast = kb.nominate(query, n_algorithms=3, n_neighbors=3)
+            fast_s += time.perf_counter() - started
+
+            if q < seed_queries:
+                started = time.perf_counter()
+                reference = seed_nominate(kb, query)
+                seed_s += time.perf_counter() - started
+                identical = identical and fast == reference
+
+        n_datasets, n_runs = kb.n_datasets(), kb.n_runs()
+        kb.snapshot()
+        kb.close()
+
+        print(f"timing startup over {n_datasets + n_runs} log records ...")
+        snap_startup_s = time_startup(path, True, args.startup_repeats, materialise=False)
+        snap_ready_s = time_startup(path, True, args.startup_repeats, materialise=True)
+        replay_startup_s = time_startup(path, False, args.startup_repeats, materialise=True)
+        snap_state = load_state(path)
+        with _without_snapshot(path):
+            replay_state = load_state(path)
+        startup_identical = snap_state == replay_state
+
+        log_bytes = path.stat().st_size
+        snapshot_bytes = Path(str(path) + ".snapshot").stat().st_size
+
+    fast_per_query = fast_s / args.queries
+    seed_per_query = seed_s / seed_queries if seed_queries else float("nan")
+    payload = {
+        "benchmark": "kb_scale",
+        "workload": "one batched experiment append between consecutive nominations",
+        "datasets": n_datasets,
+        "runs_per_dataset": args.runs_per_dataset,
+        "total_runs": n_runs,
+        "queries": args.queries,
+        "populate_seconds": round(populate_s, 3),
+        "nominate_seed_seconds": round(seed_per_query, 6),
+        "nominate_fast_seconds": round(fast_per_query, 6),
+        "nominate_speedup": round(seed_per_query / fast_per_query, 1),
+        "nominations_identical": identical,
+        "startup_replay_seconds": round(replay_startup_s, 6),
+        "startup_snapshot_seconds": round(snap_startup_s, 6),
+        "startup_snapshot_ready_seconds": round(snap_ready_s, 6),
+        "startup_speedup": round(replay_startup_s / snap_startup_s, 1),
+        "startup_ready_speedup": round(replay_startup_s / snap_ready_s, 1),
+        "startup_state_identical": startup_identical,
+        "log_bytes": log_bytes,
+        "snapshot_bytes": snapshot_bytes,
+        "drift_threshold": 0.0,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(json.dumps(payload, indent=2))
+    if not identical:
+        raise SystemExit("fast-path nominations diverged from the seed full-scan reference")
+    if not startup_identical:
+        raise SystemExit("snapshot-restored state diverged from the full log replay")
+    print(f"wrote {OUTPUT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -15,7 +15,12 @@ turns experiment execution into a job lifecycle:
   writer thread** which lands each finished run as a single batched append
   (:meth:`~repro.kb.KnowledgeBase.add_result_batch`), so the underlying
   :class:`~repro.kb.store.RecordStore` log keeps exactly one writer no
-  matter how many workers run concurrently.
+  matter how many workers run concurrently.  That call is also the KB's
+  incremental update path: it folds the new dataset row into the live
+  similarity index and the new runs into the leaderboard cache before
+  releasing the store lock, so concurrent nominations from other workers
+  stay O(neighbours) instead of re-scanning history, and see whole
+  experiments or nothing.
 
 Determinism: a job's result is produced by the same ``SmartML.run`` call a
 synchronous caller would make, with the same config and seed — only the KB

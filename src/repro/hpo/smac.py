@@ -24,6 +24,7 @@ maximum number of configuration evaluations (deterministic tests).
 from __future__ import annotations
 
 import time
+from collections import deque
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -121,6 +122,13 @@ class SMAC:
         self.space = space
         self.settings = settings
         self.rng = np.random.default_rng(settings.seed)
+        # Append-only cache of encoded history rows: history only ever grows
+        # within a run, so each _propose encodes just the configs evaluated
+        # since the previous proposal instead of the whole history again.
+        # _encoded_for holds a strong reference to the cached list so an
+        # identity check can never confuse two lists at a recycled address.
+        self._encoded_rows: list[np.ndarray] = []
+        self._encoded_for: list[TrialRecord] | None = None
 
     # ----------------------------------------------------------- public API
     def optimize(
@@ -136,12 +144,16 @@ class SMAC:
         incumbent_cost = np.inf
         stop_reason = "budget"
 
-        queue: list[Config] = [self.space.default_config()]
+        # Warm starts are consumed strictly front-first; deque keeps each
+        # pop O(1) where list.pop(0) shifted the whole remainder.
+        queue: deque[Config] = deque([self.space.default_config()])
         for warm in initial_configs or []:
             try:
                 queue.append(self.space.complete(warm))
             except Exception:
                 continue  # stale KB entry referencing renamed params: skip
+        self._encoded_rows = []
+        self._encoded_for = history
 
         # Running prefix sums of the incumbent's per-fold costs:
         # incumbent_prefix[i] == sum of its costs over folds 0..i.  Racing
@@ -169,7 +181,7 @@ class SMAC:
 
         while not out_of_budget():
             if queue:
-                challenger = queue.pop(0)
+                challenger = queue.popleft()
             else:
                 challenger = self._propose(history, incumbent)
             key = self.space.config_key(challenger)
@@ -274,6 +286,21 @@ class SMAC:
                 return challenger_mean, fold_id + 1 == objective.n_folds, challenger_costs
         return challenger_total / objective.n_folds, True, challenger_costs
 
+    def _encoded_history(self, history: list[TrialRecord]) -> np.ndarray:
+        """Encoded design matrix for ``history``, cached append-only.
+
+        History rows are immutable once recorded, so only configs past the
+        cached prefix need encoding.  A different (or shrunken) history
+        list — direct ``_propose`` calls in tests, a reused optimiser —
+        resets the cache and re-encodes from scratch.
+        """
+        if self._encoded_for is not history or len(self._encoded_rows) > len(history):
+            self._encoded_rows = []
+            self._encoded_for = history
+        for record in history[len(self._encoded_rows):]:
+            self._encoded_rows.append(self.space.encode(record.config))
+        return np.stack(self._encoded_rows)
+
     def _propose(self, history: list[TrialRecord], incumbent: Config | None) -> Config:
         """Next challenger: EI on the surrogate, or a random interleave."""
         if (
@@ -282,7 +309,7 @@ class SMAC:
         ):
             return self.space.sample(self.rng)
 
-        X = np.stack([self.space.encode(r.config) for r in history])
+        X = self._encoded_history(history)
         y = np.array([r.cost for r in history])
         surrogate = RandomForestSurrogate(seed=int(self.rng.integers(0, 2**31 - 1)))
         surrogate.fit(X, y)

@@ -11,11 +11,26 @@ which starting configurations, should SMAC tune?* — via the weighted
 nearest-neighbour rule in :mod:`repro.kb.similarity`.  Every SmartML run
 appends its own results, so the KB (and with it the framework) improves
 monotonically with use: the paper's "continuously updated knowledge base".
+
+Nomination cost is independent of how many experiments ever ran: the KB
+keeps two incrementally maintained read caches alive across appends —
+
+* a columnar float64 meta-feature matrix inside a live
+  :class:`~repro.kb.similarity.SimilarityIndex` (appends are O(d); the
+  z-normaliser refreshes lazily under a drift threshold), and
+* a per-dataset leaderboard cache (``dataset_id -> {algorithm: (best
+  accuracy, config)}``) updated as each run lands, so ``nominate`` fetches
+  only the neighbours' boards instead of re-scanning every run record.
+
+Both caches are built lazily from one store scan on first read and then
+updated in place under the store lock, in append order; results are
+identical to rebuilding from a cold scan (``tests/test_kb_scale_
+consistency.py`` asserts this property).  Code that mutates ``kb.store``
+directly must call :meth:`KnowledgeBase.refresh_caches` afterwards.
 """
 
 from __future__ import annotations
 
-import threading
 from pathlib import Path
 
 import numpy as np
@@ -34,28 +49,68 @@ __all__ = ["KnowledgeBase"]
 
 
 class KnowledgeBase:
-    """Meta-learning memory of processed datasets and tuning outcomes."""
+    """Meta-learning memory of processed datasets and tuning outcomes.
 
-    def __init__(self, path: str | Path | None = None):
-        self.store = RecordStore(path)
-        # Lazily-built z-scored similarity index; invalidated whenever the
-        # stored dataset set changes so cached normalisers never go stale.
-        # The cache has its own lock so concurrent nominate() calls (async
-        # job workers share one KB) build/invalidate it consistently.
-        self._similarity_index: SimilarityIndex | None = None
-        self._index_lock = threading.Lock()
+    Parameters
+    ----------
+    path:
+        Record-store log location (``None`` keeps the KB in memory).
+    drift_threshold:
+        Tolerated z-normaliser staleness of the similarity index.  ``0.0``
+        (default) renormalises on the first query after any append, keeping
+        nominations numerically identical to a cold rebuild; a small
+        positive value (e.g. ``0.05``) amortises renormalisation away on
+        append-heavy workloads at the cost of bounded distance skew.
+    snapshot_every:
+        Forwarded to :class:`~repro.kb.store.RecordStore`: write a startup
+        snapshot every N appended records (``None`` disables).  Only valid
+        when the KB opens the store itself — configure a passed ``store``
+        directly instead.
+    store:
+        Use an existing :class:`RecordStore` instead of opening one.  This
+        is how a cold cache rebuild over live data is expressed:
+        ``KnowledgeBase(store=kb.store)`` shares the records but none of
+        the caches.
+    """
+
+    _UNSET = object()
+
+    def __init__(
+        self,
+        path: str | Path | None = None,
+        *,
+        drift_threshold: float = 0.0,
+        snapshot_every: int | None = _UNSET,  # type: ignore[assignment]
+        store: RecordStore | None = None,
+    ):
+        if store is not None and path is not None:
+            raise ValueError("pass either path or store, not both")
+        if store is not None and snapshot_every is not self._UNSET:
+            raise ValueError(
+                "snapshot_every configures a store the KB opens itself; "
+                "set it on the RecordStore you are passing instead"
+            )
+        if snapshot_every is self._UNSET:
+            snapshot_every = 1000
+        self.store = store if store is not None else RecordStore(path, snapshot_every=snapshot_every)
+        self.drift_threshold = float(drift_threshold)
+        # Read caches, built lazily on first read and maintained
+        # incrementally on every append (under the store lock, so cache
+        # updates happen in append order and readers never see a half
+        # -applied batch).
+        self._index: SimilarityIndex | None = None
+        self._boards: dict[int, dict[str, tuple[float, dict]]] | None = None
 
     # --------------------------------------------------------------- writes
     def add_dataset(self, name: str, metafeatures: MetaFeatures) -> int:
         """Register a processed dataset; returns its KB id."""
-        dataset_id = self.store.append(
-            "datasets",
-            {"name": name, "metafeatures": metafeatures.to_dict()},
-        )
-        # Invalidate AFTER the append: clearing first would let a concurrent
-        # similar_datasets() rebuild-and-cache an index that misses this row.
-        with self._index_lock:
-            self._similarity_index = None
+        with self.store.locked():
+            dataset_id = self.store.append(
+                "datasets",
+                {"name": name, "metafeatures": metafeatures.to_dict()},
+            )
+            if self._index is not None:
+                self._index.append(dataset_id, metafeatures.to_vector())
         return dataset_id
 
     def add_run(
@@ -68,18 +123,22 @@ class KnowledgeBase:
         budget_s: float = 0.0,
     ) -> int:
         """Record one tuning outcome for (dataset, algorithm)."""
-        self.store.get("datasets", dataset_id)  # raises if unknown
-        return self.store.append(
-            "runs",
-            {
-                "dataset_id": dataset_id,
-                "algorithm": algorithm,
-                "config": dict(config),
-                "accuracy": float(accuracy),
-                "n_folds": int(n_folds),
-                "budget_s": float(budget_s),
-            },
-        )
+        stored_config = dict(config)
+        with self.store.locked():
+            self.store.get("datasets", dataset_id)  # raises if unknown
+            run_id = self.store.append(
+                "runs",
+                {
+                    "dataset_id": dataset_id,
+                    "algorithm": algorithm,
+                    "config": stored_config,
+                    "accuracy": float(accuracy),
+                    "n_folds": int(n_folds),
+                    "budget_s": float(budget_s),
+                },
+            )
+            self._board_update(dataset_id, algorithm, float(accuracy), stored_config)
+        return run_id
 
     def add_result_batch(
         self, name: str, metafeatures: MetaFeatures, runs: list[dict]
@@ -92,7 +151,10 @@ class KnowledgeBase:
         the sequential ``add_dataset`` + N × ``add_run`` path would assign
         them, but the store flushes once and the log lines are contiguous —
         this is the unit of write the async job service's single KB writer
-        thread performs per job.  Returns the new dataset id.
+        thread performs per job.  The read caches (similarity index,
+        leaderboards) absorb the batch incrementally before the lock is
+        released, so a concurrent ``nominate`` sees the whole experiment or
+        none of it.  Returns the new dataset id.
         """
         with self.store.locked():
             dataset_id = self.store.peek_next_id()
@@ -113,11 +175,24 @@ class KnowledgeBase:
                 for run in runs
             ]
             ids = self.store.append_many(rows)
-        assert ids[0] == dataset_id
-        # Invalidate AFTER the append (see add_dataset for why).
-        with self._index_lock:
-            self._similarity_index = None
+            assert ids[0] == dataset_id
+            if self._index is not None:
+                self._index.append(dataset_id, metafeatures.to_vector())
+            for _, data in rows[1:]:
+                self._board_update(
+                    dataset_id, data["algorithm"], data["accuracy"], data["config"]
+                )
         return dataset_id
+
+    def _board_update(
+        self, dataset_id: int, algorithm: str, accuracy: float, config: dict
+    ) -> None:
+        """Fold one run into the leaderboard cache (call under store lock)."""
+        if self._boards is None:
+            return
+        per_ds = self._boards.setdefault(dataset_id, {})
+        if algorithm not in per_ds or accuracy > per_ds[algorithm][0]:
+            per_ds[algorithm] = (accuracy, config)
 
     # ---------------------------------------------------------------- reads
     def n_datasets(self) -> int:
@@ -127,7 +202,11 @@ class KnowledgeBase:
         return self.store.count("runs")
 
     def dataset_vectors(self) -> tuple[list[int], np.ndarray]:
-        """(ids, matrix) of all stored meta-feature vectors."""
+        """(ids, matrix) of all stored meta-feature vectors.
+
+        This is the scan-based reference path; the hot read path keeps the
+        matrix alive inside the cached :class:`SimilarityIndex` instead.
+        """
         ids: list[int] = []
         rows: list[np.ndarray] = []
         for record_id, data in self.store.scan("datasets"):
@@ -136,49 +215,61 @@ class KnowledgeBase:
         matrix = np.stack(rows) if rows else np.zeros((0, len(MetaFeatures.__dataclass_fields__)))
         return ids, matrix
 
-    def leaderboard(self, dataset_id: int) -> list[tuple[str, float, dict]]:
-        """Per-algorithm best (algorithm, accuracy, config) for one dataset."""
-        best: dict[str, tuple[float, dict]] = {}
+    def _ensure_boards(self) -> None:
+        """Build the leaderboard cache from one run scan (under store lock)."""
+        if self._boards is not None:
+            return
+        boards: dict[int, dict[str, tuple[float, dict]]] = {}
         for _, run in self.store.scan("runs"):
-            if run["dataset_id"] != dataset_id:
-                continue
-            algorithm = run["algorithm"]
-            accuracy = float(run["accuracy"])
-            if algorithm not in best or accuracy > best[algorithm][0]:
-                best[algorithm] = (accuracy, run["config"])
-        return [
-            (algorithm, accuracy, config)
-            for algorithm, (accuracy, config) in sorted(best.items())
-        ]
-
-    def all_leaderboards(self) -> dict[int, list[tuple[str, float, dict]]]:
-        """Leaderboards for every stored dataset (one scan, not N)."""
-        best: dict[int, dict[str, tuple[float, dict]]] = {}
-        for _, run in self.store.scan("runs"):
-            per_ds = best.setdefault(run["dataset_id"], {})
+            per_ds = boards.setdefault(run["dataset_id"], {})
             algorithm = run["algorithm"]
             accuracy = float(run["accuracy"])
             if algorithm not in per_ds or accuracy > per_ds[algorithm][0]:
                 per_ds[algorithm] = (accuracy, run["config"])
-        return {
-            dataset_id: [
-                (algorithm, accuracy, config)
-                for algorithm, (accuracy, config) in sorted(board.items())
-            ]
-            for dataset_id, board in best.items()
-        }
+        self._boards = boards
+
+    def _ensure_index(self) -> None:
+        """Build the similarity index from one dataset scan (under store lock)."""
+        if self._index is not None:
+            return
+        ids, matrix = self.dataset_vectors()
+        self._index = SimilarityIndex(ids, matrix, drift_threshold=self.drift_threshold)
+
+    def _board_rows(self, dataset_id: int) -> list[tuple[str, float, dict]]:
+        board = self._boards.get(dataset_id, {})
+        return [
+            (algorithm, accuracy, config)
+            for algorithm, (accuracy, config) in sorted(board.items())
+        ]
+
+    def leaderboard(self, dataset_id: int) -> list[tuple[str, float, dict]]:
+        """Per-algorithm best (algorithm, accuracy, config) for one dataset."""
+        with self.store.locked():
+            self._ensure_boards()
+            return self._board_rows(dataset_id)
+
+    def all_leaderboards(self) -> dict[int, list[tuple[str, float, dict]]]:
+        """Leaderboards for every stored dataset (rendered from the cache)."""
+        with self.store.locked():
+            self._ensure_boards()
+            return {dataset_id: self._board_rows(dataset_id) for dataset_id in self._boards}
+
+    def refresh_caches(self) -> None:
+        """Drop the read caches so the next read rebuilds from the store.
+
+        Only needed after mutating ``kb.store`` directly; the KB's own
+        write methods keep the caches current.
+        """
+        with self.store.locked():
+            self._index = None
+            self._boards = None
 
     # ----------------------------------------------------------- similarity
     def similar_datasets(self, metafeatures: MetaFeatures, k: int = 3) -> list[Neighbor]:
         """The k most similar stored datasets."""
-        with self._index_lock:
-            if self._similarity_index is None:
-                ids, matrix = self.dataset_vectors()
-                if matrix.shape[0] == 0:
-                    return []
-                self._similarity_index = SimilarityIndex(ids, matrix)
-            index = self._similarity_index
-        return index.query(metafeatures.to_vector(), k)
+        with self.store.locked():
+            self._ensure_index()
+            return self._index.query(metafeatures.to_vector(), k)
 
     def nominate(
         self,
@@ -191,17 +282,29 @@ class KnowledgeBase:
 
         ``mode="weighted"`` is the paper's rule; ``mode="distance"`` is the
         ablation control.  An empty KB returns no nominations (the caller
-        falls back to a default portfolio).
+        falls back to a default portfolio).  Only the neighbours'
+        leaderboards are fetched — the nomination rule never looks at any
+        other dataset's runs, so the full-scan ``all_leaderboards`` stays
+        off this path.
         """
         neighbors = self.similar_datasets(metafeatures, k=n_neighbors)
         if not neighbors:
             return []
-        leaderboards = self.all_leaderboards()
+        with self.store.locked():
+            self._ensure_boards()
+            leaderboards = {
+                neighbor.dataset_id: self._board_rows(neighbor.dataset_id)
+                for neighbor in neighbors
+            }
         if mode == "weighted":
             return weighted_nomination(neighbors, leaderboards, n_algorithms)
         return distance_only_nomination(neighbors, leaderboards, n_algorithms)
 
     # ------------------------------------------------------------ lifecycle
+    def snapshot(self) -> None:
+        """Checkpoint the store so the next open replays only the log tail."""
+        self.store.snapshot()
+
     def compact(self) -> None:
         self.store.compact()
 

@@ -58,32 +58,165 @@ def zscore_normaliser(matrix: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     return mean, std
 
 
-class SimilarityIndex:
-    """Reusable z-scored view of the stored meta-feature matrix.
+def _top_k_stable(distances: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` smallest distances, identical to the prefix of a
+    full ``argsort(kind="stable")`` — ties broken by original position.
 
-    The normaliser and the z-scored matrix depend only on the stored
-    datasets, so callers answering many queries against an unchanged store
-    (the knowledge base, between ``add_dataset`` calls) build this once
-    instead of re-deriving both on every nomination.
+    ``argpartition`` finds the k-th smallest value in O(n); only the
+    candidates at or below it are then stable-sorted, so the cost is
+    O(n + k log k) instead of O(n log n).  Ties *at* the k-th value are
+    handled by selecting every index with that distance (``flatnonzero``
+    returns them in ascending position order) before truncating, which is
+    exactly what the stable full sort would keep.
+    """
+    n = distances.shape[0]
+    if k >= n:
+        return np.argsort(distances, kind="stable")[:k]
+    part = np.argpartition(distances, k - 1)
+    kth = distances[part[k - 1]]
+    candidates = np.flatnonzero(distances <= kth)
+    order = candidates[np.argsort(distances[candidates], kind="stable")]
+    return order[:k]
+
+
+class SimilarityIndex:
+    """Incrementally growable z-scored view of the stored meta-feature matrix.
+
+    The raw float64 matrix lives in a capacity-doubling columnar buffer, so
+    :meth:`append` is O(d) and never rebuilds state from the record store.
+    The z-scored matrix and its normaliser are refreshed lazily:
+
+    * every appended row is provisionally z-scored with the **current**
+      normaliser (O(d));
+    * at query time the index renormalises — recomputing mean/std over the
+      raw matrix and re-z-scoring every row — only when the column
+      means/stds have drifted past ``drift_threshold`` relative to the
+      normaliser in use (tracked from running column sums, O(d) per
+      append).
+
+    With ``drift_threshold=0.0`` (the default) any append triggers a
+    renormalise on the next query, so query results are *numerically
+    identical* to a cold rebuild of the index from scratch.  A positive
+    threshold trades bounded normaliser staleness for O(d) amortised
+    maintenance on append-heavy workloads.
     """
 
-    def __init__(self, stored_ids: list[int], stored_vectors: np.ndarray):
-        self.ids = list(stored_ids)
-        self.mean, self.std = zscore_normaliser(stored_vectors)
-        self.z_matrix = (stored_vectors - self.mean) / self.std
+    def __init__(
+        self,
+        stored_ids: list[int],
+        stored_vectors: np.ndarray,
+        drift_threshold: float = 0.0,
+    ):
+        matrix = np.ascontiguousarray(stored_vectors, dtype=np.float64)
+        if matrix.ndim != 2:
+            raise ValueError(f"expected a 2-D matrix, got shape {matrix.shape}")
+        if len(stored_ids) != matrix.shape[0]:
+            raise ValueError("stored_ids and stored_vectors disagree on row count")
+        self.drift_threshold = float(drift_threshold)
+        self.n_renormalisations = 0
+        self._n = matrix.shape[0]
+        self._d = matrix.shape[1]
+        capacity = max(self._n, 8)
+        self._raw = np.zeros((capacity, self._d), dtype=np.float64)
+        self._raw[: self._n] = matrix
+        self._idbuf = np.zeros(capacity, dtype=np.int64)
+        self._idbuf[: self._n] = np.asarray(stored_ids, dtype=np.int64)
+        self._zbuf = np.zeros((capacity, self._d), dtype=np.float64)
+        self._renormalise()
+        self.n_renormalisations = 0  # the initial build is not a "re"-normalise
 
+    # ------------------------------------------------------------ properties
+    @property
+    def n(self) -> int:
+        return self._n
+
+    @property
+    def ids(self) -> list[int]:
+        """Stored dataset ids in insertion order."""
+        return [int(i) for i in self._idbuf[: self._n]]
+
+    @property
+    def z_matrix(self) -> np.ndarray:
+        """The live z-scored matrix (rows appended since the last
+        renormalise are z-scored with the then-current normaliser)."""
+        return self._zbuf[: self._n]
+
+    # --------------------------------------------------------------- updates
+    def _grow(self) -> None:
+        capacity = max(2 * self._raw.shape[0], 8)
+        for name in ("_raw", "_zbuf"):
+            fresh = np.zeros((capacity, self._d), dtype=np.float64)
+            fresh[: self._n] = getattr(self, name)[: self._n]
+            setattr(self, name, fresh)
+        fresh_ids = np.zeros(capacity, dtype=np.int64)
+        fresh_ids[: self._n] = self._idbuf[: self._n]
+        self._idbuf = fresh_ids
+
+    def append(self, dataset_id: int, vector: np.ndarray) -> None:
+        """Add one stored dataset to the live index in O(d)."""
+        vector = np.asarray(vector, dtype=np.float64)
+        if vector.shape != (self._d,):
+            raise ValueError(f"expected vector of shape ({self._d},), got {vector.shape}")
+        if self._n == self._raw.shape[0]:
+            self._grow()
+        self._raw[self._n] = vector
+        self._idbuf[self._n] = int(dataset_id)
+        self._zbuf[self._n] = (vector - self.mean) / self.std
+        self._col_sum += vector
+        self._col_sumsq += vector * vector
+        self._n += 1
+
+    def _renormalise(self) -> None:
+        matrix = self._raw[: self._n]
+        if self._n == 0:
+            self.mean = np.zeros(self._d)
+            self.std = np.ones(self._d)
+        else:
+            self.mean, self.std = zscore_normaliser(matrix)
+        # Fresh buffer rather than in-place rewrite: a reader holding a view
+        # from before the swap keeps seeing a consistent (if older) matrix.
+        zbuf = np.zeros_like(self._raw)
+        zbuf[: self._n] = (matrix - self.mean) / self.std
+        self._zbuf = zbuf
+        self._col_sum = matrix.sum(axis=0)
+        self._col_sumsq = np.square(matrix).sum(axis=0)
+        self._n_normalised = self._n
+        self.n_renormalisations += 1
+
+    def _drift(self) -> float:
+        """How far the exact column stats have moved from the normaliser in
+        use, in units of the normaliser's per-column std."""
+        mean_now = self._col_sum / self._n
+        var_now = self._col_sumsq / self._n - mean_now * mean_now
+        std_now = np.sqrt(np.maximum(var_now, 0.0))
+        std_now[std_now < 1e-12] = 1.0  # same degenerate-column floor as zscore
+        mean_shift = np.abs(mean_now - self.mean) / self.std
+        std_shift = np.abs(std_now - self.std) / self.std
+        return float(max(mean_shift.max(), std_shift.max()))
+
+    def _maybe_renormalise(self) -> None:
+        if self._n == self._n_normalised:
+            return
+        if self.drift_threshold > 0.0 and self._drift() <= self.drift_threshold:
+            return
+        self._renormalise()
+
+    # ---------------------------------------------------------------- query
     def query(self, query: np.ndarray, k: int) -> list[Neighbor]:
         """The ``k`` nearest stored datasets by z-scored Euclidean distance.
 
         Similarity is ``1 / (1 + distance)``, a bounded monotone transform
         used as the weight of factor (1) in the nomination rule.
         """
-        z_query = (query - self.mean) / self.std
-        distances = np.sqrt(((self.z_matrix - z_query) ** 2).sum(axis=1))
-        order = np.argsort(distances, kind="stable")[: max(k, 0)]
+        self._maybe_renormalise()
+        if self._n == 0 or k <= 0:
+            return []
+        z_query = (np.asarray(query, dtype=np.float64) - self.mean) / self.std
+        distances = np.sqrt(((self._zbuf[: self._n] - z_query) ** 2).sum(axis=1))
+        order = _top_k_stable(distances, k)
         return [
             Neighbor(
-                dataset_id=self.ids[int(i)],
+                dataset_id=int(self._idbuf[i]),
                 distance=float(distances[i]),
                 similarity=float(1.0 / (1.0 + distances[i])),
             )

@@ -13,6 +13,24 @@ store is a single JSON-lines log with:
 * **batched appends** (:meth:`RecordStore.append_many`) — a group of
   records lands as consecutive log lines with a single flush, so a crash
   keeps either none or a prefix of the batch;
+* **snapshot checkpoints** — a compact ``marshal``-serialised sidecar
+  (``<log>.snapshot``) holding one frozen blob per table plus the log
+  byte offset (and an MD5 of the log prefix) it covers.  On load a valid
+  snapshot replaces the per-line JSON replay of the whole history with a
+  replay of only the log *tail* written since; each table's records stay
+  as an unparsed blob (CRC-verified at open) and **materialise lazily on
+  first access**, so a restarted service is accepting writes and
+  assigning correct ids after reading the header, not after rebuilding
+  every record ever written.  Tail entries touching a still-frozen table
+  are buffered in order and folded in at materialisation.  Any mismatch
+  (missing, corrupt, or stale sidecar, rewritten log, different CPython)
+  silently falls back to the full replay — the log stays the single
+  source of truth.  Snapshots are written every ``snapshot_every``
+  appended records and on ``close()``, always via temp-file +
+  ``os.replace``.  ``marshal`` is chosen over pickle deliberately: it is
+  the fastest stdlib serialiser for the JSON-shaped dicts the log holds,
+  and a corrupt or hostile sidecar can at worst raise (caught, triggering
+  replay), never execute code.
 * an in-memory per-table index for reads.
 
 The store is single-process and **single-writer by design**: a lock makes
@@ -24,15 +42,22 @@ trade-off is recorded in DESIGN.md.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import marshal
 import os
+import sys
 import threading
+import zlib
 from contextlib import contextmanager
 from pathlib import Path
 
 from repro.exceptions import KnowledgeBaseError
 
 __all__ = ["RecordStore"]
+
+#: Version tag of the snapshot sidecar format.
+_SNAPSHOT_FORMAT = 2
 
 
 class RecordStore:
@@ -43,56 +68,192 @@ class RecordStore:
     path:
         Log file location.  ``None`` keeps the store purely in memory
         (used by tests and throwaway runs).
+    snapshot_every:
+        Write a snapshot checkpoint after this many appended/updated
+        records since the last one — deferred on large stores until the
+        un-checkpointed tail is at least a quarter of all ids ever
+        assigned, so periodic re-serialisation stays amortised O(1) per
+        append; ``close()`` always checkpoints whatever is pending.
+        ``None`` disables automatic and close-time snapshots;
+        :meth:`snapshot` still works.
     """
 
-    def __init__(self, path: str | Path | None = None):
+    def __init__(self, path: str | Path | None = None, snapshot_every: int | None = 1000):
         self.path = Path(path) if path is not None else None
+        self.snapshot_every = snapshot_every
         self._tables: dict[str, dict[int, dict]] = {}
+        # Snapshot tables not yet deserialised (table -> marshal blob) and
+        # replayed log-tail entries waiting for their table to materialise.
+        self._frozen: dict[str, bytes] = {}
+        self._tail_ops: dict[str, list[dict]] = {}
         self._next_id = 1
         self._file = None
         self._lock = threading.RLock()
+        # Running byte length + digest of the log's content, maintained on
+        # every load/write so snapshots never have to re-read the file.
+        self._log_bytes = 0
+        self._digest = hashlib.md5()
+        self._entries_since_snapshot = 0
         if self.path is not None:
             self._load()
-            self._file = open(self.path, "a", encoding="utf-8")
+            self._file = open(self.path, "a", encoding="utf-8", newline="")
+
+    @property
+    def snapshot_path(self) -> Path | None:
+        """Sidecar checkpoint location (``<log>.snapshot``)."""
+        if self.path is None:
+            return None
+        return self.path.with_name(self.path.name + ".snapshot")
 
     # ----------------------------------------------------------------- load
     def _load(self) -> None:
         if not self.path.exists():
             self.path.parent.mkdir(parents=True, exist_ok=True)
             return
-        raw_lines = self.path.read_text(encoding="utf-8").splitlines()
-        for lineno, line in enumerate(raw_lines):
+        raw = self.path.read_bytes()
+        offset = self._load_snapshot(raw)  # seeds the running digest too
+        self._log_bytes = offset
+
+        # Replay the tail (everything when no snapshot applied) line by
+        # line, tracking the byte position so a torn final write can be
+        # truncated away precisely.
+        parts = raw[offset:].split(b"\n")
+        n_parts = len(parts)
+        for i, part in enumerate(parts):
+            has_newline = i < n_parts - 1
+            span = part + (b"\n" if has_newline else b"")
+            line = part.decode("utf-8")
             if not line.strip():
+                self._digest.update(span)
+                self._log_bytes += len(span)
                 continue
             try:
                 entry = json.loads(line)
             except json.JSONDecodeError:
-                if lineno == len(raw_lines) - 1:
+                # splitlines()-style "final line": the last part, or the
+                # one before a single trailing newline.
+                is_final = i == n_parts - 1 or (i == n_parts - 2 and parts[-1] == b"")
+                if is_final:
                     # Torn final write: repair by truncating the tail.
-                    self._truncate_to(raw_lines[:lineno])
+                    self._truncate_to(raw[: self._log_bytes])
                     break
                 raise KnowledgeBaseError(
-                    f"{self.path}: corrupt record at line {lineno + 1}"
+                    f"{self.path}: corrupt record at byte {self._log_bytes}"
                 ) from None
-            self._apply(entry)
+            self._apply_load(entry)
+            self._digest.update(span)
+            self._log_bytes += len(span)
+            # Tail entries are "not yet snapshotted": a close() after a
+            # replay-heavy open checkpoints them for the next startup.
+            self._entries_since_snapshot += 1
 
-    def _truncate_to(self, lines: list[str]) -> None:
+    def _load_snapshot(self, raw: bytes) -> int:
+        """Adopt the sidecar's frozen tables if it matches the log; returns
+        the log byte offset the snapshot covers (0 when unusable).
+
+        On success the running digest is seeded from the validation hash
+        (the prefix is hashed exactly once) and each table's records stay
+        an unparsed CRC-checked blob until first access.
+        """
+        snapshot_path = self.snapshot_path
+        if snapshot_path is None or not snapshot_path.exists():
+            return 0
+        try:
+            snap = marshal.loads(snapshot_path.read_bytes())
+            if snap.get("format") != _SNAPSHOT_FORMAT:
+                return 0
+            if tuple(snap.get("python", ())) != sys.version_info[:2]:
+                return 0  # marshal blobs are CPython-version-specific
+            offset = snap["log_offset"]
+            if not isinstance(offset, int) or not 0 <= offset <= len(raw):
+                return 0
+            prefix_digest = hashlib.md5(raw[:offset])
+            if prefix_digest.hexdigest() != snap["log_prefix_md5"]:
+                return 0  # log was rewritten (compaction/repair): replay it
+            tables = snap["tables"]
+            crcs = snap["table_crc32"]
+            if not isinstance(tables, dict):
+                return 0
+            for name, blob in tables.items():
+                if not isinstance(name, str) or not isinstance(blob, bytes):
+                    return 0
+                if zlib.crc32(blob) != crcs.get(name):
+                    return 0  # bit rot in the sidecar: replay instead
+            next_id = int(snap["next_id"])
+        except Exception:
+            # A damaged snapshot must never take the store down — the log
+            # has everything.
+            return 0
+        self._frozen = dict(tables)
+        self._next_id = next_id
+        self._digest = prefix_digest
+        return offset
+
+    def _truncate_to(self, content: bytes) -> None:
         tmp = self.path.with_suffix(".repair")
-        tmp.write_text("".join(f"{line}\n" for line in lines), encoding="utf-8")
+        tmp.write_bytes(content)
         os.replace(tmp, self.path)
 
-    def _apply(self, entry: dict) -> None:
+    @staticmethod
+    def _parse_entry(entry: dict) -> tuple[str, str, int]:
         op = entry.get("op", "put")
         table = entry.get("table")
         record_id = entry.get("id")
         if not isinstance(table, str) or not isinstance(record_id, int):
             raise KnowledgeBaseError(f"malformed log entry: {entry!r}")
+        if op not in ("put", "delete"):
+            raise KnowledgeBaseError(f"unknown log op {op!r}")
+        return op, table, record_id
+
+    def _apply_load(self, entry: dict) -> None:
+        """Replay one log-tail entry during load.
+
+        Entries are validated eagerly (a malformed line fails the open, as
+        it always did) but ops against a still-frozen table are buffered
+        and folded in at materialisation instead of forcing the whole
+        table to deserialise at startup.
+        """
+        op, table, record_id = self._parse_entry(entry)
+        if table in self._frozen:
+            self._tail_ops.setdefault(table, []).append(entry)
+        elif op == "put":
+            self._tables.setdefault(table, {})[record_id] = entry.get("data", {})
+        else:
+            self._tables.get(table, {}).pop(record_id, None)
+        self._next_id = max(self._next_id, record_id + 1)
+
+    def _materialise(self, table: str) -> None:
+        """Deserialise a frozen snapshot table on first access (under lock)."""
+        blob = self._frozen.get(table)
+        if blob is None:
+            return
+        try:
+            records = marshal.loads(blob)
+        except Exception:
+            # The CRC passed at open, so this is not bit rot; refuse to
+            # serve partial state rather than guessing.  The blob stays
+            # frozen so a retry raises again instead of silently serving
+            # (and re-snapshotting) an empty table.
+            raise KnowledgeBaseError(
+                f"{self.path}: snapshot table {table!r} failed to deserialise; "
+                f"delete {self.snapshot_path} and reopen to replay the log"
+            ) from None
+        del self._frozen[table]
+        self._tables[table] = records
+        for entry in self._tail_ops.pop(table, []):
+            op, _, record_id = self._parse_entry(entry)
+            if op == "put":
+                records[record_id] = entry.get("data", {})
+            else:
+                records.pop(record_id, None)
+
+    def _apply(self, entry: dict) -> None:
+        op, table, record_id = self._parse_entry(entry)
+        self._materialise(table)
         if op == "put":
             self._tables.setdefault(table, {})[record_id] = entry.get("data", {})
-        elif op == "delete":
-            self._tables.get(table, {}).pop(record_id, None)
         else:
-            raise KnowledgeBaseError(f"unknown log op {op!r}")
+            self._tables.get(table, {}).pop(record_id, None)
         self._next_id = max(self._next_id, record_id + 1)
 
     # ---------------------------------------------------------------- write
@@ -115,10 +276,23 @@ class RecordStore:
         """Append log lines for ``entries`` with one flush for the lot."""
         if self._file is None or not entries:
             return
-        self._file.write(
-            "".join(json.dumps(entry, sort_keys=True) + "\n" for entry in entries)
-        )
+        payload = "".join(json.dumps(entry, sort_keys=True) + "\n" for entry in entries)
+        self._file.write(payload)
         self._file.flush()
+        data = payload.encode("utf-8")
+        self._digest.update(data)
+        self._log_bytes += len(data)
+        self._entries_since_snapshot += len(entries)
+        if (
+            self.snapshot_every is not None
+            and self._entries_since_snapshot >= self.snapshot_every
+            # A checkpoint re-serialises every dirty table, an O(store)
+            # cost; on large stores wait until the un-snapshotted tail is
+            # a quarter of all ids ever assigned so the periodic work
+            # stays amortised O(1) per append.
+            and self._entries_since_snapshot * 4 >= self._next_id
+        ):
+            self._write_snapshot()
 
     def append(self, table: str, data: dict) -> int:
         """Insert a record; returns its id."""
@@ -148,6 +322,7 @@ class RecordStore:
     def update(self, table: str, record_id: int, data: dict) -> None:
         """Overwrite a record in place (logged as a new put)."""
         with self._lock:
+            self._materialise(table)
             if record_id not in self._tables.get(table, {}):
                 raise KnowledgeBaseError(f"{table}/{record_id} does not exist")
             entry = {"op": "put", "table": table, "id": record_id, "data": data}
@@ -157,15 +332,74 @@ class RecordStore:
     def delete(self, table: str, record_id: int) -> None:
         """Tombstone a record."""
         with self._lock:
+            self._materialise(table)
             if record_id not in self._tables.get(table, {}):
                 raise KnowledgeBaseError(f"{table}/{record_id} does not exist")
             entry = {"op": "delete", "table": table, "id": record_id}
             self._apply(entry)
             self._write([entry])
 
+    # ------------------------------------------------------------- snapshot
+    def snapshot(self) -> None:
+        """Write a checkpoint sidecar covering the log as it stands now.
+
+        The next :class:`RecordStore` over the same path restores the
+        marshalled table state and JSON-parses only log lines written
+        after this point.  Unlike the automatic interval/close-time
+        checkpoints (which are best-effort), an explicit snapshot raises
+        on failure.
+        """
+        with self._lock:
+            self._write_snapshot(raise_on_error=True)
+
+    def _write_snapshot(self, raise_on_error: bool = False) -> None:
+        """Checkpoint the current state atomically (call under the lock).
+
+        Best-effort by default: a checkpoint is pure optimisation, so a
+        failure (disk full, unwritable sidecar, un-marshalable record)
+        must never fail the append that happened to trigger it — the log
+        already holds everything; we skip and retry at the next interval.
+        """
+        snapshot_path = self.snapshot_path
+        if snapshot_path is None:
+            return
+        try:
+            tables: dict[str, bytes] = {}
+            for name in set(self._tables) | set(self._frozen):
+                if name in self._frozen and name not in self._tail_ops:
+                    # Untouched since the last snapshot: reuse the blob
+                    # without ever deserialising it.
+                    tables[name] = self._frozen[name]
+                else:
+                    self._materialise(name)
+                    tables[name] = marshal.dumps(self._tables[name])
+            payload = {
+                "format": _SNAPSHOT_FORMAT,
+                "python": sys.version_info[:2],
+                "next_id": self._next_id,
+                "log_offset": self._log_bytes,
+                "log_prefix_md5": self._digest.hexdigest(),
+                "tables": tables,
+                "table_crc32": {name: zlib.crc32(data) for name, data in tables.items()},
+            }
+            blob = marshal.dumps(payload)
+            tmp = snapshot_path.with_suffix(".tmp")
+            with open(tmp, "wb") as fh:
+                fh.write(blob)
+                fh.flush()
+                os.fsync(fh.fileno())
+            os.replace(tmp, snapshot_path)
+        except Exception:
+            if raise_on_error:
+                raise
+            self._entries_since_snapshot = 0
+            return
+        self._entries_since_snapshot = 0
+
     # ----------------------------------------------------------------- read
     def get(self, table: str, record_id: int) -> dict:
         with self._lock:
+            self._materialise(table)
             try:
                 return self._tables[table][record_id]
             except KeyError:
@@ -174,15 +408,17 @@ class RecordStore:
     def scan(self, table: str) -> list[tuple[int, dict]]:
         """All (id, record) pairs of a table, id-ordered (a snapshot)."""
         with self._lock:
+            self._materialise(table)
             return sorted(self._tables.get(table, {}).items())
 
     def count(self, table: str) -> int:
         with self._lock:
+            self._materialise(table)
             return len(self._tables.get(table, {}))
 
     def tables(self) -> list[str]:
         with self._lock:
-            return sorted(self._tables)
+            return sorted(set(self._tables) | set(self._frozen))
 
     # ------------------------------------------------------------ lifecycle
     def compact(self) -> None:
@@ -190,27 +426,44 @@ class RecordStore:
         with self._lock:
             if self.path is None:
                 return
+            digest = hashlib.md5()
+            total = 0
             tmp = self.path.with_suffix(".compact")
-            with open(tmp, "w", encoding="utf-8") as fh:
+            with open(tmp, "w", encoding="utf-8", newline="") as fh:
                 for table in self.tables():
                     for record_id, data in self.scan(table):
-                        fh.write(
+                        line = (
                             json.dumps(
                                 {"op": "put", "table": table, "id": record_id, "data": data},
                                 sort_keys=True,
                             )
                             + "\n"
                         )
+                        fh.write(line)
+                        encoded = line.encode("utf-8")
+                        digest.update(encoded)
+                        total += len(encoded)
                 fh.flush()
                 os.fsync(fh.fileno())
             if self._file is not None:
                 self._file.close()
             os.replace(tmp, self.path)
-            self._file = open(self.path, "a", encoding="utf-8")
+            self._file = open(self.path, "a", encoding="utf-8", newline="")
+            self._digest = digest
+            self._log_bytes = total
+            # The old snapshot's offset/digest describe the pre-compaction
+            # log; replace it rather than leaving a stale sidecar behind.
+            snapshot_path = self.snapshot_path
+            if self.snapshot_every is not None:
+                self._write_snapshot()
+            elif snapshot_path is not None and snapshot_path.exists():
+                snapshot_path.unlink()
 
     def close(self) -> None:
         with self._lock:
             if self._file is not None:
+                if self.snapshot_every is not None and self._entries_since_snapshot:
+                    self._write_snapshot()
                 self._file.close()
                 self._file = None
 

@@ -206,6 +206,130 @@ def test_locked_peek_next_id():
     assert ids == [upcoming, upcoming + 1]
 
 
+# ------------------------------------------------------------- snapshots
+
+
+def _parse_count(monkeypatch):
+    """Count json.loads calls made by the store module (log lines parsed)."""
+    import repro.kb.store as store_module
+
+    counter = {"n": 0}
+    real_loads = store_module.json.loads
+
+    def counting_loads(*args, **kwargs):
+        counter["n"] += 1
+        return real_loads(*args, **kwargs)
+
+    monkeypatch.setattr(store_module.json, "loads", counting_loads)
+    return counter
+
+
+def test_snapshot_then_tail_replay(tmp_path, monkeypatch):
+    path = tmp_path / "kb.jsonl"
+    store = RecordStore(path, snapshot_every=None)
+    for i in range(5):
+        store.append("t", {"i": i})
+    store.snapshot()
+    for i in range(5, 8):
+        store.append("t", {"i": i})
+    store.close()
+    assert store.snapshot_path.exists()
+
+    counter = _parse_count(monkeypatch)
+    with RecordStore(path, snapshot_every=None) as reopened:
+        assert [d["i"] for _, d in reopened.scan("t")] == list(range(8))
+        next_id = reopened.peek_next_id()
+    # Only the 3 lines written after the checkpoint were JSON-parsed.
+    assert counter["n"] == 3
+
+    # And the restored state is exactly what a full replay produces.
+    store.snapshot_path.unlink()
+    counter["n"] = 0
+    with RecordStore(path, snapshot_every=None) as replayed:
+        assert [d["i"] for _, d in replayed.scan("t")] == list(range(8))
+        assert replayed.peek_next_id() == next_id
+    assert counter["n"] == 8
+
+
+def test_close_checkpoints_for_next_startup(tmp_path, monkeypatch):
+    path = tmp_path / "kb.jsonl"
+    with RecordStore(path) as store:
+        for i in range(4):
+            store.append("t", {"i": i})
+    counter = _parse_count(monkeypatch)
+    with RecordStore(path) as reopened:
+        assert reopened.count("t") == 4
+    assert counter["n"] == 0  # close() wrote a snapshot covering everything
+
+
+def test_corrupt_snapshot_falls_back_to_full_replay(tmp_path):
+    path = tmp_path / "kb.jsonl"
+    with RecordStore(path) as store:
+        store.append("t", {"v": 1})
+        snapshot_path = store.snapshot_path
+    snapshot_path.write_bytes(b"not a pickle at all")
+    with RecordStore(path) as recovered:
+        assert recovered.get("t", 1) == {"v": 1}
+
+
+def test_stale_snapshot_ignored_after_log_rewrite(tmp_path):
+    path = tmp_path / "kb.jsonl"
+    with RecordStore(path) as store:
+        store.append("t", {"v": 1})
+        store.append("t", {"v": 2})
+    # Rewrite the log out from under the sidecar: digest mismatch.
+    lines = path.read_text().splitlines()
+    path.write_text(lines[0] + "\n")
+    with RecordStore(path) as reopened:
+        assert reopened.count("t") == 1
+        assert reopened.get("t", 1) == {"v": 1}
+
+
+def test_torn_tail_after_snapshot_repaired(tmp_path):
+    path = tmp_path / "kb.jsonl"
+    with RecordStore(path) as store:
+        store.append("t", {"v": 1})
+    with open(path, "a", encoding="utf-8") as fh:
+        fh.write('{"op": "put", "table": "t", "id": 2, "da')  # torn write
+    with RecordStore(path) as recovered:
+        assert recovered.count("t") == 1
+    for line in path.read_text().splitlines():
+        json.loads(line)
+
+
+def test_automatic_snapshot_interval(tmp_path):
+    path = tmp_path / "kb.jsonl"
+    store = RecordStore(path, snapshot_every=5)
+    for i in range(4):
+        store.append("t", {"i": i})
+    assert not store.snapshot_path.exists()
+    store.append("t", {"i": 4})
+    assert store.snapshot_path.exists()
+    store.close()
+
+
+def test_compact_refreshes_snapshot(tmp_path, monkeypatch):
+    path = tmp_path / "kb.jsonl"
+    store = RecordStore(path, snapshot_every=2)
+    rid = store.append("t", {"v": 0})
+    for i in range(6):
+        store.update("t", rid, {"v": i})
+    store.compact()
+    store.close()
+    counter = _parse_count(monkeypatch)
+    with RecordStore(path) as reopened:
+        assert reopened.get("t", rid) == {"v": 5}
+    assert counter["n"] == 0  # post-compaction snapshot covers the whole log
+
+
+def test_in_memory_snapshot_is_noop():
+    store = RecordStore()
+    assert store.snapshot_path is None
+    store.snapshot()  # must not raise
+    store.append("t", {})
+    assert store.count("t") == 1
+
+
 def test_concurrent_appends_thread_safe():
     import threading
 
