@@ -12,11 +12,11 @@ import numpy as np
 
 from repro.classifiers.base import Classifier
 from repro.classifiers.tree import (
-    FlatTree,
     TreeParams,
-    build_tree,
-    cost_complexity_prune,
+    cost_complexity_prune_flat,
+    fit_flat_forest,
 )
+from repro.classifiers.tree.presort import presort_for
 from repro.evaluation.resampling import bootstrap_indices
 
 __all__ = ["Bagging"]
@@ -53,12 +53,17 @@ class Bagging(Classifier):
             min_split=max(2, int(self.minsplit)),
             min_bucket=max(1, int(self.minbucket)),
         )
-        self.trees_ = []
-        for _ in range(max(1, int(self.nbagg))):
-            sample = bootstrap_indices(y.shape[0], rng)
-            root = build_tree(X[sample], y[sample], self.n_classes_, params)
-            cost_complexity_prune(root, float(self.cp))
-            self.trees_.append(FlatTree.from_node(root, self.n_classes_))
+        # One presort + lockstep growth across all bagged trees; pruning
+        # stays per tree (it is O(nodes), not a scan).
+        presort = presort_for(X)
+        samples = [
+            bootstrap_indices(y.shape[0], rng)
+            for _ in range(max(1, int(self.nbagg)))
+        ]
+        grown = fit_flat_forest(presort, y, self.n_classes_, params, samples)
+        self.trees_ = [
+            cost_complexity_prune_flat(tree, float(self.cp)) for tree in grown
+        ]
         return self
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:

@@ -18,13 +18,17 @@ from __future__ import annotations
 import numpy as np
 
 from repro.classifiers.base import Classifier
-from repro.classifiers.rules import DecisionList, Rule, path_to_rule, simplify_rule
+from repro.classifiers.rules import Condition, DecisionList, Rule, simplify_rule
 from repro.classifiers.tree import (
     FlatTree,
-    TreeNode,
     TreeParams,
-    build_tree,
-    pessimistic_prune,
+    fit_flat_tree,
+    pessimistic_prune_flat,
+)
+from repro.classifiers.tree.presort import (
+    PresortedMatrix,
+    presort_for,
+    shared_presort_for,
 )
 from repro.exceptions import ConfigurationError
 from repro.preprocess.feature_selection import mutual_information_scores
@@ -33,17 +37,15 @@ from repro.data.dataset import Dataset
 __all__ = ["C50"]
 
 
-def _all_leaf_rules(root: TreeNode) -> list[Rule]:
+def _all_leaf_rules(flat: FlatTree) -> list[Rule]:
+    """One rule per leaf, in pre-order (the left-first depth-first order)."""
     rules: list[Rule] = []
-
-    def walk(node: TreeNode, path: list[tuple[TreeNode, bool]]) -> None:
-        if node.is_leaf:
-            rules.append(path_to_rule(path, node))
-            return
-        walk(node.left, path + [(node, True)])
-        walk(node.right, path + [(node, False)])
-
-    walk(root, [])
+    for leaf in np.flatnonzero(flat.feature < 0):
+        conditions = [
+            Condition(feature, "le" if went_left else "gt", threshold)
+            for feature, went_left, threshold in flat.path_conditions(int(leaf))
+        ]
+        rules.append(Rule(conditions, flat.counts[leaf].copy()))
     return rules
 
 
@@ -109,7 +111,20 @@ class C50(Classifier):
             self.feature_subset_ = self._winnow_features(X, y)
         else:
             self.feature_subset_ = np.arange(X.shape[1])
-        Xw = X[:, self.feature_subset_]
+
+        # One presort serves every boosting round: the data never changes
+        # between rounds, only the instance weights do.  Winnowing slices a
+        # shared presort's order rows without re-sorting, but when no
+        # shared presort exists only the surviving columns are argsorted.
+        if self.winnow == "yes":
+            shared = shared_presort_for(X)
+            if shared is not None:
+                presort = shared.take_columns(self.feature_subset_)
+            else:
+                presort = PresortedMatrix(X[:, self.feature_subset_])
+        else:
+            presort = presort_for(X)
+        Xw = presort.X
 
         params = TreeParams(
             criterion="gain_ratio", max_depth=40, min_split=4, min_bucket=2
@@ -119,22 +134,23 @@ class C50(Classifier):
         self.alphas_ = []
         trials = max(1, int(self.trials))
         for _ in range(trials):
-            root = build_tree(Xw, y, self.n_classes_, params, weights=weights * n)
+            flat = fit_flat_tree(
+                Xw, y, self.n_classes_, params, weights=weights * n, presort=presort
+            )
             if self.no_global_pruning == "no":
-                pessimistic_prune(root, float(self.cf))
-            flat = FlatTree.from_node(root, self.n_classes_)
+                flat = pessimistic_prune_flat(flat, float(self.cf))
             proba = flat.predict_proba(Xw)
             predictions = np.argmax(proba, axis=1)
             err = float(weights[predictions != y].sum())
-            if err >= 1.0 - 1.0 / self.n_classes_ or root.is_leaf:
+            if err >= 1.0 - 1.0 / self.n_classes_ or flat.n_nodes == 1:
                 if not self.members_:
-                    self._append_member(root, flat, 1.0, Xw, y)
+                    self._append_member(flat, 1.0, Xw, y)
                 break
             alpha = float(
                 np.log(max(1.0 - err, 1e-12) / max(err, 1e-12))
                 + np.log(self.n_classes_ - 1)
             )
-            self._append_member(root, flat, alpha, Xw, y)
+            self._append_member(flat, alpha, Xw, y)
             if err < 1e-12:
                 break
             weights *= np.exp(alpha * (predictions != y))
@@ -142,12 +158,12 @@ class C50(Classifier):
         return self
 
     def _append_member(
-        self, root: TreeNode, flat: FlatTree, alpha: float, Xw: np.ndarray, y: np.ndarray
+        self, flat: FlatTree, alpha: float, Xw: np.ndarray, y: np.ndarray
     ) -> None:
         if self.model == "rules":
             rules = [
                 simplify_rule(rule, Xw, y, self.n_classes_)
-                for rule in _all_leaf_rules(root)
+                for rule in _all_leaf_rules(flat)
             ]
             rules.sort(key=lambda r: (-r.confidence, -r.coverage))
             default = np.bincount(y, minlength=self.n_classes_).astype(np.float64)

@@ -18,11 +18,11 @@ import numpy as np
 
 from repro.classifiers.base import Classifier
 from repro.classifiers.tree import (
-    FlatTree,
     TreeParams,
-    build_tree,
     count_leaves,
+    fit_flat_tree,
 )
+from repro.classifiers.tree.presort import PresortedMatrix, presort_for
 from repro.exceptions import ConfigurationError
 
 __all__ = ["DeepBoost"]
@@ -40,7 +40,7 @@ class _BinaryDeepBoost:
         self.trees: list = []
         self.votes: list[float] = []
 
-    def fit(self, X: np.ndarray, target: np.ndarray) -> None:
+    def fit(self, X: np.ndarray, target: np.ndarray, presort: PresortedMatrix | None = None) -> None:
         n = target.shape[0]
         sign = np.where(target == 1, 1.0, -1.0)
         margins = np.zeros(n)
@@ -60,14 +60,15 @@ class _BinaryDeepBoost:
                 break
             weights = weights / total
 
-            root = build_tree(X, target, 2, params, weights=weights * n)
-            flat = FlatTree.from_node(root, 2)
+            flat = fit_flat_tree(
+                X, target, 2, params, weights=weights * n, presort=presort
+            )
             proba = flat.predict_proba(X)
             h = np.where(proba[:, 1] >= 0.5, 1.0, -1.0)
             err = float(weights[(h * sign) < 0].sum())
             err = min(max(err, 1e-6), 1 - 1e-6)
             raw_vote = 0.5 * np.log((1 - err) / err)
-            penalty = self.beta + self.lam * count_leaves(root)
+            penalty = self.beta + self.lam * count_leaves(flat)
             vote = max(0.0, raw_vote - penalty)
             if vote <= 0.0:
                 if not self.trees:
@@ -115,12 +116,15 @@ class DeepBoost(Classifier):
 
     def fit(self, X: np.ndarray, y: np.ndarray, n_classes: int | None = None):
         X, y = self._start_fit(X, y, n_classes)
+        # One presort serves every boosting round of every one-vs-rest
+        # member: only targets and weights change between fits.
+        presort = presort_for(X)
         self.members_ = []
         for k in range(self.n_classes_):
             member = _BinaryDeepBoost(
                 self.num_iter, self.tree_depth, float(self.beta), float(self.lam), self.loss
             )
-            member.fit(X, (y == k).astype(np.int64))
+            member.fit(presort.X, (y == k).astype(np.int64), presort=presort)
             self.members_.append(member)
         return self
 

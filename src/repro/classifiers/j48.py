@@ -12,8 +12,8 @@ from repro.classifiers.base import Classifier
 from repro.classifiers.tree import (
     FlatTree,
     TreeParams,
-    build_tree,
-    pessimistic_prune,
+    fit_flat_tree,
+    pessimistic_prune_flat,
 )
 from repro.exceptions import ConfigurationError
 
@@ -51,7 +51,6 @@ class J48(Classifier):
         self.pruned = pruned
         self.confidence = confidence
         self.min_instances = min_instances
-        self.root_ = None
         self.flat_: FlatTree | None = None
 
     def fit(self, X: np.ndarray, y: np.ndarray, n_classes: int | None = None):
@@ -63,10 +62,9 @@ class J48(Classifier):
             min_split=max(2, 2 * m),
             min_bucket=m,
         )
-        self.root_ = build_tree(X, y, self.n_classes_, params)
+        self.flat_ = fit_flat_tree(X, y, self.n_classes_, params)
         if self.pruned == "pruned":
-            pessimistic_prune(self.root_, float(self.confidence))
-        self.flat_ = FlatTree.from_node(self.root_, self.n_classes_)
+            self.flat_ = pessimistic_prune_flat(self.flat_, float(self.confidence))
         return self
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:

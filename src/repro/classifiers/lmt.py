@@ -15,7 +15,7 @@ import numpy as np
 
 from repro.classifiers.base import Classifier
 from repro.classifiers.linear import MultinomialLogisticRegression
-from repro.classifiers.tree import FlatTree, TreeParams, build_tree
+from repro.classifiers.tree import FlatTree, TreeParams, fit_flat_tree
 
 __all__ = ["LMT"]
 
@@ -30,7 +30,6 @@ class LMT(Classifier):
 
     def __init__(self, iterations: int = 30):
         self.iterations = iterations
-        self.root_ = None
         self.flat_: FlatTree | None = None
         # Keyed by flat leaf-node index.
         self.leaf_models_: dict[int, MultinomialLogisticRegression] = {}
@@ -49,8 +48,7 @@ class LMT(Classifier):
             min_split=max(4, 2 * _MIN_LEAF_MODEL),
             min_bucket=_MIN_LEAF_MODEL,
         )
-        self.root_ = build_tree(X, y, self.n_classes_, params)
-        self.flat_ = FlatTree.from_node(self.root_, self.n_classes_)
+        self.flat_ = fit_flat_tree(X, y, self.n_classes_, params)
 
         self.leaf_models_ = {}
         leaf_idx = self.flat_.apply(X)

@@ -19,9 +19,10 @@ from repro.classifiers.rules import Condition, DecisionList, Rule
 from repro.classifiers.tree import (
     FlatTree,
     TreeParams,
-    build_tree,
-    pessimistic_prune,
+    fit_flat_tree,
+    pessimistic_prune_flat,
 )
+from repro.classifiers.tree.presort import presort_for
 from repro.exceptions import ConfigurationError
 
 __all__ = ["Part"]
@@ -81,18 +82,24 @@ class Part(Classifier):
             min_split=max(2, 2 * m),
             min_bucket=m,
         )
+        # Separate-and-conquer re-fits on a shrinking subset every round;
+        # each round's presort derives from the full presort by a stable
+        # filter instead of re-argsorting the remaining rows.
+        presort = presort_for(X)
         remaining = np.arange(y.shape[0])
         rules: list[Rule] = []
         while remaining.size > 0 and len(rules) < self.max_rules:
-            sub_X, sub_y = X[remaining], y[remaining]
+            sub_presort, rows = presort.subsample(remaining)
+            sub_X, sub_y = sub_presort.X, y[rows]
             if np.unique(sub_y).size == 1:
                 break
-            root = build_tree(sub_X, sub_y, self.n_classes_, params)
+            flat = fit_flat_tree(
+                sub_X, sub_y, self.n_classes_, params, presort=sub_presort
+            )
             if self.pruned == "pruned":
-                pessimistic_prune(root, float(self.confidence))
-            if root.is_leaf:
+                flat = pessimistic_prune_flat(flat, float(self.confidence))
+            if flat.n_nodes == 1:
                 break
-            flat = FlatTree.from_node(root, self.n_classes_)
             leaf, rule = _best_leaf_rule(flat)
             covered = flat.apply(sub_X) == leaf
             if not covered.any():

@@ -9,7 +9,8 @@ from __future__ import annotations
 import numpy as np
 
 from repro.classifiers.base import Classifier
-from repro.classifiers.tree import FlatTree, TreeParams, build_tree
+from repro.classifiers.tree import TreeParams, draw_tree_seed, fit_flat_forest
+from repro.classifiers.tree.presort import presort_for
 from repro.evaluation.resampling import bootstrap_indices
 
 __all__ = ["RandomForest"]
@@ -51,11 +52,23 @@ class RandomForest(Classifier):
             min_bucket=max(1, int(self.nodesize)),
             max_features=mtry,
         )
-        self.trees_ = []
+        # One presort serves the whole forest (shared across HPO candidates
+        # when the objective registered X); every bootstrap order derives
+        # from it by stable partition, and all trees grow in lockstep so
+        # each level's vectorized pass serves the entire ensemble.  Draws
+        # stay in the sequential reference order: sample, tree seed,
+        # sample, tree seed, ...
+        presort = presort_for(X)
+        subsampling = mtry < d
+        samples, seeds = [], []
         for _ in range(max(1, int(self.ntree))):
-            sample = bootstrap_indices(y.shape[0], rng)
-            root = build_tree(X[sample], y[sample], self.n_classes_, params, rng=rng)
-            self.trees_.append(FlatTree.from_node(root, self.n_classes_))
+            samples.append(bootstrap_indices(y.shape[0], rng))
+            if subsampling:
+                seeds.append(draw_tree_seed(rng))
+        self.trees_ = fit_flat_forest(
+            presort, y, self.n_classes_, params, samples,
+            tree_seeds=seeds if subsampling else None,
+        )
         return self
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:

@@ -12,8 +12,8 @@ from repro.classifiers.base import Classifier
 from repro.classifiers.tree import (
     FlatTree,
     TreeParams,
-    build_tree,
-    cost_complexity_prune,
+    cost_complexity_prune_flat,
+    fit_flat_tree,
 )
 
 __all__ = ["RPart"]
@@ -41,7 +41,6 @@ class RPart(Classifier):
         self.minsplit = minsplit
         self.minbucket = minbucket
         self.maxdepth = maxdepth
-        self.root_ = None
         self.flat_: FlatTree | None = None
 
     def fit(self, X: np.ndarray, y: np.ndarray, n_classes: int | None = None):
@@ -52,9 +51,8 @@ class RPart(Classifier):
             min_split=max(2, int(self.minsplit)),
             min_bucket=max(1, int(self.minbucket)),
         )
-        self.root_ = build_tree(X, y, self.n_classes_, params)
-        cost_complexity_prune(self.root_, float(self.cp))
-        self.flat_ = FlatTree.from_node(self.root_, self.n_classes_)
+        grown = fit_flat_tree(X, y, self.n_classes_, params)
+        self.flat_ = cost_complexity_prune_flat(grown, float(self.cp))
         return self
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:

@@ -1,4 +1,11 @@
-"""Shared decision-tree engine for the tree-family classifiers."""
+"""Shared decision-tree engine for the tree-family classifiers.
+
+Hot path: :mod:`~repro.classifiers.tree.presort` (presorted breadth-first
+fitting straight into flat arrays) + :mod:`~repro.classifiers.tree.flat`
+(vectorized prediction) + the ``*_prune_flat`` procedures.  Reference path:
+the recursive ``build_tree`` / ``TreeNode`` walkers / recursive pruning,
+kept node-for-node identical and exercised by the test suite.
+"""
 
 from repro.classifiers.tree.builder import (
     TreeNode,
@@ -15,6 +22,18 @@ from repro.classifiers.tree.flat import (
     FlatTree,
     flatten_structure,
 )
+from repro.classifiers.tree.presort import (
+    FeatureSampler,
+    PresortedMatrix,
+    draw_tree_seed,
+    fit_flat_forest,
+    fit_flat_regression_forest,
+    fit_flat_regression_tree,
+    fit_flat_tree,
+    presort_for,
+    share_presort,
+    shared_presort_for,
+)
 from repro.classifiers.tree.criteria import (
     children_impurity,
     entropy,
@@ -24,7 +43,9 @@ from repro.classifiers.tree.criteria import (
 )
 from repro.classifiers.tree.pruning import (
     cost_complexity_prune,
+    cost_complexity_prune_flat,
     pessimistic_prune,
+    pessimistic_prune_flat,
     subtree_error,
 )
 
@@ -40,12 +61,24 @@ __all__ = [
     "count_leaves",
     "tree_depth",
     "iter_nodes",
+    "PresortedMatrix",
+    "FeatureSampler",
+    "fit_flat_tree",
+    "fit_flat_forest",
+    "fit_flat_regression_tree",
+    "fit_flat_regression_forest",
+    "presort_for",
+    "share_presort",
+    "shared_presort_for",
+    "draw_tree_seed",
     "gini",
     "entropy",
     "gain_ratio",
     "children_impurity",
     "impurity_function",
     "cost_complexity_prune",
+    "cost_complexity_prune_flat",
     "pessimistic_prune",
+    "pessimistic_prune_flat",
     "subtree_error",
 ]

@@ -1,10 +1,19 @@
-"""Decision-tree construction.
+"""Decision-tree construction (recursive *reference* builder).
 
-One builder serves the whole tree family (rpart/CART, J48/C4.5, C5.0 base
-trees, PART's partial trees, bagging, random forests, boosted stumps):
-greedy top-down induction with exhaustive threshold search per column,
-optional per-node feature subsampling (``max_features``, for forests) and
-optional instance weights (for boosting).
+One induction contract serves the whole tree family (rpart/CART, J48/C4.5,
+C5.0 base trees, PART's partial trees, bagging, random forests, boosted
+stumps): greedy top-down induction with exhaustive threshold search per
+column, optional per-node feature subsampling (``max_features``, for
+forests) and optional instance weights (for boosting).
+
+This module is the depth-first recursive *reference* implementation; the
+hot path is the presorted breadth-first engine in
+:mod:`repro.classifiers.tree.presort`, which must stay node-for-node
+identical to this builder (enforced by ``tests/test_tree_presort.py``).
+Per-node ``max_features`` candidate sets come from the shared
+order-independent :class:`~repro.classifiers.tree.presort.FeatureSampler`
+(hash of tree seed and heap path key) so both traversal orders draw
+identical sets; each ``max_features`` fit consumes exactly one rng draw.
 
 Splits are always binary ``x <= threshold``; categorical code columns are
 split on their integer codes, which for the synthetic corpora is equivalent
@@ -19,6 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.classifiers.tree.criteria import children_impurity, impurity_function
+from repro.classifiers.tree.flat import _FlatBase
 
 __all__ = ["TreeNode", "TreeParams", "build_tree", "tree_predict_proba", "tree_apply",
            "count_leaves", "tree_depth", "iter_nodes", "select_best_column_split"]
@@ -201,11 +211,14 @@ def build_tree(
     weights: np.ndarray | None = None,
 ) -> TreeNode:
     """Grow a tree greedily; returns its root node."""
+    from repro.classifiers.tree.presort import make_feature_sampler
+
     if weights is None:
         weights = np.ones(y.shape[0], dtype=np.float64)
     impurity = impurity_function(params.criterion)
+    sampler = make_feature_sampler(X.shape[1], params.max_features, rng)
 
-    def grow(indices: np.ndarray, depth: int) -> TreeNode:
+    def grow(indices: np.ndarray, depth: int, key: np.uint64) -> TreeNode:
         node_y = y[indices]
         node_w = weights[indices]
         counts = _class_counts(node_y, node_w, n_classes)
@@ -220,9 +233,8 @@ def build_tree(
 
         parent_impurity = float(impurity(counts[None, :])[0])
         d = X.shape[1]
-        if params.max_features is not None and params.max_features < d:
-            assert rng is not None, "max_features requires an rng"
-            candidates = rng.choice(d, size=params.max_features, replace=False)
+        if sampler is not None:
+            candidates = sampler.candidates_for(key)
         else:
             candidates = np.arange(d)
 
@@ -261,11 +273,11 @@ def build_tree(
             return node
         node.feature = best_feature
         node.threshold = best_threshold
-        node.left = grow(left_idx, depth + 1)
-        node.right = grow(right_idx, depth + 1)
+        node.left = grow(left_idx, depth + 1, key * np.uint64(2))
+        node.right = grow(right_idx, depth + 1, key * np.uint64(2) + np.uint64(1))
         return node
 
-    return grow(np.arange(y.shape[0]), 0)
+    return grow(np.arange(y.shape[0]), 0, np.uint64(1))
 
 
 # ------------------------------------------------------------------ queries
@@ -305,11 +317,18 @@ def iter_nodes(root: TreeNode):
             stack.append(node.left)
 
 
-def count_leaves(root: TreeNode) -> int:
-    """Number of leaves in the subtree."""
+def count_leaves(root: TreeNode | _FlatBase) -> int:
+    """Number of leaves (accepts a ``TreeNode`` root or a flat tree)."""
+    if isinstance(root, _FlatBase):
+        return int((root.feature < 0).sum())
     return sum(1 for node in iter_nodes(root) if node.is_leaf)
 
 
-def tree_depth(root: TreeNode) -> int:
-    """Maximum leaf depth relative to the root."""
+def tree_depth(root: TreeNode | _FlatBase) -> int:
+    """Maximum leaf depth relative to the root (``TreeNode`` or flat)."""
+    if isinstance(root, _FlatBase):
+        depth = np.zeros(root.n_nodes, dtype=np.intp)
+        for i in range(1, root.n_nodes):  # pre-order: parent precedes child
+            depth[i] = depth[root.parent[i]] + 1
+        return int(depth[root.feature < 0].max(initial=0))
     return max(node.depth for node in iter_nodes(root)) - root.depth

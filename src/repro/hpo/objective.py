@@ -14,6 +14,7 @@ from typing import Callable
 import numpy as np
 
 from repro.classifiers.base import Classifier
+from repro.classifiers.tree.presort import share_presort
 from repro.evaluation.metrics import error_rate
 from repro.evaluation.resampling import stratified_kfold_indices
 
@@ -62,6 +63,15 @@ class CrossValObjective:
         self._fold_data = [
             (self.X[train_idx], self.y[train_idx], self.X[test_idx], self.y[test_idx])
             for train_idx, test_idx in self.folds
+        ]
+        # Register each fold's training matrix for presort sharing: every
+        # tree-family fit on that fold — any configuration of any
+        # tree-family algorithm this objective races, and every ensemble
+        # member via bootstrap subsampling — reuses one per-fold argsort.
+        # The presorts are computed lazily (first tree fit) and live
+        # exactly as long as this objective does (weak registry).
+        self._presort_handles = [
+            share_presort(fold[0]) for fold in self._fold_data
         ]
         self._cache: dict[tuple, dict[int, float]] = {}
         self.n_fold_evaluations = 0

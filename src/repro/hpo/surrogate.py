@@ -6,6 +6,13 @@ of their performance along the trees of the random forest model".  This
 module is that model: bootstrap-bagged regression trees over encoded
 configurations, with the empirical mean/variance across trees as the
 posterior used by expected improvement.
+
+Fitting rides the presorted breadth-first engine
+(:func:`repro.classifiers.tree.presort.fit_flat_regression_tree`): the
+encoded-history matrix is argsorted once per refit, and all bagged trees
+derive their bootstrap presorts from it by stable partition.  The recursive
+variance-reduction builder is kept (``build_regression_tree_recursive``) as
+the reference path the engine is property-tested against.
 """
 
 from __future__ import annotations
@@ -14,9 +21,16 @@ import numpy as np
 
 from repro.classifiers.tree.builder import select_best_column_split
 from repro.classifiers.tree.flat import FlatRegressionTree
+from repro.classifiers.tree.presort import (
+    PresortedMatrix,
+    draw_tree_seed,
+    fit_flat_regression_forest,
+    fit_flat_regression_tree,
+    make_feature_sampler,
+)
 from repro.exceptions import NotFittedError
 
-__all__ = ["RegressionTree", "RandomForestSurrogate"]
+__all__ = ["RegressionTree", "RandomForestSurrogate", "build_regression_tree_recursive"]
 
 #: Cell budget for the all-columns split search; above it the per-column
 #: fallback bounds peak memory.  A cell here is one entry of the
@@ -78,8 +92,82 @@ class _RegressionNode:
         return self.feature == -1
 
 
+def build_regression_tree_recursive(
+    X: np.ndarray,
+    y: np.ndarray,
+    max_depth: int,
+    min_split: int,
+    min_bucket: int,
+    max_features: int | None = None,
+    rng: np.random.Generator | None = None,
+) -> _RegressionNode:
+    """Depth-first reference twin of ``fit_flat_regression_tree``.
+
+    Same induction contract, same order-independent feature sampler, same
+    single rng draw per ``max_features`` fit — kept for the equality tests
+    and benchmarks, not used on the hot path.
+    """
+    X = np.asarray(X, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    sampler = make_feature_sampler(X.shape[1], max_features, rng)
+
+    def grow(indices: np.ndarray, depth: int, key: np.uint64) -> _RegressionNode:
+        node_y = y[indices]
+        node = _RegressionNode(float(node_y.mean()))
+        if (
+            depth >= max_depth
+            or indices.size < min_split
+            or np.ptp(node_y) < 1e-12
+        ):
+            return node
+
+        d = X.shape[1]
+        if sampler is not None:
+            candidates = sampler.candidates_for(key)
+        else:
+            candidates = np.arange(d)
+
+        best_feature, best_threshold = -1, 0.0
+        if indices.size * candidates.size <= _VECTOR_CELLS:
+            found = _best_split_all_columns(
+                X[np.ix_(indices, candidates)], node_y, min_bucket
+            )
+            if found is not None:
+                _, j, best_threshold = found
+                best_feature = int(candidates[j])
+        else:
+            best_score = np.inf
+            for j in candidates:
+                found = _best_split_all_columns(
+                    X[indices, j][:, None], node_y, min_bucket
+                )
+                if found is not None and found[0] < best_score:
+                    best_score = found[0]
+                    best_feature = int(j)
+                    best_threshold = found[2]
+
+        if best_feature < 0:
+            return node
+        mask = X[indices, best_feature] <= best_threshold
+        left_idx, right_idx = indices[mask], indices[~mask]
+        if left_idx.size == 0 or right_idx.size == 0:
+            return node
+        node.feature = best_feature
+        node.threshold = best_threshold
+        node.left = grow(left_idx, depth + 1, key * np.uint64(2))
+        node.right = grow(right_idx, depth + 1, key * np.uint64(2) + np.uint64(1))
+        return node
+
+    return grow(np.arange(y.shape[0]), 0, np.uint64(1))
+
+
 class RegressionTree:
-    """CART regression tree (variance-reduction splitting)."""
+    """CART regression tree (variance-reduction splitting).
+
+    ``fit`` runs the presorted breadth-first engine and stores the fitted
+    tree directly as a :class:`FlatRegressionTree`; pass ``presort`` to
+    reuse a shared (or bootstrap-derived) presort.
+    """
 
     def __init__(
         self,
@@ -92,65 +180,25 @@ class RegressionTree:
         self.min_split = min_split
         self.min_bucket = min_bucket
         self.max_features = max_features
-        self.root_: _RegressionNode | None = None
         self.flat_: FlatRegressionTree | None = None
 
     def fit(
-        self, X: np.ndarray, y: np.ndarray, rng: np.random.Generator | None = None
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        rng: np.random.Generator | None = None,
+        presort: PresortedMatrix | None = None,
     ) -> "RegressionTree":
-        X = np.asarray(X, dtype=np.float64)
-        y = np.asarray(y, dtype=np.float64)
-
-        def grow(indices: np.ndarray, depth: int) -> _RegressionNode:
-            node_y = y[indices]
-            node = _RegressionNode(float(node_y.mean()))
-            if (
-                depth >= self.max_depth
-                or indices.size < self.min_split
-                or np.ptp(node_y) < 1e-12
-            ):
-                return node
-
-            d = X.shape[1]
-            if self.max_features is not None and self.max_features < d:
-                assert rng is not None
-                candidates = rng.choice(d, size=self.max_features, replace=False)
-            else:
-                candidates = np.arange(d)
-
-            best_feature, best_threshold = -1, 0.0
-            if indices.size * candidates.size <= _VECTOR_CELLS:
-                found = _best_split_all_columns(
-                    X[np.ix_(indices, candidates)], node_y, self.min_bucket
-                )
-                if found is not None:
-                    _, j, best_threshold = found
-                    best_feature = int(candidates[j])
-            else:
-                best_score = np.inf
-                for j in candidates:
-                    found = _best_split_all_columns(
-                        X[indices, j][:, None], node_y, self.min_bucket
-                    )
-                    if found is not None and found[0] < best_score:
-                        best_score = found[0]
-                        best_feature = int(j)
-                        best_threshold = found[2]
-
-            if best_feature < 0:
-                return node
-            mask = X[indices, best_feature] <= best_threshold
-            left_idx, right_idx = indices[mask], indices[~mask]
-            if left_idx.size == 0 or right_idx.size == 0:
-                return node
-            node.feature = best_feature
-            node.threshold = best_threshold
-            node.left = grow(left_idx, depth + 1)
-            node.right = grow(right_idx, depth + 1)
-            return node
-
-        self.root_ = grow(np.arange(y.shape[0]), 0)
-        self.flat_ = FlatRegressionTree.from_node(self.root_)
+        self.flat_ = fit_flat_regression_tree(
+            X,
+            y,
+            max_depth=self.max_depth,
+            min_split=self.min_split,
+            min_bucket=self.min_bucket,
+            max_features=self.max_features,
+            rng=rng,
+            presort=presort,
+        )
         return self
 
     def predict(self, X: np.ndarray) -> np.ndarray:
@@ -160,7 +208,15 @@ class RegressionTree:
 
 
 class RandomForestSurrogate:
-    """Bagged regression trees exposing mean and variance predictions."""
+    """Bagged regression trees exposing mean and variance predictions.
+
+    One presort of the encoded-history matrix serves every tree (each
+    bootstrap order derives from it by a stable filter), and the whole bag
+    grows in lockstep via :func:`fit_flat_regression_forest`: a refit
+    argsorts the design matrix exactly once and pays the per-level numpy
+    dispatch once, regardless of ``n_trees``.  ``trees_`` holds the fitted
+    :class:`FlatRegressionTree` members.
+    """
 
     def __init__(
         self,
@@ -173,7 +229,7 @@ class RandomForestSurrogate:
         self.max_depth = max_depth
         self.min_bucket = min_bucket
         self.seed = seed
-        self.trees_: list[RegressionTree] = []
+        self.trees_: list[FlatRegressionTree] = []
 
     def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestSurrogate":
         X = np.asarray(X, dtype=np.float64)
@@ -181,23 +237,30 @@ class RandomForestSurrogate:
         rng = np.random.default_rng(self.seed)
         n, d = X.shape
         max_features = max(1, int(np.ceil(d * 0.7)))
-        self.trees_ = []
+        subsampling = max_features < d
+        presort = PresortedMatrix(X)
+        samples, seeds = [], []
         for _ in range(self.n_trees):
-            sample = rng.integers(0, n, size=n)
-            tree = RegressionTree(
-                max_depth=self.max_depth,
-                min_split=max(4, 2 * self.min_bucket),
-                min_bucket=self.min_bucket,
-                max_features=max_features,
-            )
-            tree.fit(X[sample], y[sample], rng=rng)
-            self.trees_.append(tree)
+            samples.append(rng.integers(0, n, size=n))
+            if subsampling:
+                seeds.append(draw_tree_seed(rng))
+        self.trees_ = fit_flat_regression_forest(
+            presort,
+            y,
+            max_depth=self.max_depth,
+            min_split=max(4, 2 * self.min_bucket),
+            min_bucket=self.min_bucket,
+            samples=samples,
+            max_features=max_features,
+            tree_seeds=seeds if subsampling else None,
+        )
         return self
 
     def predict(self, X: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """(mean, variance) across trees for each row."""
         if not self.trees_:
             raise NotFittedError("RandomForestSurrogate is not fitted")
+        X = np.asarray(X, dtype=np.float64)
         votes = np.stack([tree.predict(X) for tree in self.trees_], axis=0)
         mean = votes.mean(axis=0)
         var = votes.var(axis=0)

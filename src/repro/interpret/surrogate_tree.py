@@ -3,8 +3,9 @@
 The third explanation style the ``iml`` package offers (after feature
 importance and effects): train an interpretable model on the *predictions*
 of the black-box model and report how faithfully it tracks them.  The
-surrogate here is a depth-capped CART whose paths convert directly into
-human-readable rules.
+surrogate here is a depth-capped CART fitted by the presorted breadth-first
+engine straight into a :class:`FlatTree`, whose pre-order leaf paths
+convert directly into human-readable rules.
 """
 
 from __future__ import annotations
@@ -14,8 +15,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.classifiers.base import Classifier
-from repro.classifiers.rules import path_to_rule
-from repro.classifiers.tree import FlatTree, TreeParams, build_tree, count_leaves
+from repro.classifiers.rules import Condition, Rule
+from repro.classifiers.tree import FlatTree, TreeParams, count_leaves, fit_flat_tree
 
 __all__ = ["SurrogateExplanation", "global_surrogate"]
 
@@ -24,35 +25,27 @@ __all__ = ["SurrogateExplanation", "global_surrogate"]
 class SurrogateExplanation:
     """A fitted surrogate tree plus its fidelity to the black box."""
 
-    root: object
+    flat: FlatTree
     n_classes: int
     fidelity: float          # agreement with black-box predictions
     n_leaves: int
     feature_names: list[str]
-    flat: FlatTree | None = None
-
-    def _flat(self) -> FlatTree:
-        if self.flat is None:
-            self.flat = FlatTree.from_node(self.root, self.n_classes)
-        return self.flat
 
     def predict(self, X: np.ndarray) -> np.ndarray:
-        proba = self._flat().predict_proba(np.asarray(X, dtype=np.float64))
+        proba = self.flat.predict_proba(np.asarray(X, dtype=np.float64))
         return np.argmax(proba, axis=1)
 
     def rules(self) -> list[str]:
-        """Every root-to-leaf path as a readable rule."""
+        """Every root-to-leaf path as a readable rule (pre-order = the
+        left-first depth-first order the recursive walk produced)."""
         collected: list[str] = []
-
-        def walk(node, path):
-            if node.is_leaf:
-                rule = path_to_rule(path, node)
-                collected.append(rule.describe(self.feature_names))
-                return
-            walk(node.left, path + [(node, True)])
-            walk(node.right, path + [(node, False)])
-
-        walk(self.root, [])
+        for leaf in np.flatnonzero(self.flat.feature < 0):
+            conditions = [
+                Condition(feature, "le" if went_left else "gt", threshold)
+                for feature, went_left, threshold in self.flat.path_conditions(int(leaf))
+            ]
+            rule = Rule(conditions, self.flat.counts[leaf].copy())
+            collected.append(rule.describe(self.feature_names))
         return collected
 
     def describe(self) -> str:
@@ -80,7 +73,7 @@ def global_surrogate(
     X = np.asarray(X, dtype=np.float64)
     black_box = model.predict(X)
     n_classes = int(model.n_classes_)
-    root = build_tree(
+    flat = fit_flat_tree(
         X,
         black_box,
         n_classes,
@@ -91,15 +84,13 @@ def global_surrogate(
             min_bucket=min_bucket,
         ),
     )
-    flat = FlatTree.from_node(root, n_classes)
     surrogate_pred = np.argmax(flat.predict_proba(X), axis=1)
     fidelity = float((surrogate_pred == black_box).mean())
     names = feature_names or [f"f{j}" for j in range(X.shape[1])]
     return SurrogateExplanation(
-        root=root,
+        flat=flat,
         n_classes=n_classes,
         fidelity=fidelity,
-        n_leaves=count_leaves(root),
+        n_leaves=count_leaves(flat),
         feature_names=list(names),
-        flat=flat,
     )

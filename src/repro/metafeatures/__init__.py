@@ -3,7 +3,15 @@
 from repro.metafeatures.extractor import (
     META_FEATURE_NAMES,
     MetaFeatures,
+    clear_metafeature_cache,
+    dataset_content_digest,
     extract_metafeatures,
 )
 
-__all__ = ["MetaFeatures", "extract_metafeatures", "META_FEATURE_NAMES"]
+__all__ = [
+    "MetaFeatures",
+    "extract_metafeatures",
+    "META_FEATURE_NAMES",
+    "dataset_content_digest",
+    "clear_metafeature_cache",
+]

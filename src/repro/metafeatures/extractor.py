@@ -5,6 +5,15 @@ the dataset characteristics. Examples of these features include number of
 instances, number of classes, skewness and kurtosis of numerical features,
 and symbols of categorical features."
 
+Extraction is memoized on a **content digest** of the dataset (bytes of
+``X``, ``y`` and the categorical mask): repeated ``POST /experiments`` on
+the same dataset — or any re-run over an identical training split — skips
+the skewness/kurtosis recomputation entirely.  Content addressing makes
+invalidation automatic (any changed cell changes the digest, so a stale
+entry can never be returned); a bounded LRU caps memory and
+:func:`clear_metafeature_cache` empties it explicitly.  The cached
+:class:`MetaFeatures` is a frozen dataclass, safe to share across threads.
+
 The exact 25 implemented here cover the four groups the paper names:
 
 * simple counts and ratios (instances, features, classes, numeric vs
@@ -22,6 +31,9 @@ similarity search compares positionally.
 
 from __future__ import annotations
 
+import hashlib
+import threading
+from collections import OrderedDict
 from dataclasses import dataclass, fields
 
 import numpy as np
@@ -29,7 +41,13 @@ from scipy import stats
 
 from repro.data.dataset import Dataset
 
-__all__ = ["MetaFeatures", "extract_metafeatures", "META_FEATURE_NAMES"]
+__all__ = [
+    "MetaFeatures",
+    "extract_metafeatures",
+    "META_FEATURE_NAMES",
+    "dataset_content_digest",
+    "clear_metafeature_cache",
+]
 
 
 @dataclass(frozen=True)
@@ -104,13 +122,61 @@ def _moment_stats(values: np.ndarray) -> tuple[float, float, float, float]:
     )
 
 
-def extract_metafeatures(ds: Dataset) -> MetaFeatures:
-    """Compute all 25 meta-features of a dataset.
+# Digest-keyed LRU of extraction results.  Size 128 covers a busy job
+# service cycling through a few dozen datasets; one entry is a 25-float
+# dataclass, so the cache is a few KB.
+_CACHE: "OrderedDict[str, MetaFeatures]" = OrderedDict()
+_CACHE_LOCK = threading.Lock()
+_CACHE_MAX = 128
+
+
+def dataset_content_digest(ds: Dataset) -> str:
+    """Content digest of everything extraction reads: X, y, the
+    categorical mask, and their shapes/dtypes (captured by the header
+    strings so transposed or re-typed data never collides)."""
+    h = hashlib.blake2b(digest_size=16)
+    X = np.ascontiguousarray(ds.X)
+    y = np.ascontiguousarray(ds.y)
+    mask = np.ascontiguousarray(ds.categorical_mask)
+    h.update(f"{X.shape}:{X.dtype}|{y.shape}:{y.dtype}|{mask.shape}".encode())
+    h.update(X.tobytes())
+    h.update(y.tobytes())
+    h.update(mask.tobytes())
+    return h.hexdigest()
+
+
+def clear_metafeature_cache() -> None:
+    """Drop every memoized extraction result."""
+    with _CACHE_LOCK:
+        _CACHE.clear()
+
+
+def extract_metafeatures(ds: Dataset, use_cache: bool = True) -> MetaFeatures:
+    """Compute all 25 meta-features of a dataset (content-digest memoized).
 
     NaN cells are ignored column-wise; datasets with no numeric (or no
     categorical) columns get zeros for the corresponding statistic block,
-    which keeps vectors comparable across heterogeneous corpora.
+    which keeps vectors comparable across heterogeneous corpora.  Pass
+    ``use_cache=False`` to force recomputation (the result still lands in
+    the cache).
     """
+    digest = dataset_content_digest(ds)
+    if use_cache:
+        with _CACHE_LOCK:
+            cached = _CACHE.get(digest)
+            if cached is not None:
+                _CACHE.move_to_end(digest)
+                return cached
+    result = _extract_metafeatures_uncached(ds)
+    with _CACHE_LOCK:
+        _CACHE[digest] = result
+        _CACHE.move_to_end(digest)
+        while len(_CACHE) > _CACHE_MAX:
+            _CACHE.popitem(last=False)
+    return result
+
+
+def _extract_metafeatures_uncached(ds: Dataset) -> MetaFeatures:
     n, d = ds.n_instances, ds.n_features
     numeric_idx = ds.numeric_indices
     cat_idx = ds.categorical_indices

@@ -99,21 +99,21 @@ def test_rpart_cp_controls_leaf_count():
     X, y = _noisy_binary()
     loose = RPart(cp=0.0001, minsplit=2, minbucket=1).fit(X, y)
     tight = RPart(cp=0.25, minsplit=2, minbucket=1).fit(X, y)
-    assert count_leaves(tight.root_) <= count_leaves(loose.root_)
+    assert count_leaves(tight.flat_) <= count_leaves(loose.flat_)
 
 
 def test_rpart_maxdepth_bounds_depth():
     from repro.classifiers.tree import tree_depth
     X, y = _noisy_binary()
     clf = RPart(maxdepth=2, cp=0.0001, minsplit=2, minbucket=1).fit(X, y)
-    assert tree_depth(clf.root_) <= 2
+    assert tree_depth(clf.flat_) <= 2
 
 
 def test_j48_pruned_smaller_than_unpruned():
     X, y = _noisy_binary(seed=4)
     pruned = J48(pruned="pruned", confidence=0.05).fit(X, y)
     unpruned = J48(pruned="unpruned").fit(X, y)
-    assert count_leaves(pruned.root_) <= count_leaves(unpruned.root_)
+    assert count_leaves(pruned.flat_) <= count_leaves(unpruned.flat_)
 
 
 def test_j48_invalid_pruned_flag():
