@@ -1,0 +1,217 @@
+"""SMAC-style candidate-loop benchmark for the fold-substrate cache.
+
+For each non-tree family this script replays what SMAC's intensification
+actually does on a fold: fit one configuration after another on the same
+fold's training matrix and score it on the same test block.  Two paths are
+timed:
+
+* **cold** — every fold array is an unregistered copy, so each candidate
+  rebuilds its standardization moments, Gram matrices, neighbour
+  orderings and sufficient statistics from scratch (a private substrate
+  per fit);
+* **cached** — the fold arrays are registered with
+  :func:`repro.classifiers.substrate.share_substrate`, exactly as
+  ``CrossValObjective`` does, so every candidate after the first reuses
+  the fold's substrate caches.
+
+Every candidate's ``predict_proba`` output is asserted **bit-identical**
+between the two paths before any number is reported.  Writes
+``BENCH_candidate_loop.json`` at the repo root.
+
+Run: ``PYTHONPATH=src python benchmarks/bench_candidate_loop.py``
+(``--rows-scale/--repeats`` shrink it for CI smoke runs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.classifiers import make_classifier
+from repro.classifiers.substrate import pin_block, share_substrate
+from repro.evaluation.resampling import stratified_kfold_indices
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_candidate_loop.json"
+
+
+def _family_workloads(rows_scale: float) -> dict:
+    """Per-family dataset shape and SMAC-style candidate pool.
+
+    Candidate pools mirror how SMAC explores each space: KNN sweeps ``k``;
+    SVM sweeps ``cost`` at a pinned kernel parameterisation (plus one
+    kernel change to exercise Gram-cache turnover); naive Bayes and the
+    discriminant family sweep their smoothing/shrinkage knobs.
+    """
+    s = rows_scale
+
+    def n(base):
+        return max(24, int(base * s))
+
+    return {
+        "knn": {
+            "rows": n(2600), "features": 24, "classes": 3,
+            "configs": [{"k": k} for k in (1, 2, 3, 5, 7, 10, 14, 19, 25, 32, 41, 50)],
+        },
+        "svm": {
+            "rows": n(900), "features": 240, "classes": 2,
+            "configs": (
+                # e1071-scale gamma (~1/d); SMAC sweeps cost at pinned
+                # kernel params far more often than it changes kernels.
+                [{"kernel": "radial", "gamma": 0.006, "cost": c}
+                 for c in np.logspace(-2, 2, 14)]
+                + [{"kernel": "polynomial", "gamma": 0.006, "degree": 3,
+                    "coef0": 0.5, "cost": c} for c in (0.1, 0.5, 1.0, 10.0)]
+            ),
+        },
+        "naive_bayes": {
+            "rows": n(2000), "features": 20, "classes": 3, "discrete": 8,
+            # klaR's usekernel=FALSE regime (the space default): SMAC
+            # sweeps the Laplace smoothing.  ``adjust > 0`` candidates pay
+            # a bandwidth-dependent KDE density per candidate on *both*
+            # paths (nothing to share), so they are benchmarked by the
+            # equivalence tests instead of diluting this loop.
+            "configs": [
+                {"laplace": lap, "adjust": 0.0}
+                for lap in (0.01, 0.05, 0.1, 0.5, 1.0, 1.5, 2.0, 4.0, 8.0, 10.0)
+            ],
+        },
+        # The discriminant family's candidate-dependent work (the t-method
+        # EM re-weighting, the per-candidate covariance solves in predict)
+        # cannot be shared, so these speedups are structurally modest —
+        # the cache removes the scatter/means recomputation only.
+        "lda": {
+            "rows": n(2400), "features": 60, "classes": 3,
+            "configs": (
+                [{"method": m} for m in ("moment", "mle")]
+                + [{"method": "t", "nu": nu} for nu in (3.0, 8.0)]
+            ),
+        },
+        "rda": {
+            "rows": n(2400), "features": 60, "classes": 3,
+            "configs": [
+                {"gamma": g, "lam": lam}
+                for g in (0.0, 0.25, 0.5, 0.75, 1.0)
+                for lam in (0.0, 0.5, 1.0)
+            ],
+        },
+    }
+
+
+def _make_problem(rows: int, features: int, classes: int, seed: int,
+                  discrete: int = 0):
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(scale=2.0, size=(classes, features))
+    y = rng.integers(0, classes, size=rows)
+    X = centers[y] + rng.normal(size=(rows, features))
+    for j in range(discrete):
+        X[:, j] = np.round(np.clip(X[:, j], -4, 4))
+    return X, y
+
+
+def _run_loop(family: str, configs, fold_data, classes: int, shared: bool):
+    """One full candidate loop; returns (seconds, predictions)."""
+    handles = []
+    if shared:
+        # The CrossValObjective pattern: substrates per train matrix,
+        # test blocks pinned as content-stable.
+        handles = [share_substrate(X_train) for X_train, _, _ in fold_data]
+        handles += [pin_block(X_test) for _, _, X_test in fold_data]
+    predictions = []
+    started = time.perf_counter()
+    for X_train, y_train, X_test in fold_data:
+        for config in configs:
+            model = make_classifier(family, **config)
+            model.fit(X_train, y_train, n_classes=classes)
+            predictions.append(model.predict_proba(X_test))
+    elapsed = time.perf_counter() - started
+    del handles
+    return elapsed, predictions
+
+
+def bench_family(family: str, spec: dict, n_folds: int, seed: int,
+                 repeats: int) -> dict:
+    X, y = _make_problem(
+        spec["rows"], spec["features"], spec["classes"], seed,
+        discrete=spec.get("discrete", 0),
+    )
+    folds = stratified_kfold_indices(y, n_folds, seed=seed)
+
+    def fresh_folds():
+        # New array objects every repeat: the cold path must never hit the
+        # registry, and the cached path must re-warm from scratch.
+        return [(X[tr].copy(), y[tr].copy(), X[te].copy()) for tr, te in folds]
+
+    cold_s, cached_s = np.inf, np.inf
+    reference = cached = None
+    for _ in range(max(1, repeats)):
+        elapsed, preds = _run_loop(
+            family, spec["configs"], fresh_folds(), spec["classes"], shared=False
+        )
+        if elapsed < cold_s:
+            cold_s, reference = elapsed, preds
+    for _ in range(max(1, repeats)):
+        elapsed, preds = _run_loop(
+            family, spec["configs"], fresh_folds(), spec["classes"], shared=True
+        )
+        if elapsed < cached_s:
+            cached_s, cached = elapsed, preds
+
+    for i, (a, b) in enumerate(zip(reference, cached)):
+        if not np.array_equal(a, b):
+            raise SystemExit(
+                f"{family}: cached predictions diverged from cold path "
+                f"(candidate evaluation {i})"
+            )
+    return {
+        "rows": spec["rows"], "features": spec["features"],
+        "classes": spec["classes"], "candidates": len(spec["configs"]),
+        "folds": n_folds, "repeats": repeats,
+        "cold_seconds": round(cold_s, 4),
+        "cached_seconds": round(cached_s, 4),
+        "speedup": round(cold_s / cached_s, 2),
+        "predictions_identical": True,
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows-scale", type=float, default=1.0,
+                        help="scale every family's row count (CI smoke: 0.05)")
+    parser.add_argument("--folds", type=int, default=3)
+    parser.add_argument("--repeats", type=int, default=2,
+                        help="timing repeats per path (best kept)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--families", nargs="*", default=None,
+                        help="subset of families to run")
+    args = parser.parse_args()
+
+    workloads = _family_workloads(args.rows_scale)
+    if args.families:
+        workloads = {k: v for k, v in workloads.items() if k in args.families}
+
+    results = {}
+    for family, spec in workloads.items():
+        print(f"{family}: {len(spec['configs'])} candidates x {args.folds} folds "
+              f"on {spec['rows']}x{spec['features']} ...")
+        results[family] = bench_family(
+            family, spec, args.folds, args.seed, args.repeats
+        )
+        print(json.dumps(results[family], indent=2))
+
+    payload = {
+        "benchmark": "candidate_loop_substrate_cache",
+        "families": results,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -21,6 +21,12 @@ from repro.classifiers.part import Part
 from repro.classifiers.plsda import PLSDA
 from repro.classifiers.random_forest import RandomForest
 from repro.classifiers.rpart import RPart
+from repro.classifiers.substrate import (
+    Substrate,
+    share_substrate,
+    shared_substrate_for,
+    substrate_for,
+)
 from repro.classifiers.svm import SVM
 from repro.exceptions import ConfigurationError
 
@@ -46,6 +52,10 @@ __all__ = [
     "CLASSIFIER_REGISTRY",
     "make_classifier",
     "classifier_names",
+    "Substrate",
+    "share_substrate",
+    "shared_substrate_for",
+    "substrate_for",
 ]
 
 #: Table 3 order: name -> class.

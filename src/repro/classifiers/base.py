@@ -11,6 +11,15 @@ All 15 classifiers of Table 3 implement this small contract:
 Hyperparameters are plain ``__init__`` keyword arguments, introspected by
 :meth:`Classifier.get_params` / :meth:`Classifier.clone`, which is what lets
 the SMAC layer treat every classifier uniformly as ``config -> model``.
+
+Implementations share hyperparameter-independent per-matrix work through
+two identity-keyed weak registries: the tree family through
+``tree/presort.py`` (one argsort per fold) and every other family through
+``classifiers/substrate.py`` (standardization moments, Gram matrices,
+neighbour orderings, sufficient statistics).  ``fit`` receives the exact
+array object the caller registered — ``check_Xy`` only converts when the
+input is not already a float64 matrix — which is what makes identity
+keying safe.
 """
 
 from __future__ import annotations

@@ -6,6 +6,12 @@ Table 3 rows:
   {moment, mle, t}; ``nu`` the t-estimator degrees of freedom).
 * RDA — 0 categorical + 2 numerical hyperparameters (Friedman's
   ``gamma`` and ``lambda`` regularisation mix).
+
+Class counts, class means, the pooled scatter (LDA) and the per-class
+scatter matrices (RDA) are hyperparameter-independent, so they live on
+the fold's :class:`~repro.classifiers.substrate.Substrate`; ``method``,
+``nu``, ``gamma`` and ``lambda`` candidates only redo the divisor,
+EM re-weighting or shrinkage arithmetic.
 """
 
 from __future__ import annotations
@@ -13,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.classifiers.base import Classifier
+from repro.classifiers.substrate import substrate_for
 from repro.exceptions import ConfigurationError
 
 __all__ = ["LDA", "RDA"]
@@ -59,17 +66,15 @@ class LDA(Classifier):
         X, y = self._start_fit(X, y, n_classes)
         n, d = X.shape
         k = self.n_classes_
-        counts = np.bincount(y, minlength=k).astype(np.float64)
+        sub = substrate_for(X)
+        counts = sub.class_counts(y, k).astype(np.float64)
         self._log_priors = np.log((counts + 1.0) / (n + k))
 
-        means = np.zeros((k, d))
-        for ki in range(k):
-            rows = y == ki
-            if rows.any():
-                means[ki] = X[rows].mean(axis=0)
-        self._means = means
-
         if self.method == "t":
+            # The EM re-weighting depends on ``nu``; only the moment
+            # starting point is shared.  The cached means are read-only
+            # and the refresh below mutates, so take a private copy.
+            means = sub.class_means(y, k).copy()
             nu = max(float(self.nu), 1.0)
             cov = np.eye(d)
             weights = np.ones(n)
@@ -93,10 +98,11 @@ class LDA(Classifier):
             centered = X - means[y]
             cov = (centered * weights[:, None]).T @ centered / max(weights.sum(), 1.0)
         else:
-            centered = X - means[y]
-            scatter = centered.T @ centered
+            means = sub.class_means(y, k)
+            scatter = sub.pooled_scatter(y, k)
             denominator = n if self.method == "mle" else max(n - k, 1)
             cov = scatter / denominator
+        self._means = means
         self._cov = cov
         return self
 
@@ -141,29 +147,14 @@ class RDA(Classifier):
         gamma = float(np.clip(self.gamma, 0.0, 1.0))
         lam = float(np.clip(self.lam, 0.0, 1.0))
 
-        counts = np.bincount(y, minlength=k).astype(np.float64)
+        stats = substrate_for(X).rda_stats(y, k)
+        counts = stats.counts.astype(np.float64)
         self._log_priors = np.log((counts + 1.0) / (n + k))
+        self._means = stats.means
 
-        means = np.zeros((k, d))
-        class_covs = []
-        pooled = np.zeros((d, d))
-        for ki in range(k):
-            rows = y == ki
-            if rows.any():
-                means[ki] = X[rows].mean(axis=0)
-                centered = X[rows] - means[ki]
-                scatter = centered.T @ centered
-                pooled += scatter
-                denom = max(int(rows.sum()) - 1, 1)
-                class_covs.append(scatter / denom)
-            else:
-                class_covs.append(np.eye(d))
-        pooled /= max(n - k, 1)
-
-        self._means = means
         self._covs = []
         for ki in range(k):
-            cov = (1 - lam) * class_covs[ki] + lam * pooled
+            cov = (1 - lam) * stats.class_covs[ki] + lam * stats.pooled
             cov = (1 - gamma) * cov + gamma * (np.trace(cov) / d) * np.eye(d)
             self._covs.append(cov)
         return self

@@ -8,6 +8,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.classifiers.base import Classifier
+from repro.classifiers.substrate import substrate_for
 
 __all__ = ["KNN"]
 
@@ -16,46 +17,39 @@ class KNN(Classifier):
     """Euclidean k-NN with internal standardisation.
 
     Probabilities are neighbourhood vote fractions; ties in distance are
-    broken by training order (stable argsort), matching FNN's behaviour.
+    broken by training order (stable top-k selection), matching FNN's
+    behaviour.
+
+    Standardisation moments and the neighbour ordering live on the fold's
+    :class:`~repro.classifiers.substrate.Substrate`: when the training
+    matrix is registered for sharing (``CrossValObjective`` does), every
+    ``k`` candidate after the first reuses one cached stable ordering per
+    test block — predicting becomes an O(1) slice plus one vectorized
+    ``bincount`` vote.
     """
 
     name = "knn"
 
     def __init__(self, k: int = 5):
         self.k = k
-        self._X: np.ndarray | None = None
         self._y: np.ndarray | None = None
-        self._mean: np.ndarray | None = None
-        self._scale: np.ndarray | None = None
+        self._sub = None
 
     def fit(self, X: np.ndarray, y: np.ndarray, n_classes: int | None = None):
         X, y = self._start_fit(X, y, n_classes)
-        self._mean = X.mean(axis=0)
-        scale = X.std(axis=0)
-        scale[scale < 1e-12] = 1.0
-        self._scale = scale
-        self._X = (X - self._mean) / scale
+        self._sub = substrate_for(X)
         self._y = y
         return self
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         X = self._check_predict_ready(X)
-        Z = (X - self._mean) / self._scale
         k = int(np.clip(self.k, 1, self._y.shape[0]))
-        # Squared Euclidean distances, chunked to bound memory.
-        out = np.zeros((X.shape[0], self.n_classes_), dtype=np.float64)
-        train_sq = (self._X**2).sum(axis=1)
-        chunk = 256
-        for start in range(0, Z.shape[0], chunk):
-            block = Z[start : start + chunk]
-            d2 = (
-                (block**2).sum(axis=1)[:, None]
-                - 2.0 * block @ self._X.T
-                + train_sq[None, :]
-            )
-            nearest = np.argsort(d2, axis=1, kind="stable")[:, :k]
-            votes = self._y[nearest]
-            for i in range(block.shape[0]):
-                counts = np.bincount(votes[i], minlength=self.n_classes_)
-                out[start + i] = counts / counts.sum()
-        return out
+        nearest = self._sub.neighbors(X, k)            # (m, k) training indices
+        votes = self._y[nearest]
+        m = X.shape[0]
+        rows = np.arange(m, dtype=np.int64)[:, None]
+        counts = np.bincount(
+            (rows * self.n_classes_ + votes).ravel(),
+            minlength=m * self.n_classes_,
+        ).reshape(m, self.n_classes_)
+        return counts / counts.sum(axis=1, keepdims=True)

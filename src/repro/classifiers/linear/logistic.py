@@ -12,6 +12,7 @@ import numpy as np
 from scipy import optimize
 
 from repro.classifiers.base import Classifier
+from repro.classifiers.substrate import substrate_for
 
 __all__ = ["softmax", "MultinomialLogisticRegression"]
 
@@ -51,12 +52,11 @@ class MultinomialLogisticRegression(Classifier):
         k = self.n_classes_
 
         # Standardise internally; de-standardisation is folded into the
-        # learned weights so predict needs no extra state.
-        self._mean = X.mean(axis=0)
-        scale = X.std(axis=0)
-        scale[scale < 1e-12] = 1.0
-        self._scale = scale
-        Z = (X - self._mean) / scale
+        # learned weights so predict needs no extra state.  Moments and Z
+        # come from the (possibly fold-shared) substrate cache.
+        sub = substrate_for(X)
+        self._mean, self._scale = sub.moments()
+        Z = sub.standardized()
 
         onehot = np.zeros((n, k), dtype=np.float64)
         onehot[np.arange(n), y] = 1.0

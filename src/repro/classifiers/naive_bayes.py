@@ -7,6 +7,12 @@ mirroring ``usekernel = FALSE``).
 
 Columns that look categorical (few distinct integer values in training) use
 Laplace-smoothed frequency tables; the rest use Gaussian or KDE likelihoods.
+
+All sufficient statistics — column-level detection, raw frequency tables
+(built with one vectorized ``np.add.at`` scatter), per-class moments, KDE
+sample groups and Silverman factors — are hyperparameter-independent and
+live on the fold's :class:`~repro.classifiers.substrate.Substrate`; a
+``laplace``/``adjust`` candidate only redoes the smoothing arithmetic.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.classifiers.base import Classifier
+from repro.classifiers.substrate import substrate_for
 
 __all__ = ["NaiveBayes"]
 
@@ -37,46 +44,41 @@ class NaiveBayes(Classifier):
         self._stds: np.ndarray | None = None
         self._kde_samples: list[dict[int, np.ndarray]] = []
         self._bandwidths: np.ndarray | None = None
+        self._sub = None
+        self._stats = None
 
     def fit(self, X: np.ndarray, y: np.ndarray, n_classes: int | None = None):
         X, y = self._start_fit(X, y, n_classes)
         k = self.n_classes_
-        counts = np.bincount(y, minlength=k).astype(np.float64)
+        self._sub = substrate_for(X)
+        stats = self._sub.nb_stats(y, k, _MAX_DISCRETE_LEVELS)
+        self._stats = stats
+
+        counts = stats.counts.astype(np.float64)
         self._priors = (counts + 1.0) / (counts.sum() + k)
 
-        self._discrete_cols = []
+        self._discrete_cols = list(stats.discrete_cols)
         self._tables = {}
-        for j in range(X.shape[1]):
-            col = X[:, j]
-            values = np.unique(col)
-            if values.size <= _MAX_DISCRETE_LEVELS and np.allclose(values, np.round(values)):
-                self._discrete_cols.append(j)
-                levels = values.astype(np.int64)
-                table = np.zeros((k, levels.size), dtype=np.float64)
-                level_of = {v: i for i, v in enumerate(levels)}
-                for xi, yi in zip(col.astype(np.int64), y):
-                    table[yi, level_of[xi]] += 1.0
-                table += max(float(self.laplace), 1e-9)
-                table /= table.sum(axis=1, keepdims=True)
-                self._tables[j] = (levels.astype(np.float64), table)
+        laplace = max(float(self.laplace), 1e-9)
+        for j in stats.discrete_cols:
+            levels, raw = stats.tables[j]
+            table = raw + laplace
+            table /= table.sum(axis=1, keepdims=True)
+            self._tables[j] = (levels, table)
 
-        continuous = [j for j in range(X.shape[1]) if j not in self._discrete_cols]
-        self._means = np.zeros((k, len(continuous)))
-        self._stds = np.ones((k, len(continuous)))
-        self._continuous_cols = continuous
-        self._kde_samples = [dict() for _ in range(k)]
-        bandwidths = np.zeros((k, len(continuous)))
-        for ki in range(k):
-            rows = np.flatnonzero(y == ki)
-            for cj, j in enumerate(continuous):
-                col = X[rows, j] if rows.size else np.zeros(1)
-                self._means[ki, cj] = col.mean() if col.size else 0.0
-                std = col.std() if col.size > 1 else 0.0
-                self._stds[ki, cj] = max(std, 1e-6)
-                if self.adjust > 0 and rows.size:
-                    self._kde_samples[ki][cj] = col.copy()
-                    silverman = 1.06 * max(std, 1e-6) * max(col.size, 1) ** (-0.2)
-                    bandwidths[ki, cj] = max(silverman * float(self.adjust), 1e-6)
+        self._continuous_cols = list(stats.continuous_cols)
+        self._means = stats.means
+        self._stds = stats.stds
+        if self.adjust > 0:
+            self._kde_samples = [dict(per_class) for per_class in stats.samples]
+            bandwidths = np.zeros_like(stats.silverman)
+            fitted = stats.silverman > 0  # classes with training rows
+            bandwidths[fitted] = np.maximum(
+                stats.silverman[fitted] * float(self.adjust), 1e-6
+            )
+        else:
+            self._kde_samples = [dict() for _ in range(k)]
+            bandwidths = np.zeros_like(stats.silverman)
         self._bandwidths = bandwidths
         return self
 
@@ -92,27 +94,35 @@ class NaiveBayes(Classifier):
             idx = np.clip(idx, 0, levels.size - 1)
             known = np.abs(levels[idx] - col) < 1e-9
             floor = 1.0 / (table.shape[1] + 1)
-            for ki in range(k):
-                probs = np.where(known, table[ki, idx], floor)
-                log_lik[:, ki] += np.log(probs)
+            # One gather + log over all classes at once; values per class
+            # match the scalar-probability path elementwise.
+            probs = np.where(known[None, :], table[:, idx], floor)
+            log_lik += np.log(probs).T
 
         cols = self._continuous_cols
         if cols:
-            block = X[:, cols]
-            for ki in range(k):
-                if self.adjust > 0 and self._kde_samples[ki]:
-                    for cj in range(len(cols)):
-                        samples = self._kde_samples[ki].get(cj)
-                        if samples is None or samples.size == 0:
-                            continue
-                        h = self._bandwidths[ki, cj]
-                        diff = (block[:, cj : cj + 1] - samples[None, :]) / h
-                        dens = np.exp(-0.5 * diff**2).mean(axis=1) / (h * np.sqrt(2 * np.pi))
-                        log_lik[:, ki] += np.log(np.clip(dens, 1e-12, None))
-                else:
-                    mu, sd = self._means[ki], self._stds[ki]
-                    z = (block - mu) / sd
-                    log_lik[:, ki] += (-0.5 * z**2 - np.log(sd * np.sqrt(2 * np.pi))).sum(axis=1)
+            kde_classes = [
+                ki for ki in range(k)
+                if self.adjust > 0 and self._kde_samples[ki]
+            ]
+            gauss_classes = [ki for ki in range(k) if ki not in kde_classes]
+            if gauss_classes:
+                # The Gaussian log-density totals depend only on the
+                # cached per-class moments, so every candidate sharing the
+                # fold reuses one (class, row) matrix per test block.
+                dens = self._sub.nb_gaussian_loglik(X, self._stats)
+                log_lik[:, gauss_classes] += dens[gauss_classes].T
+            if kde_classes:
+                block = X[:, cols]
+            for ki in kde_classes:
+                for cj in range(len(cols)):
+                    samples = self._kde_samples[ki].get(cj)
+                    if samples is None or samples.size == 0:
+                        continue
+                    h = self._bandwidths[ki, cj]
+                    diff = (block[:, cj : cj + 1] - samples[None, :]) / h
+                    dens = np.exp(-0.5 * diff**2).mean(axis=1) / (h * np.sqrt(2 * np.pi))
+                    log_lik[:, ki] += np.log(np.clip(dens, 1e-12, None))
         return log_lik
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:

@@ -14,6 +14,7 @@ from scipy import optimize
 
 from repro.classifiers.base import Classifier
 from repro.classifiers.linear import softmax
+from repro.classifiers.substrate import substrate_for
 
 __all__ = ["NeuralNet"]
 
@@ -42,11 +43,11 @@ class NeuralNet(Classifier):
         k = self.n_classes_
         h = max(1, int(self.size))
 
-        self._mean = X.mean(axis=0)
-        scale = X.std(axis=0)
-        scale[scale < 1e-12] = 1.0
-        self._scale = scale
-        Z = (X - self._mean) / scale
+        # Standardization moments and Z are hyperparameter-independent;
+        # every ``size`` candidate on a shared fold reuses them.
+        sub = substrate_for(X)
+        self._mean, self._scale = sub.moments()
+        Z = sub.standardized()
 
         onehot = np.zeros((n, k))
         onehot[np.arange(n), y] = 1.0

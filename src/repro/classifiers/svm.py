@@ -8,6 +8,16 @@ Binary subproblems are solved with a simplified SMO (Platt's heuristics:
 sweep for KKT violators, partner chosen by maximum ``|E_i - E_j|``);
 multi-class uses one-vs-one voting like libsvm/e1071.  Inputs are
 standardised internally, matching e1071's ``scale = TRUE`` default.
+
+The kernel work is hyperparameter-independent given the kernel
+parameters, so it lives on the fold's
+:class:`~repro.classifiers.substrate.Substrate`: one full-fold Gram per
+``(kernel, gamma, degree, coef0)`` that every ``cost`` candidate reuses
+and every one-vs-one pair slices by row/column index, plus one cached
+``K(test, train)`` cross-Gram per test block on the predict side.  The
+SMO error vector is maintained by rank-one incremental updates
+(``errors += Δαi·si·K[i] + Δαj·sj·K[j] + Δb``) instead of a full O(n²)
+recompute per pair update.
 """
 
 from __future__ import annotations
@@ -15,26 +25,17 @@ from __future__ import annotations
 import numpy as np
 
 from repro.classifiers.base import Classifier
+from repro.classifiers.substrate import (
+    kernel_matrix,
+    shared_substrate_for,
+    substrate_for,
+)
 from repro.exceptions import ConfigurationError
 
 __all__ = ["SVM"]
 
-
-def _kernel_matrix(
-    A: np.ndarray, B: np.ndarray, kernel: str, gamma: float, degree: int, coef0: float
-) -> np.ndarray:
-    inner = A @ B.T
-    if kernel == "linear":
-        return inner
-    if kernel == "radial":
-        a2 = (A**2).sum(axis=1)[:, None]
-        b2 = (B**2).sum(axis=1)[None, :]
-        return np.exp(-gamma * np.clip(a2 + b2 - 2 * inner, 0.0, None))
-    if kernel == "polynomial":
-        return (gamma * inner + coef0) ** degree
-    if kernel == "sigmoid":
-        return np.tanh(gamma * inner + coef0)
-    raise ConfigurationError(f"unknown kernel {kernel!r}")
+# Re-exported for callers that imported the kernel from here previously.
+_kernel_matrix = kernel_matrix
 
 
 class _BinarySVM:
@@ -52,55 +53,111 @@ class _BinarySVM:
         alpha = np.zeros(n)
         b = 0.0
         C = self.cost
+        if n < 2:
+            # A single-row subproblem has no pair to optimise; leave the
+            # flat solution (decision = b = 0) instead of asking the rng
+            # for a partner from an empty range.
+            self.alpha = alpha
+            self.b = b
+            return
 
-        def f(i: int) -> float:
-            return float((alpha * sign) @ K[:, i] + b)
-
+        tol = self.tol
+        # Hot scalars are read as Python floats (same IEEE binary64
+        # arithmetic, far cheaper per access than numpy scalar views).
+        sign_l = sign.tolist()
+        diag_l = K.diagonal().tolist()
+        # alpha = 0, b = 0 makes the initial error vector exactly -sign;
+        # from here every pair update adjusts it with two rank-one terms
+        # and the bias delta instead of recomputing the full matvec.
+        errors = -sign.astype(np.float64)
         passes = 0
         sweeps = 0
+        # The |Ei - Ej|-maximising partner is one of the two error
+        # extremes; their indices stay valid until a pair update touches
+        # the error vector, so they are computed lazily and invalidated
+        # on change instead of re-scanned for every KKT violator.
+        jmax = jmin = -1
         while passes < 3 and sweeps < self.max_passes:
             sweeps += 1
             changed = 0
-            errors = (alpha * sign) @ K + b - sign
-            for i in range(n):
-                Ei = errors[i]
-                if not (
-                    (sign[i] * Ei < -self.tol and alpha[i] < C)
-                    or (sign[i] * Ei > self.tol and alpha[i] > 0)
-                ):
-                    continue
+            # Sweep for KKT violators in index order.  The test depends
+            # only on (errors, alpha), which change exclusively at pair
+            # updates, so the remaining violators are found with one
+            # vectorized scan per update instead of a Python-level scalar
+            # check per training row — the processed index sequence is
+            # exactly the scalar sweep's.
+            scan_from = 0
+            queue: list[int] = []
+            ptr = 0
+            dirty = True
+            while True:
+                if dirty:
+                    se = sign[scan_from:] * errors[scan_from:]
+                    a = alpha[scan_from:]
+                    mask = ((se < -tol) & (a < C)) | ((se > tol) & (a > 0))
+                    queue = (np.flatnonzero(mask) + scan_from).tolist()
+                    ptr = 0
+                    dirty = False
+                if ptr >= len(queue):
+                    break
+                i = queue[ptr]
+                ptr += 1
+                scan_from = i + 1
+                Ei = errors.item(i)
+                si = sign_l[i]
+                ai_old = alpha.item(i)
                 # Second-choice heuristic: maximise |Ei - Ej|.
-                j = int(np.argmax(np.abs(errors - Ei)))
+                if jmax < 0:
+                    jmax = int(np.argmax(errors))
+                    jmin = int(np.argmin(errors))
+                dmax = errors.item(jmax) - Ei
+                dmin = Ei - errors.item(jmin)
+                if dmax > dmin:
+                    j = jmax
+                elif dmin > dmax:
+                    j = jmin
+                else:
+                    j = jmax if jmax < jmin else jmin
                 if j == i:
                     j = int(rng.integers(0, n - 1))
                     j = j if j < i else j + 1
-                Ej = errors[j]
+                Ej = errors.item(j)
+                sj = sign_l[j]
+                aj_old = alpha.item(j)
 
-                ai_old, aj_old = alpha[i], alpha[j]
-                if sign[i] != sign[j]:
+                if si != sj:
                     low, high = max(0.0, aj_old - ai_old), min(C, C + aj_old - ai_old)
                 else:
                     low, high = max(0.0, ai_old + aj_old - C), min(C, ai_old + aj_old)
                 if high - low < 1e-12:
                     continue
-                eta = 2.0 * K[i, j] - K[i, i] - K[j, j]
+                kii = diag_l[i]
+                kjj = diag_l[j]
+                kij = K.item(i, j)
+                eta = 2.0 * kij - kii - kjj
                 if eta >= -1e-12:
                     continue
-                aj = np.clip(aj_old - sign[j] * (Ei - Ej) / eta, low, high)
+                aj = min(max(aj_old - sj * (Ei - Ej) / eta, low), high)
                 if abs(aj - aj_old) < 1e-7:
                     continue
-                ai = ai_old + sign[i] * sign[j] * (aj_old - aj)
-                alpha[i], alpha[j] = ai, aj
+                ai = ai_old + si * sj * (aj_old - aj)
+                alpha[i] = ai
+                alpha[j] = aj
 
-                b1 = b - Ei - sign[i] * (ai - ai_old) * K[i, i] - sign[j] * (aj - aj_old) * K[i, j]
-                b2 = b - Ej - sign[i] * (ai - ai_old) * K[i, j] - sign[j] * (aj - aj_old) * K[j, j]
+                di = si * (ai - ai_old)
+                dj = sj * (aj - aj_old)
+                b1 = b - Ei - di * kii - dj * kij
+                b2 = b - Ej - di * kij - dj * kjj
                 if 0 < ai < C:
-                    b = b1
+                    b_new = b1
                 elif 0 < aj < C:
-                    b = b2
+                    b_new = b2
                 else:
-                    b = 0.5 * (b1 + b2)
-                errors = (alpha * sign) @ K + b - sign
+                    b_new = 0.5 * (b1 + b2)
+                errors += di * K[i] + dj * K[j] + (b_new - b)
+                b = b_new
+                jmax = jmin = -1
+                dirty = True
                 changed += 1
             passes = passes + 1 if changed == 0 else 0
         self.alpha = alpha
@@ -138,18 +195,22 @@ class SVM(Classifier):
         self._mean: np.ndarray | None = None
         self._scale: np.ndarray | None = None
         self._gamma_eff: float = 1.0
+        self._sub = None
 
     def fit(self, X: np.ndarray, y: np.ndarray, n_classes: int | None = None):
         X, y = self._start_fit(X, y, n_classes)
         rng = np.random.default_rng(self.seed)
 
-        self._mean = X.mean(axis=0)
-        scale = X.std(axis=0)
-        scale[scale < 1e-12] = 1.0
-        self._scale = scale
-        Z = (X - self._mean) / scale
+        self._sub = substrate_for(X)
+        self._mean, self._scale = self._sub.moments()
         # e1071 default gamma: 1 / n_features.
         self._gamma_eff = float(self.gamma) if self.gamma > 0 else 1.0 / X.shape[1]
+
+        # One kernel evaluation per (kernel, gamma, degree, coef0): each
+        # one-vs-one pair slices its block out of the full-fold Gram.
+        K_full = self._sub.gram(
+            self.kernel, self._gamma_eff, int(self.degree), float(self.coef0)
+        )
 
         self._pairs = []
         present = [int(k) for k in np.unique(y)]
@@ -157,30 +218,37 @@ class SVM(Classifier):
             for idx_b in range(idx_a + 1, len(present)):
                 ka, kb = present[idx_a], present[idx_b]
                 rows = np.flatnonzero((y == ka) | (y == kb))
-                Zp = Z[rows]
                 sign = np.where(y[rows] == ka, 1.0, -1.0)
-                K = _kernel_matrix(
-                    Zp, Zp, self.kernel, self._gamma_eff, int(self.degree), float(self.coef0)
-                )
+                # Binary problems cover every row: the SMO only reads K,
+                # so hand it the cached Gram directly instead of copying
+                # the whole n x n matrix through np.ix_.
+                if rows.size == K_full.shape[0]:
+                    K = K_full
+                else:
+                    K = K_full[np.ix_(rows, rows)]
                 machine = _BinarySVM(cost=max(float(self.cost), 1e-6))
                 machine.fit(K, sign, rng)
-                self._pairs.append((ka, kb, machine, Zp, sign))
+                self._pairs.append((ka, kb, machine, rows, sign))
+        if shared_substrate_for(X) is not self._sub:
+            # One-shot fit on a private substrate: predict only needs the
+            # moments and standardized matrix, so do not let a fitted
+            # model pin an O(n²) Gram for its whole lifetime.
+            self._sub.release_grams()
         return self
 
     def decision_votes(self, X: np.ndarray) -> np.ndarray:
         """One-vs-one vote counts per class."""
         X = self._check_predict_ready(X)
-        Z = (X - self._mean) / self._scale
         votes = np.zeros((X.shape[0], self.n_classes_), dtype=np.float64)
         if not self._pairs:
             # Single class seen in training.
             votes[:, int(self.classes_seen_[0])] = 1.0
             return votes
-        for ka, kb, machine, Zp, sign in self._pairs:
-            K_test = _kernel_matrix(
-                Z, Zp, self.kernel, self._gamma_eff, int(self.degree), float(self.coef0)
-            )
-            decision = machine.decision(K_test, sign)
+        K_test = self._sub.cross_gram(
+            X, self.kernel, self._gamma_eff, int(self.degree), float(self.coef0)
+        )
+        for ka, kb, machine, rows, sign in self._pairs:
+            decision = machine.decision(K_test[:, rows], sign)
             votes[decision >= 0, ka] += 1.0
             votes[decision < 0, kb] += 1.0
         return votes

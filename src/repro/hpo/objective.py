@@ -14,6 +14,7 @@ from typing import Callable
 import numpy as np
 
 from repro.classifiers.base import Classifier
+from repro.classifiers.substrate import pin_block, share_substrate
 from repro.classifiers.tree.presort import share_presort
 from repro.evaluation.metrics import error_rate
 from repro.evaluation.resampling import stratified_kfold_indices
@@ -72,6 +73,20 @@ class CrossValObjective:
         # exactly as long as this objective does (weak registry).
         self._presort_handles = [
             share_presort(fold[0]) for fold in self._fold_data
+        ]
+        # The non-tree twin: one substrate per fold so SVM/KNN/naive
+        # Bayes/discriminant/linear candidates share standardization
+        # moments, Gram matrices, neighbour orderings and sufficient
+        # statistics.  Lazy like the presorts, and alive exactly as long
+        # as this objective (weak registry).
+        self._substrate_handles = [
+            share_substrate(fold[0]) for fold in self._fold_data
+        ]
+        # Test blocks are owned by this objective and never mutated, so
+        # declare them content-stable: predict-side caches (neighbour
+        # orderings, cross-Grams, NB densities) may key on their identity.
+        self._pin_handles = [
+            pin_block(fold[2]) for fold in self._fold_data
         ]
         self._cache: dict[tuple, dict[int, float]] = {}
         self.n_fold_evaluations = 0

@@ -1,0 +1,327 @@
+"""Equivalence suite for the shared fold-substrate cache.
+
+The contract under test: fitting on a *registered* training matrix (warm
+substrate, caches shared across candidates) produces bit-identical
+``predict_proba`` output to fitting on an unregistered copy (cold path,
+private substrate).  Exercised across the non-tree families, input
+dtypes, and degenerate folds (single class, constant columns, n=1).
+"""
+
+from __future__ import annotations
+
+import gc
+import threading
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classifiers import make_classifier
+from repro.classifiers.substrate import (
+    Substrate,
+    block_pinned,
+    pin_block,
+    share_substrate,
+    shared_substrate_for,
+    stable_topk,
+    substrate_for,
+)
+from repro.classifiers.svm import _BinarySVM
+
+#: (family, [candidate configs]) — at least two candidates so the second
+#: warm fit actually hits the caches the first one built.
+FAMILIES = [
+    ("knn", [{"k": 1}, {"k": 3}, {"k": 7}, {"k": 50}]),
+    ("svm", [
+        {"kernel": "radial", "cost": 0.5},
+        {"kernel": "radial", "cost": 5.0},
+        {"kernel": "linear", "cost": 1.0},
+        {"kernel": "polynomial", "cost": 2.0, "degree": 2, "coef0": 0.5},
+    ]),
+    ("naive_bayes", [
+        {"laplace": 0.5, "adjust": 0.0},
+        {"laplace": 3.0, "adjust": 0.0},
+        {"laplace": 1.0, "adjust": 1.0},
+    ]),
+    ("lda", [
+        {"method": "moment"},
+        {"method": "mle"},
+        {"method": "t", "nu": 4.0},
+    ]),
+    ("rda", [
+        {"gamma": 0.0, "lam": 1.0},
+        {"gamma": 0.3, "lam": 0.2},
+        {"gamma": 1.0, "lam": 0.0},
+    ]),
+    ("neural_net", [{"size": 2, "max_iter": 10}, {"size": 3, "max_iter": 10}]),
+    ("lmt", [{"iterations": 10}]),
+]
+
+FAMILY_IDS = [name for name, _ in FAMILIES]
+
+
+def _make_problem(seed, n=24, d=4, k=3, n_discrete=1, constant_col=False,
+                  single_class=False, n_test=10):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    X_test = rng.normal(size=(n_test, d))
+    for j in range(min(n_discrete, d)):
+        X[:, j] = rng.integers(0, 4, size=n).astype(np.float64)
+        X_test[:, j] = rng.integers(0, 5, size=n_test).astype(np.float64)
+    if constant_col:
+        X[:, -1] = 2.5
+        X_test[:, -1] = 2.5
+    if single_class:
+        y = np.zeros(n, dtype=np.int64)
+    else:
+        y = rng.integers(0, k, size=n)
+        y[:k] = np.arange(k)  # every class present
+    return X, y, X_test
+
+
+def _assert_warm_equals_cold(name, configs, X, y, k, X_test):
+    """Fit every candidate warm (shared substrate) and cold (copy); the
+    predictions must match bit for bit."""
+    X_cold = X.copy()
+    X_test_cold = X_test.copy()
+    handle = share_substrate(X)
+    pin = pin_block(X_test)  # the objective pins its fold test blocks
+    assert shared_substrate_for(X) is handle
+    try:
+        for params in configs:
+            warm = make_classifier(name, **params).fit(X, y, n_classes=k)
+            cold = make_classifier(name, **params).fit(X_cold, y, n_classes=k)
+            p_warm = warm.predict_proba(X_test)
+            p_cold = cold.predict_proba(X_test_cold)
+            assert np.array_equal(p_warm, p_cold), (name, params)
+            # Repeat predicts on the same block hit the per-block caches.
+            assert np.array_equal(warm.predict_proba(X_test), p_warm)
+    finally:
+        del handle, pin
+
+
+# ------------------------------------------------------------- hypothesis
+@settings(max_examples=12, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    n=st.integers(10, 40),
+    d=st.integers(1, 5),
+    k=st.integers(2, 3),
+    n_discrete=st.integers(0, 2),
+    constant_col=st.booleans(),
+    family=st.sampled_from(FAMILY_IDS),
+)
+def test_cached_equals_cold_predict_proba(seed, n, d, k, n_discrete,
+                                          constant_col, family):
+    configs = dict(FAMILIES)[family]
+    X, y, X_test = _make_problem(
+        seed, n=n, d=d, k=k, n_discrete=n_discrete, constant_col=constant_col
+    )
+    _assert_warm_equals_cold(family, configs, X, y, k, X_test)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    seed=st.integers(0, 10_000),
+    m=st.integers(1, 12),
+    n=st.integers(1, 40),
+    k=st.integers(1, 45),
+    levels=st.integers(1, 5),
+)
+def test_stable_topk_matches_stable_argsort(seed, m, n, k, levels):
+    # Few distinct values force heavy distance ties; the selection must
+    # break them by index exactly as a stable full argsort does.
+    rng = np.random.default_rng(seed)
+    d2 = rng.integers(0, levels, size=(m, n)).astype(np.float64)
+    k = min(k, n)
+    reference = np.argsort(d2, axis=1, kind="stable")[:, :k]
+    assert np.array_equal(stable_topk(d2, k), reference)
+
+
+# ------------------------------------------------------- degenerate folds
+@pytest.mark.parametrize("name,configs", FAMILIES, ids=FAMILY_IDS)
+def test_single_class_fold(name, configs):
+    X, y, X_test = _make_problem(7, n=12, d=3, single_class=True)
+    _assert_warm_equals_cold(name, configs, X, y, 3, X_test)
+
+
+@pytest.mark.parametrize(
+    "name,configs",
+    [(n, c) for n, c in FAMILIES if n != "lmt"],
+    ids=[n for n, _ in FAMILIES if n != "lmt"],
+)
+def test_single_row_fold(name, configs):
+    X, y, X_test = _make_problem(11, n=1, d=3, single_class=True)
+    _assert_warm_equals_cold(name, configs, X, y, 2, X_test)
+
+
+@pytest.mark.parametrize("name,configs", FAMILIES, ids=FAMILY_IDS)
+def test_all_columns_constant(name, configs):
+    X, y, X_test = _make_problem(13, n=14, d=2, n_discrete=0)
+    X[:] = 1.0
+    X_test[:] = 1.0
+    _assert_warm_equals_cold(name, configs, X, y, 3, X_test)
+
+
+@pytest.mark.parametrize("name,configs", FAMILIES, ids=FAMILY_IDS)
+def test_float32_input_matches_float64(name, configs):
+    # float32 inputs are converted per call (no stable identity, so no
+    # sharing); the result must equal fitting on the upcast float64 copy.
+    X, y, X_test = _make_problem(17, n=16, d=3)
+    X32 = X.astype(np.float32)
+    Xt32 = X_test.astype(np.float32)
+    X64 = X32.astype(np.float64)
+    Xt64 = Xt32.astype(np.float64)
+    for params in configs:
+        a = make_classifier(name, **params).fit(X32, y, n_classes=3)
+        b = make_classifier(name, **params).fit(X64, y, n_classes=3)
+        assert np.array_equal(a.predict_proba(Xt32), b.predict_proba(Xt64))
+
+
+# ------------------------------------------------------------- SVM guards
+def test_binary_svm_single_row_does_not_raise():
+    machine = _BinarySVM(cost=1.0)
+    machine.fit(np.array([[1.0]]), np.array([1.0]), np.random.default_rng(0))
+    assert machine.alpha.shape == (1,)
+    assert machine.b == 0.0
+
+
+def test_svm_closure_removed():
+    import inspect
+
+    from repro.classifiers import svm as svm_module
+
+    source = inspect.getsource(svm_module._BinarySVM.fit)
+    assert "def f(" not in source
+
+
+# ---------------------------------------------------------------- registry
+def test_registry_weakness_and_identity():
+    X = np.random.default_rng(0).normal(size=(10, 3))
+    entry = share_substrate(X)
+    assert share_substrate(X) is entry
+    assert substrate_for(X) is entry
+    del entry
+    gc.collect()
+    assert shared_substrate_for(X) is None
+    # A miss hands out a private instance per call.
+    a, b = substrate_for(X), substrate_for(X)
+    assert a is not b
+
+
+def test_registry_skips_unconvertible_identity():
+    X32 = np.random.default_rng(0).normal(size=(6, 2)).astype(np.float32)
+    entry = share_substrate(X32)
+    assert isinstance(entry, Substrate)
+    assert shared_substrate_for(X32) is None
+
+
+def test_gram_cache_eviction_stays_correct():
+    X = np.random.default_rng(1).normal(size=(12, 3))
+    sub = Substrate(X)
+    gammas = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.1]
+    grams = [sub.gram("radial", g, 3, 0.0) for g in gammas]
+    fresh = Substrate(X.copy())
+    for g, K in zip(gammas, grams):
+        assert np.array_equal(K, fresh.gram("radial", g, 3, 0.0))
+
+
+def test_neighbor_cache_grows_and_slices():
+    rng = np.random.default_rng(2)
+    X = rng.normal(size=(120, 4))
+    X_test = rng.normal(size=(9, 4))
+    pin = pin_block(X_test)
+    assert block_pinned(X_test)
+    sub = Substrate(X)
+    small = sub.neighbors(X_test, 3)
+    deep = sub.neighbors(X_test, 100)      # beyond the cached floor of 50
+    again = sub.neighbors(X_test, 3)
+    assert np.array_equal(small, deep[:, :3])
+    assert np.array_equal(small, again)
+    cold = Substrate(X.copy()).neighbors(X_test, 100)
+    assert np.array_equal(deep, cold)
+    del pin
+    gc.collect()
+    assert not block_pinned(X_test)
+
+
+@pytest.mark.parametrize("name,params", [
+    ("knn", {"k": 3}),
+    ("svm", {"kernel": "radial", "cost": 1.0}),
+    ("naive_bayes", {"laplace": 1.0}),
+])
+def test_unpinned_predict_buffer_mutation_is_safe(name, params):
+    # A caller-owned buffer refilled in place between predicts must not
+    # hit a stale identity-keyed cache (the seed recomputed per call).
+    X, y, X_test = _make_problem(29, n=30, d=4)
+    handle = share_substrate(X)
+    model = make_classifier(name, **params).fit(X, y, n_classes=3)
+    other = np.random.default_rng(31).normal(size=X_test.shape)
+    buffer = X_test.copy()
+    model.predict_proba(buffer)
+    buffer[:] = other
+    mutated = model.predict_proba(buffer)
+    fresh = model.predict_proba(other.copy())
+    assert np.array_equal(mutated, fresh)
+    del handle
+
+
+def test_private_svm_substrate_releases_gram():
+    X, y, _ = _make_problem(37, n=25, d=3)
+    model = make_classifier("svm", kernel="radial", cost=1.0).fit(X, y, n_classes=3)
+    assert not model._sub._grams          # private fit drops the O(n^2) state
+    handle = share_substrate(X)
+    shared = make_classifier("svm", kernel="radial", cost=1.0).fit(X, y, n_classes=3)
+    assert shared._sub is handle and shared._sub._grams
+    del handle
+
+
+def test_cached_arrays_are_read_only():
+    X = np.random.default_rng(3).normal(size=(10, 3))
+    sub = Substrate(X)
+    assert not sub.standardized().flags.writeable
+    assert not sub.gram("linear", 0.1, 3, 0.0).flags.writeable
+    mean, scale = sub.moments()
+    assert not mean.flags.writeable and not scale.flags.writeable
+
+
+def test_concurrent_fits_share_one_substrate():
+    X, y, X_test = _make_problem(23, n=40, d=4)
+    handle = share_substrate(X)
+    results = {}
+
+    def run(tag, name, params):
+        model = make_classifier(name, **params).fit(X, y, n_classes=3)
+        results[tag] = model.predict_proba(X_test)
+
+    jobs = [
+        ("knn3", "knn", {"k": 3}), ("knn9", "knn", {"k": 9}),
+        ("svm1", "svm", {"kernel": "radial", "cost": 1.0}),
+        ("svm2", "svm", {"kernel": "radial", "cost": 4.0}),
+        ("nb", "naive_bayes", {"laplace": 1.0}),
+        ("rda", "rda", {"gamma": 0.2, "lam": 0.4}),
+    ]
+    threads = [threading.Thread(target=run, args=job) for job in jobs]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    del handle
+    for tag, name, params in jobs:
+        cold = make_classifier(name, **params).fit(X.copy(), y, n_classes=3)
+        assert np.array_equal(results[tag], cold.predict_proba(X_test.copy())), tag
+
+
+def test_objective_registers_fold_substrates():
+    from repro.classifiers import KNN
+    from repro.hpo import CrossValObjective
+
+    rng = np.random.default_rng(5)
+    X = rng.normal(size=(30, 3))
+    y = rng.integers(0, 2, size=30)
+    objective = CrossValObjective(lambda cfg: KNN(**cfg), X, y, n_classes=2, n_folds=3)
+    for fold_X, _, _, _ in objective._fold_data:
+        assert shared_substrate_for(fold_X) is not None
+    errors = [objective.evaluate({"k": 3}, ("k3",)), objective.evaluate({"k": 5}, ("k5",))]
+    assert all(0.0 <= e <= 1.0 for e in errors)
