@@ -1,0 +1,171 @@
+"""Candidate-evaluation throughput across execution backends and workers.
+
+Replays the pipeline's phase-4 fan-out — one SMAC run per nominated
+algorithm under an evaluation-count budget — through
+:func:`repro.parallel.dispatch.execute_candidates` on every backend:
+
+* ``serial`` (1 worker) — the reference plan and the reference results;
+* ``thread`` at 1/2/4 workers — shares every in-process cache but is
+  GIL-capped for the numpy-light parts of the loop;
+* ``process`` at 1/2/4 workers — fold data crosses the boundary once via
+  ``multiprocessing.shared_memory``; each worker attaches zero-copy and
+  rebuilds presorts/substrates once.
+
+Every backend's per-candidate results (best config, CV error, validation
+accuracy, evaluation counts) are asserted **identical** to the serial
+plan before any number is reported — the determinism contract is part of
+the benchmark, not a separate test.  Speedups are only expected when the
+host actually has cores to scale onto; ``cpu_count`` is recorded so a
+1-core CI box reporting ~1x is read as honest, not as a regression.
+
+Writes ``BENCH_parallel_scale.json`` at the repo root.
+
+Run: ``PYTHONPATH=src python benchmarks/bench_parallel_scale.py``
+(``--evals/--algorithms/--rows`` shrink it for CI smoke runs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.core import SmartMLConfig
+from repro.data import SyntheticSpec, make_dataset
+from repro.kb.similarity import Nomination
+from repro.parallel.dispatch import execute_candidates
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_parallel_scale.json"
+
+#: Families with enough per-candidate Python work to expose backend scaling.
+ALGORITHMS = [
+    "random_forest", "svm", "knn", "neural_net", "lda", "naive_bayes",
+]
+
+
+def _problem(rows: int, features: int, classes: int, seed: int):
+    ds = make_dataset(
+        SyntheticSpec(
+            name="parallel-scale", n_instances=rows, n_features=features,
+            n_classes=classes, n_informative=max(2, features // 2),
+            class_sep=1.6, seed=seed,
+        )
+    )
+    split = int(rows * 0.75)
+    return ds.X[:split], ds.y[:split], ds.X[split:], ds.y[split:], classes
+
+
+def _plan(algorithms: list[str], seed: int):
+    rng = np.random.default_rng(seed)
+    nominations = [
+        Nomination(algorithm=algo, score=1.0 - 0.01 * i)
+        for i, algo in enumerate(algorithms)
+    ]
+    seeds = [int(rng.integers(0, 2**31 - 1)) for _ in nominations]
+    budgets = {n.algorithm: None for n in nominations}
+    return nominations, seeds, budgets
+
+
+def _signature(results) -> list[tuple]:
+    return [
+        (
+            r.algorithm, tuple(sorted(r.best_config.items())), r.cv_error,
+            r.validation_accuracy, r.n_config_evals, r.n_fold_evals,
+        )
+        for r in results
+    ]
+
+
+def _run(backend: str, workers: int, evals: int, plan, problem,
+         repeats: int) -> tuple[float, list[tuple]]:
+    nominations, seeds, budgets = plan
+    X_tr, y_tr, X_va, y_va, classes = problem
+    config = SmartMLConfig(
+        max_evals_per_algorithm=evals, n_folds=3,
+        n_jobs=workers, backend=backend,
+    )
+    best = np.inf
+    signature = None
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        results = execute_candidates(
+            nominations, seeds, budgets, config, X_tr, y_tr, X_va, y_va,
+            classes,
+        )
+        elapsed = time.perf_counter() - started
+        if elapsed < best:
+            best = elapsed
+        signature = _signature(results)
+    return best, signature
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--rows", type=int, default=900)
+    parser.add_argument("--features", type=int, default=16)
+    parser.add_argument("--classes", type=int, default=3)
+    parser.add_argument("--evals", type=int, default=8,
+                        help="SMAC configuration evaluations per algorithm")
+    parser.add_argument("--algorithms", type=int, default=len(ALGORITHMS),
+                        help="how many families to nominate (CI smoke: 2)")
+    parser.add_argument("--workers", type=int, nargs="*", default=[1, 2, 4])
+    parser.add_argument("--repeats", type=int, default=1,
+                        help="timing repeats per cell (best kept)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args()
+
+    algorithms = ALGORITHMS[: max(1, args.algorithms)]
+    problem = _problem(args.rows, args.features, args.classes, args.seed)
+    plan = _plan(algorithms, args.seed)
+
+    print(f"{len(algorithms)} candidates x {args.evals} evals on "
+          f"{args.rows}x{args.features} ({os.cpu_count()} cpu(s)) ...")
+
+    serial_s, reference = _run("serial", 1, args.evals, plan, problem,
+                               args.repeats)
+    print(f"serial: {serial_s:.3f}s")
+
+    cells = {}
+    for backend in ("thread", "process"):
+        for workers in args.workers:
+            elapsed, signature = _run(
+                backend, workers, args.evals, plan, problem, args.repeats
+            )
+            if signature != reference:
+                raise SystemExit(
+                    f"{backend}@{workers}: results diverged from the serial "
+                    "plan — determinism contract broken"
+                )
+            cells[f"{backend}_{workers}"] = {
+                "backend": backend, "workers": workers,
+                "seconds": round(elapsed, 4),
+                "speedup_vs_serial": round(serial_s / elapsed, 2),
+                "results_identical": True,
+            }
+            print(f"{backend}@{workers}: {elapsed:.3f}s "
+                  f"({serial_s / elapsed:.2f}x vs serial)")
+
+    payload = {
+        "benchmark": "parallel_candidate_scale",
+        "candidates": len(algorithms),
+        "algorithms": algorithms,
+        "evals_per_algorithm": args.evals,
+        "rows": args.rows, "features": args.features,
+        "classes": args.classes, "repeats": args.repeats,
+        "cpu_count": os.cpu_count(),
+        "serial_seconds": round(serial_s, 4),
+        "cells": cells,
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+    }
+    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {OUTPUT}")
+
+
+if __name__ == "__main__":
+    main()

@@ -40,6 +40,7 @@ from dataclasses import dataclass, field
 from repro.core import SmartML, SmartMLConfig
 from repro.data.dataset import Dataset
 from repro.exceptions import SmartMLError
+from repro.parallel import release_orphaned_segments, validate_backend_name
 
 __all__ = [
     "ExperimentJob",
@@ -138,14 +139,22 @@ class JobManager:
     workers:
         Worker threads draining the queue concurrently.  Follows the
         ``SmartMLConfig.n_jobs`` convention: 1 means strictly sequential
-        execution in submission order.
+        execution in submission order.  Job workers stay *threads* — they
+        are the control plane (queue order, progress, the KB writer
+        hand-off) and spend their time waiting on compute; the compute
+        itself crosses the GIL through each job's ``config.backend``.
+    backend:
+        Default execution backend injected into submitted configs that do
+        not name one — the service-level switch for ``--backend process``.
+        A config that explicitly sets ``backend`` always wins.
     """
 
-    def __init__(self, smartml: SmartML, workers: int = 1):
+    def __init__(self, smartml: SmartML, workers: int = 1, backend: str = "thread"):
         if workers < 1:
             raise SmartMLError("workers must be >= 1")
         self.smartml = smartml
         self.workers = workers
+        self.backend = validate_backend_name(backend)
         self._jobs: dict[int, ExperimentJob] = {}
         self._job_inputs: dict[int, tuple[Dataset, SmartMLConfig]] = {}
         self._ids = itertools.count(1)
@@ -175,7 +184,9 @@ class JobManager:
         the HTTP layer) *before* anything is enqueued when the config is
         invalid — failures a client can fix never enter the queue.
         """
-        config = SmartMLConfig.from_dict(config_payload or {})
+        payload = dict(config_payload or {})
+        payload.setdefault("backend", self.backend)
+        config = SmartMLConfig.from_dict(payload)
         with self._lock:
             if self._stopping:
                 raise JobStateError("server is shutting down; not accepting jobs")
@@ -252,6 +263,10 @@ class JobManager:
             self._kb_queue.put(None)
             if wait:
                 self._kb_writer.join(timeout=timeout)
+        # A dispatcher that died mid-fan-out (worker crash, interpreter
+        # kill) may have left shared-memory segments without a live owner;
+        # reclaim them now rather than waiting for atexit.
+        release_orphaned_segments()
 
     # ------------------------------------------------------------- internals
     def _next_job(self) -> ExperimentJob | None:

@@ -56,6 +56,9 @@ class SmartMLServer:
     workers:
         Background experiment workers draining the job queue (default 1,
         i.e. jobs run one at a time in submission order).
+    backend:
+        Default execution backend for submitted experiments whose config
+        does not name one (``serial`` | ``thread`` | ``process``).
     """
 
     def __init__(
@@ -64,10 +67,11 @@ class SmartMLServer:
         host: str = "127.0.0.1",
         port: int = 0,
         workers: int = 1,
+        backend: str = "thread",
     ):
         self.smartml = smartml or SmartML()
         self.host = host
-        self.jobs = JobManager(self.smartml, workers=workers)
+        self.jobs = JobManager(self.smartml, workers=workers, backend=backend)
         self._datasets: dict[int, object] = {}
         self._next_dataset_id = 1
         self._lock = threading.Lock()

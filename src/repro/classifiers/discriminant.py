@@ -12,6 +12,21 @@ scatter matrices (RDA) are hyperparameter-independent, so they live on
 the fold's :class:`~repro.classifiers.substrate.Substrate`; ``method``,
 ``nu``, ``gamma`` and ``lambda`` candidates only redo the divisor,
 EM re-weighting or shrinkage arithmetic.
+
+**Eigenbasis scoring.**  The expensive part of a discriminant predict is
+the per-class dense solve against the (ridged) covariance.  Every
+covariance this family scores is a *diagonal update in a cached
+eigenbasis*: LDA's ``moment``/``mle`` covariances are the pooled scatter
+divided by a scalar, and RDA's ``gamma`` shrink is trace-preserving —
+``(1-γ)C + γ·tr(C)/d·I`` has the same eigenvectors as ``C`` with
+eigenvalues ``(1-γ)e_i + γ·tr(C)/d``.  The substrate therefore caches one
+``eigh`` per pooled scatter (LDA) and one per ``(y, λ)`` class set (RDA),
+and predict does O(d) eigenvalue arithmetic plus a cached projection
+instead of a dense factorisation per class per candidate.  The ridge and
+the non-PD fallback of the dense scorer are mirrored exactly in the
+eigenbasis (add ``ridge`` to every eigenvalue; if any is still ≤ 0, add
+1.0 — the dense path's ``+ I``).  The ``t`` method keeps the dense path:
+its EM re-weighting is ``nu``-dependent, so there is nothing to share.
 """
 
 from __future__ import annotations
@@ -19,7 +34,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.classifiers.base import Classifier
-from repro.classifiers.substrate import substrate_for
+from repro.classifiers.substrate import EigenFactors, Substrate, substrate_for
 from repro.exceptions import ConfigurationError
 
 __all__ = ["LDA", "RDA"]
@@ -37,6 +52,24 @@ def _log_gaussian(X: np.ndarray, mean: np.ndarray, cov: np.ndarray) -> np.ndarra
         sign, logdet = np.linalg.slogdet(cov)
     solve = np.linalg.solve(cov, (X - mean).T).T
     maha = ((X - mean) * solve).sum(axis=1)
+    return -0.5 * (maha + logdet + d * np.log(2 * np.pi))
+
+
+def _log_gaussian_eig(
+    P: np.ndarray, evals: np.ndarray, trace: float, d: int
+) -> np.ndarray:
+    """Eigenbasis twin of :func:`_log_gaussian`.
+
+    ``P`` is the centred projection ``(X - mean) @ evecs`` and ``evals``/
+    ``trace`` describe the covariance in that basis.  The ridge and the
+    non-positive-definite fallback mirror the dense scorer: the ridge adds
+    a constant to every eigenvalue, and ``cov + I`` adds 1.0.
+    """
+    g = evals + _RIDGE * trace / max(d, 1) + _RIDGE
+    if g.min() <= 0:
+        g = g + 1.0
+    logdet = float(np.log(g).sum())
+    maha = (P * P / g).sum(axis=1)
     return -0.5 * (maha + logdet + d * np.log(2 * np.pi))
 
 
@@ -61,6 +94,8 @@ class LDA(Classifier):
         self._means: np.ndarray | None = None
         self._cov: np.ndarray | None = None
         self._log_priors: np.ndarray | None = None
+        self._sub: Substrate | None = None
+        self._eig: tuple[EigenFactors, float] | None = None
 
     def fit(self, X: np.ndarray, y: np.ndarray, n_classes: int | None = None):
         X, y = self._start_fit(X, y, n_classes)
@@ -69,6 +104,8 @@ class LDA(Classifier):
         sub = substrate_for(X)
         counts = sub.class_counts(y, k).astype(np.float64)
         self._log_priors = np.log((counts + 1.0) / (n + k))
+        self._sub = None
+        self._eig = None
 
         if self.method == "t":
             # The EM re-weighting depends on ``nu``; only the moment
@@ -102,18 +139,38 @@ class LDA(Classifier):
             scatter = sub.pooled_scatter(y, k)
             denominator = n if self.method == "mle" else max(n - k, 1)
             cov = scatter / denominator
+            # moment and mle share one pooled-scatter eigh; the divisor is
+            # a scalar on the eigenvalues.
+            self._sub = sub
+            self._eig = (sub.lda_eig(y, k), float(denominator))
         self._means = means
         self._cov = cov
         return self
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         X = self._check_predict_ready(X)
-        scores = np.column_stack(
-            [
-                _log_gaussian(X, self._means[ki], self._cov) + self._log_priors[ki]
-                for ki in range(self.n_classes_)
-            ]
-        )
+        if self._eig is not None:
+            factors, denom = self._eig
+            d = X.shape[1]
+            evals = factors.evals / denom
+            trace = factors.trace / denom
+            scores = np.column_stack(
+                [
+                    _log_gaussian_eig(
+                        self._sub.eig_projection(X, self._means[ki], factors, ki),
+                        evals, trace, d,
+                    )
+                    + self._log_priors[ki]
+                    for ki in range(self.n_classes_)
+                ]
+            )
+        else:
+            scores = np.column_stack(
+                [
+                    _log_gaussian(X, self._means[ki], self._cov) + self._log_priors[ki]
+                    for ki in range(self.n_classes_)
+                ]
+            )
         shifted = scores - scores.max(axis=1, keepdims=True)
         proba = np.exp(shifted)
         return proba / proba.sum(axis=1, keepdims=True)
@@ -139,6 +196,8 @@ class RDA(Classifier):
         self._means: np.ndarray | None = None
         self._covs: list[np.ndarray] | None = None
         self._log_priors: np.ndarray | None = None
+        self._sub: Substrate | None = None
+        self._eig: tuple[tuple[EigenFactors, ...], float] | None = None
 
     def fit(self, X: np.ndarray, y: np.ndarray, n_classes: int | None = None):
         X, y = self._start_fit(X, y, n_classes)
@@ -147,26 +206,36 @@ class RDA(Classifier):
         gamma = float(np.clip(self.gamma, 0.0, 1.0))
         lam = float(np.clip(self.lam, 0.0, 1.0))
 
-        stats = substrate_for(X).rda_stats(y, k)
+        sub = substrate_for(X)
+        stats = sub.rda_stats(y, k)
         counts = stats.counts.astype(np.float64)
         self._log_priors = np.log((counts + 1.0) / (n + k))
         self._means = stats.means
 
+        # Dense covariances stay materialised (cheap, and part of the
+        # fitted model's inspectable state); scoring goes through the
+        # shared per-(y, lambda) eigendecompositions, where the gamma
+        # shrink is a diagonal trace-preserving update.
         self._covs = []
         for ki in range(k):
             cov = (1 - lam) * stats.class_covs[ki] + lam * stats.pooled
             cov = (1 - gamma) * cov + gamma * (np.trace(cov) / d) * np.eye(d)
             self._covs.append(cov)
+        self._sub = sub
+        self._eig = (sub.rda_eig(y, k, lam), gamma)
         return self
 
     def predict_proba(self, X: np.ndarray) -> np.ndarray:
         X = self._check_predict_ready(X)
-        scores = np.column_stack(
-            [
-                _log_gaussian(X, self._means[ki], self._covs[ki]) + self._log_priors[ki]
-                for ki in range(self.n_classes_)
-            ]
-        )
+        factors, gamma = self._eig
+        d = X.shape[1]
+        cols = []
+        for ki in range(self.n_classes_):
+            f = factors[ki]
+            evals = (1 - gamma) * f.evals + gamma * (f.trace / d)
+            P = self._sub.eig_projection(X, self._means[ki], f, ki)
+            cols.append(_log_gaussian_eig(P, evals, f.trace, d) + self._log_priors[ki])
+        scores = np.column_stack(cols)
         shifted = scores - scores.max(axis=1, keepdims=True)
         proba = np.exp(shifted)
         return proba / proba.sum(axis=1, keepdims=True)

@@ -60,6 +60,7 @@ __all__ = [
     "Substrate",
     "NBStats",
     "RDAStats",
+    "EigenFactors",
     "kernel_matrix",
     "stable_topk",
     "share_substrate",
@@ -79,6 +80,9 @@ _CROSS_CACHE_MAX = 4
 _NEIGHBOR_CACHE_MAX = 4
 #: Label-keyed statistic bundles; a fold has one ``y`` in practice.
 _LABEL_CACHE_MAX = 4
+#: Per-(y, lambda) RDA eigendecompositions; SMAC's lambda sweep revisits a
+#: handful of values around the incumbent, each O(k d^3) to factor.
+_EIG_CACHE_MAX = 8
 #: Neighbour orderings are cached up to at least this many neighbours so
 #: every ``k`` candidate of the KNN space (1..50) slices one cached
 #: ordering.  Slicing the first ``k`` columns of a deeper stable top-k is
@@ -174,6 +178,15 @@ class _IdentityCache:
         self._items.insert(0, (obj, extra, value))
         del self._items[self.cap :]
 
+    # Identity keys are meaningless in another process, so caches cross
+    # pickling (process-backend results) empty and rebuild lazily.
+    def __getstate__(self) -> int:
+        return self.cap
+
+    def __setstate__(self, cap: int) -> None:
+        self.cap = cap
+        self._items = []
+
 
 @dataclass(frozen=True)
 class NBStats:
@@ -205,6 +218,27 @@ class RDAStats:
     pooled: np.ndarray                       # (d, d) read-only
 
 
+@dataclass(frozen=True)
+class EigenFactors:
+    """Symmetric eigendecomposition of one (scatter/covariance) matrix.
+
+    The discriminant family's shrinkage and ridge terms are diagonal in
+    this eigenbasis (LDA's divisor, RDA's trace-preserving ``gamma`` mix,
+    the predict-side ridge), so every shrinkage candidate reuses one
+    O(d^3) factorisation and does O(d) arithmetic on ``evals`` instead of
+    re-solving a dense system per class per candidate.
+    """
+
+    evals: np.ndarray                        # (d,) ascending, read-only
+    evecs: np.ndarray                        # (d, d) orthonormal, read-only
+    trace: float                             # np.trace of the factored matrix
+    # Per-test-block centred projections ``(X_other - mean) @ evecs``;
+    # they are gamma/method-independent, so candidates share them.
+    proj_cache: "_IdentityCache" = field(
+        default_factory=lambda: _IdentityCache(_CROSS_CACHE_MAX), compare=False
+    )
+
+
 class Substrate:
     """Lazily-computed hyperparameter-independent state of one matrix.
 
@@ -217,6 +251,7 @@ class Substrate:
 
     __slots__ = (
         "X",
+        "aliases",
         "_lock",
         "_moments",
         "_Z",
@@ -231,11 +266,16 @@ class Substrate:
         "_pooled",
         "_nb",
         "_rda",
+        "_lda_eig",
+        "_rda_eig",
         "__weakref__",
     )
 
     def __init__(self, X: np.ndarray):
         self.X = np.asarray(X, dtype=np.float64)
+        #: Content-identical array objects sharing this substrate (strong
+        #: refs; populated by the content-keyed registry path).
+        self.aliases: list[np.ndarray] = []
         self._lock = threading.RLock()
         self._moments: tuple[np.ndarray, np.ndarray] | None = None
         self._Z: np.ndarray | None = None
@@ -250,6 +290,23 @@ class Substrate:
         self._pooled = _IdentityCache(_LABEL_CACHE_MAX)
         self._nb = _IdentityCache(_LABEL_CACHE_MAX)
         self._rda = _IdentityCache(_LABEL_CACHE_MAX)
+        self._lda_eig = _IdentityCache(_LABEL_CACHE_MAX)
+        self._rda_eig = _IdentityCache(_EIG_CACHE_MAX)
+
+    def covers(self, X: np.ndarray) -> bool:
+        """Whether ``X`` is this substrate's matrix or a registered alias."""
+        return self.X is X or any(alias is X for alias in self.aliases)
+
+    # Fitted models keep a substrate reference for predict-side caches; a
+    # process-backend worker therefore pickles substrates back with its
+    # results.  Only the matrix crosses the boundary — the lock is not
+    # picklable and every cache rebuilds lazily (and bit-identically, since
+    # cached and cold paths are the same code).
+    def __getstate__(self) -> dict:
+        return {"X": self.X}
+
+    def __setstate__(self, state: dict) -> None:
+        self.__init__(state["X"])
 
     # ------------------------------------------------------- standardization
     def moments(self) -> tuple[np.ndarray, np.ndarray]:
@@ -545,34 +602,134 @@ class Substrate:
             pooled=_read_only(pooled),
         )
 
+    # --------------------------------------------------- eigendecompositions
+    def lda_eig(self, y: np.ndarray, n_classes: int) -> EigenFactors:
+        """Eigendecomposition of the pooled scatter, shared by every LDA
+        ``method``/divisor candidate (``moment`` and ``mle`` differ only by
+        a scalar on the eigenvalues)."""
+        with self._lock:
+            hit = self._lda_eig.get(y, n_classes)
+            if hit is None:
+                scatter = self.pooled_scatter(y, n_classes)
+                evals, evecs = np.linalg.eigh(scatter)
+                hit = EigenFactors(
+                    evals=_read_only(evals),
+                    evecs=_read_only(evecs),
+                    trace=float(np.trace(scatter)),
+                )
+                self._lda_eig.put(y, n_classes, hit)
+            return hit
+
+    def rda_eig(
+        self, y: np.ndarray, n_classes: int, lam: float
+    ) -> tuple[EigenFactors, ...]:
+        """Per-class eigendecompositions of the ``lambda``-mixed covariance
+        ``(1-lam) S_k + lam S_pooled``.
+
+        Keyed by ``(y, lam)``: the ``gamma`` shrink and the predict ridge
+        are trace-preserving diagonal updates in this basis, so every
+        ``gamma`` candidate at the same ``lambda`` — SMAC's most common
+        revisit pattern around an incumbent — reuses these factors.
+        """
+        with self._lock:
+            hit = self._rda_eig.get(y, (n_classes, float(lam)))
+            if hit is None:
+                stats = self.rda_stats(y, n_classes)
+                factors = []
+                for ki in range(n_classes):
+                    cov = (1 - lam) * stats.class_covs[ki] + lam * stats.pooled
+                    evals, evecs = np.linalg.eigh(cov)
+                    factors.append(
+                        EigenFactors(
+                            evals=_read_only(evals),
+                            evecs=_read_only(evecs),
+                            trace=float(np.trace(cov)),
+                        )
+                    )
+                hit = tuple(factors)
+                self._rda_eig.put(y, (n_classes, float(lam)), hit)
+            return hit
+
+    def eig_projection(
+        self,
+        X_other: np.ndarray,
+        mean: np.ndarray,
+        factors: EigenFactors,
+        tag: object,
+    ) -> np.ndarray:
+        """``(X_other - mean) @ evecs``, cached per pinned test block.
+
+        ``tag`` disambiguates projections that share one factorisation but
+        centre on different means (LDA's per-class means on the pooled
+        factors).
+        """
+        with self._lock:
+            if not self._cacheable(X_other):
+                return (X_other - mean) @ factors.evecs
+            hit = factors.proj_cache.get(X_other, tag)
+            if hit is None:
+                hit = _read_only((X_other - mean) @ factors.evecs)
+                factors.proj_cache.put(X_other, tag, hit)
+            return hit
+
 
 # ---------------------------------------------------------- shared registry
 # CrossValObjective pins one substrate per fold here so every non-tree HPO
 # candidate evaluated on that fold reuses it.  Keys are array object
 # identities; entries are weak so a dying objective releases its caches.
+#
+# ``content_key`` rekeys the registry by content, exactly as in
+# ``tree/presort.py``: a worker that attaches a shared-memory fold buffer
+# registers its view under ``("segment", digest)``, so re-attachments of
+# the same published content resolve to one substrate (and one set of
+# caches) even though each attachment is a distinct array object.  Later
+# arrays join as aliases; identity lookups on them hit the same entry.
 _SHARED: dict[int, "weakref.ref[Substrate]"] = {}
+_SHARED_BY_KEY: dict[tuple, "weakref.ref[Substrate]"] = {}
 _SHARED_LOCK = threading.Lock()
 
 
-def share_substrate(X: np.ndarray) -> Substrate:
+def _register_identity(entry: Substrate, X: np.ndarray) -> None:
+    key = id(X)
+    _SHARED[key] = weakref.ref(
+        entry, lambda _ref, _key=key: _SHARED.pop(_key, None)
+    )
+
+
+def share_substrate(X: np.ndarray, content_key: tuple | None = None) -> Substrate:
     """Register ``X`` for substrate sharing; keep the returned handle alive.
 
     Everything inside is computed lazily on first use, so registering
-    folds whose families never look anything up costs nothing.
+    folds whose families never look anything up costs nothing.  With
+    ``content_key`` the registration is also content-addressed: callers
+    that *know* two arrays hold identical content (the shared-memory
+    attachment path, keyed by segment digest) funnel them into one
+    substrate, so per-fold caches are built once however many views exist.
     """
     X = np.asarray(X)
     with _SHARED_LOCK:
         existing = _SHARED.get(id(X))
         entry = existing() if existing is not None else None
-        if entry is not None and entry.X is X:
+        if entry is not None and entry.covers(X):
             return entry
+        if content_key is not None:
+            ref = _SHARED_BY_KEY.get(content_key)
+            entry = ref() if ref is not None else None
+            if entry is not None:
+                entry.aliases.append(X)
+                _register_identity(entry, X)
+                return entry
         entry = Substrate(X)
         if entry.X is not X:
             # ``X`` was not float64; the converted copy has no stable
             # identity, so the entry cannot be shared meaningfully.
             return entry
-        key = id(X)
-        _SHARED[key] = weakref.ref(entry, lambda _ref, _key=key: _SHARED.pop(_key, None))
+        _register_identity(entry, X)
+        if content_key is not None:
+            _SHARED_BY_KEY[content_key] = weakref.ref(
+                entry,
+                lambda _ref, _key=content_key: _SHARED_BY_KEY.pop(_key, None),
+            )
         return entry
 
 
@@ -580,7 +737,7 @@ def shared_substrate_for(X: np.ndarray) -> Substrate | None:
     """The shared substrate registered for this exact array object, if any."""
     ref = _SHARED.get(id(X))
     entry = ref() if ref is not None else None
-    if entry is not None and entry.X is X:
+    if entry is not None and entry.covers(X):
         return entry
     return None
 

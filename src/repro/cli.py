@@ -106,6 +106,8 @@ def cmd_run(args, out) -> int:
             ensemble=args.ensemble,
             interpretability=args.interpret,
             update_kb=not args.no_update,
+            n_jobs=args.jobs,
+            backend=args.backend,
             seed=args.seed,
         )
         result = SmartML(kb).run(dataset, config)
@@ -145,11 +147,13 @@ def cmd_serve(args, out) -> int:  # pragma: no cover - blocking loop
 
     kb = _open_kb(args)
     server = SmartMLServer(
-        SmartML(kb), host=args.host, port=args.port, workers=args.workers
+        SmartML(kb), host=args.host, port=args.port, workers=args.workers,
+        backend=args.backend,
     )
     print(
         f"SmartML REST server on {server.base_url} "
-        f"({args.workers} experiment worker(s); Ctrl-C to stop)",
+        f"({args.workers} experiment worker(s), {args.backend} backend; "
+        "Ctrl-C to stop)",
         file=out,
     )
     try:
@@ -245,6 +249,14 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--interpret", action="store_true")
     p_run.add_argument("--no-update", action="store_true", help="do not write to the KB")
     p_run.add_argument("--json", action="store_true", help="emit JSON instead of text")
+    p_run.add_argument(
+        "--jobs", type=int, default=1,
+        help="parallel candidate evaluations (default 1)",
+    )
+    p_run.add_argument(
+        "--backend", choices=["serial", "thread", "process"], default="thread",
+        help="execution backend for candidate evaluation (default thread)",
+    )
     p_run.add_argument("--seed", type=int, default=0)
 
     p_nom = sub.add_parser("nominate", help="algorithm selection only")
@@ -260,6 +272,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--workers", type=int, default=1,
         help="background experiment workers draining the job queue (default 1)",
+    )
+    p_serve.add_argument(
+        "--backend", choices=["serial", "thread", "process"], default="thread",
+        help="default execution backend for submitted experiments (default thread)",
     )
 
     p_submit = sub.add_parser("submit", help="submit an experiment job to a server")

@@ -56,10 +56,18 @@ class SmartMLConfig:
     n_folds:
         Stratified folds used inside SMAC's racing.
     n_jobs:
-        Worker threads tuning nominated algorithms concurrently in phase 4
+        Workers tuning nominated algorithms concurrently in phase 4
         (1 = sequential).  Per-candidate seeds are drawn up front in
         nomination order, so results are identical to a sequential run
         whenever the budget is evaluation-count based.
+    backend:
+        How phase-4 candidate evaluation crosses ``n_jobs``:
+        ``"thread"`` (default) uses an in-process thread pool,
+        ``"process"`` a process pool with fold data in shared memory
+        (scales with cores; degrades to threads if shared memory or the
+        pool is unavailable), ``"serial"`` forces a plain loop and
+        requires ``n_jobs=1``.  All three produce identical results
+        under evaluation-count budgets.
     seed:
         Master seed; all phase seeds derive from it.
     """
@@ -81,6 +89,7 @@ class SmartMLConfig:
     update_kb: bool = True
     n_folds: int = 3
     n_jobs: int = 1
+    backend: str = "thread"
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -114,6 +123,17 @@ class SmartMLConfig:
             raise ConfigurationError("n_folds must be >= 2")
         if self.n_jobs < 1:
             raise ConfigurationError("n_jobs must be >= 1")
+        if self.backend not in ("serial", "thread", "process"):
+            raise ConfigurationError(
+                f"unknown execution backend {self.backend!r}; "
+                "choose one of serial, thread, process"
+            )
+        if self.backend == "serial" and self.n_jobs != 1:
+            raise ConfigurationError(
+                f"backend='serial' evaluates candidates one at a time and "
+                f"requires n_jobs=1 (got n_jobs={self.n_jobs}); choose "
+                "backend='thread' or backend='process' for concurrent tuning"
+            )
         if not self.fallback_portfolio:
             raise ConfigurationError("fallback_portfolio must not be empty")
 
@@ -135,6 +155,7 @@ class SmartMLConfig:
             "update_kb": self.update_kb,
             "n_folds": self.n_folds,
             "n_jobs": self.n_jobs,
+            "backend": self.backend,
             "seed": self.seed,
         }
 

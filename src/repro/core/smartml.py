@@ -22,25 +22,16 @@ from __future__ import annotations
 
 import time
 from collections.abc import Callable
-from concurrent.futures import ThreadPoolExecutor
 
 import numpy as np
 
-from repro.classifiers import make_classifier
 from repro.core.config import SmartMLConfig
 from repro.core.result import CandidateResult, SmartMLResult
 from repro.data.dataset import Dataset
 from repro.ensemble import build_weighted_ensemble
 from repro.evaluation.metrics import accuracy
 from repro.evaluation.resampling import train_validation_split
-from repro.hpo import (
-    SMAC,
-    CrossValObjective,
-    SMACSettings,
-    allocate_budget,
-    classifier_space,
-    uniform_budget,
-)
+from repro.hpo import allocate_budget, uniform_budget
 from repro.interpret import permutation_importance
 from repro.kb import KnowledgeBase
 from repro.kb.similarity import Nomination
@@ -133,37 +124,34 @@ class SmartML:
         notify("hyperparameter_tuning")
         started = time.monotonic()
         algorithms = [n.algorithm for n in nominations]
+        workers = min(config.n_jobs, len(algorithms))
         if config.time_budget_s is not None:
             splitter = (
                 allocate_budget if config.budget_split == "proportional"
                 else uniform_budget
             )
-            budgets = splitter(config.time_budget_s, algorithms)
+            budgets = splitter(config.time_budget_s, algorithms, workers=workers)
         else:
             budgets = {algo: None for algo in algorithms}
 
-        # Seeds are drawn up front in nomination order so the stream of rng
-        # draws — and with it every candidate's SMAC run — is identical
-        # whether tuning happens sequentially or on a thread pool.
+        # The dispatch plan: seeds are drawn up front in nomination order so
+        # the stream of rng draws — and with it every candidate's SMAC run —
+        # is identical whatever backend executes the plan; the dispatcher
+        # reduces results back in nomination order.
         seeds = [int(rng.integers(0, 2**31 - 1)) for _ in nominations]
+        from repro.parallel.dispatch import execute_candidates
 
-        def tune(nomination: Nomination, seed: int) -> CandidateResult:
-            return self._tune_candidate(
-                nomination,
-                budgets[nomination.algorithm],
-                config,
-                train_p,
-                validation_p,
-                dataset.n_classes,
-                seed=seed,
-            )
-
-        if config.n_jobs > 1 and len(nominations) > 1:
-            workers = min(config.n_jobs, len(nominations))
-            with ThreadPoolExecutor(max_workers=workers) as pool:
-                candidates = list(pool.map(tune, nominations, seeds))
-        else:
-            candidates = [tune(n, s) for n, s in zip(nominations, seeds)]
+        candidates = execute_candidates(
+            nominations,
+            seeds,
+            budgets,
+            config,
+            train_p.X,
+            train_p.y,
+            validation_p.X,
+            validation_p.y,
+            dataset.n_classes,
+        )
         phase_seconds["hyperparameter_tuning"] = time.monotonic() - started
 
         # ---- phase 5: output + KB update ----------------------------------
@@ -243,37 +231,23 @@ class SmartML:
         validation_p: Dataset,
         n_classes: int,
         seed: int,
+        fold_seed: int | None = None,
     ) -> CandidateResult:
-        algorithm = nomination.algorithm
-        space = classifier_space(algorithm)
-        objective = CrossValObjective(
-            lambda cfg, _algo=algorithm: make_classifier(_algo, **cfg),
+        # Thin compatibility wrapper; the body lives in
+        # repro.parallel.dispatch so process workers can run it on raw
+        # arrays without a Dataset round-trip.
+        from repro.parallel.dispatch import tune_candidate
+
+        return tune_candidate(
+            nomination.algorithm,
+            nomination.warm_configs,
+            budget_s,
+            config,
             train_p.X,
             train_p.y,
-            n_classes=n_classes,
-            n_folds=config.n_folds,
+            validation_p.X,
+            validation_p.y,
+            n_classes,
             seed=seed,
-        )
-        settings = SMACSettings(
-            time_budget_s=budget_s,
-            max_config_evals=config.max_evals_per_algorithm,
-            seed=seed,
-        )
-        smac = SMAC(space, settings)
-        search = smac.optimize(objective, initial_configs=nomination.warm_configs)
-
-        model = make_classifier(algorithm, **search.incumbent)
-        model.fit(train_p.X, train_p.y, n_classes=n_classes)
-        validation_accuracy = accuracy(validation_p.y, model.predict(validation_p.X))
-
-        return CandidateResult(
-            algorithm=algorithm,
-            best_config=search.incumbent,
-            cv_error=search.incumbent_cost,
-            validation_accuracy=validation_accuracy,
-            n_config_evals=search.n_config_evals,
-            n_fold_evals=search.n_fold_evals,
-            tuning_seconds=search.elapsed_s,
-            warm_started=bool(nomination.warm_configs),
-            model=model,
+            fold_seed=fold_seed,
         )

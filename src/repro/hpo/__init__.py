@@ -1,6 +1,6 @@
 """Hyperparameter optimisation: spaces, SMAC, random search, budgeting."""
 
-from repro.hpo.allocator import allocate_budget, uniform_budget
+from repro.hpo.allocator import allocate_budget, predicted_makespan, uniform_budget
 from repro.hpo.objective import CrossValObjective
 from repro.hpo.random_search import RandomSearch
 from repro.hpo.smac import (
@@ -41,5 +41,6 @@ __all__ = [
     "RandomForestSurrogate",
     "RegressionTree",
     "allocate_budget",
+    "predicted_makespan",
     "uniform_budget",
 ]

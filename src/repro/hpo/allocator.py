@@ -4,6 +4,19 @@
 number of hyper-parameters to tune in each algorithm (Table 3)" — the split
 is proportional to each classifier's parameter count, with a small floor so
 a zero-parameter corner case can never starve an algorithm entirely.
+
+**Worker-aware scaling.**  ``time_budget_s`` is a *wall-clock* budget.
+Sequentially the per-algorithm shares simply sum to it, but with ``workers``
+candidates tuning concurrently the wall clock is the **makespan** of the
+worker assignment, not the sum: handing out the sequential shares would
+finish early (wasting the budget), and multiplying every share by the
+worker count would overspend it whenever the shares are uneven.  The
+allocator therefore packs the proportional shares onto workers with the
+classic longest-processing-time rule, measures the predicted makespan, and
+rescales every share by ``total / makespan`` — preserving the paper's
+proportions exactly while making the *predicted wall clock* equal the
+requested budget on any backend.  With one worker the makespan is the sum
+and the scale factor is 1, so sequential behaviour is bit-identical.
 """
 
 from __future__ import annotations
@@ -11,32 +24,71 @@ from __future__ import annotations
 from repro.exceptions import ConfigurationError
 from repro.hpo.spaces import classifier_space
 
-__all__ = ["allocate_budget", "uniform_budget"]
+__all__ = ["allocate_budget", "predicted_makespan", "uniform_budget"]
 
 
-def allocate_budget(
-    total_seconds: float, algorithms: list[str]
-) -> dict[str, float]:
-    """Split ``total_seconds`` over ``algorithms`` ∝ hyperparameter count."""
+def _check(total_seconds: float, algorithms: list[str], workers: int) -> None:
     if total_seconds <= 0:
         raise ConfigurationError("total_seconds must be positive")
     if not algorithms:
         raise ConfigurationError("no algorithms to allocate budget to")
+    if workers < 1:
+        raise ConfigurationError("workers must be >= 1")
+
+
+def predicted_makespan(shares: dict[str, float], workers: int) -> float:
+    """Wall-clock estimate of running ``shares`` on ``workers`` workers.
+
+    Longest-processing-time list scheduling: place each share, largest
+    first, on the least-loaded worker.  Ties break by algorithm name so
+    the schedule — and therefore the allocation — is deterministic.
+    """
+    workers = min(workers, len(shares))
+    if workers <= 1:
+        return float(sum(shares.values()))
+    loads = [0.0] * workers
+    for _algo, share in sorted(shares.items(), key=lambda kv: (-kv[1], kv[0])):
+        lightest = min(range(workers), key=loads.__getitem__)
+        loads[lightest] += share
+    return float(max(loads))
+
+
+def _scale_to_wall_clock(
+    shares: dict[str, float], total_seconds: float, workers: int
+) -> dict[str, float]:
+    makespan = predicted_makespan(shares, workers)
+    if makespan <= 0:
+        return shares
+    factor = total_seconds / makespan
+    return {algo: share * factor for algo, share in shares.items()}
+
+
+def allocate_budget(
+    total_seconds: float, algorithms: list[str], workers: int = 1
+) -> dict[str, float]:
+    """Split ``total_seconds`` over ``algorithms`` ∝ hyperparameter count.
+
+    ``workers`` is how many algorithms tune concurrently; shares keep the
+    paper's proportions but are rescaled so the predicted wall clock of
+    the concurrent schedule equals ``total_seconds`` (see module docs).
+    """
+    _check(total_seconds, algorithms, workers)
     weights = {
         algo: float(max(len(classifier_space(algo)), 1)) for algo in algorithms
     }
     total_weight = sum(weights.values())
-    return {
+    shares = {
         algo: total_seconds * weight / total_weight
         for algo, weight in weights.items()
     }
+    return _scale_to_wall_clock(shares, total_seconds, workers)
 
 
-def uniform_budget(total_seconds: float, algorithms: list[str]) -> dict[str, float]:
+def uniform_budget(
+    total_seconds: float, algorithms: list[str], workers: int = 1
+) -> dict[str, float]:
     """Equal split — the ablation control for :func:`allocate_budget`."""
-    if total_seconds <= 0:
-        raise ConfigurationError("total_seconds must be positive")
-    if not algorithms:
-        raise ConfigurationError("no algorithms to allocate budget to")
+    _check(total_seconds, algorithms, workers)
     share = total_seconds / len(algorithms)
-    return {algo: share for algo in algorithms}
+    shares = {algo: share for algo in algorithms}
+    return _scale_to_wall_clock(shares, total_seconds, workers)

@@ -18,6 +18,7 @@ from repro.classifiers.substrate import pin_block, share_substrate
 from repro.classifiers.tree.presort import share_presort
 from repro.evaluation.metrics import error_rate
 from repro.evaluation.resampling import stratified_kfold_indices
+from repro.parallel.shared import canonical_fold
 
 __all__ = ["CrossValObjective"]
 
@@ -38,6 +39,15 @@ class CrossValObjective:
         full-width probability rows.
     n_folds:
         Number of stratified folds (shared by all configurations).
+    seed:
+        Seed for this objective's tuner-visible randomness.
+    fold_seed:
+        Seed for the fold split specifically (defaults to ``seed``).  The
+        candidate dispatcher passes one shared ``fold_seed`` to every
+        nominated algorithm so all candidates race **the same folds** —
+        which lets the content-addressed fold registry hand every
+        objective the same fold arrays and the same live
+        presort/substrate state, computed once per process.
     """
 
     def __init__(
@@ -48,21 +58,34 @@ class CrossValObjective:
         n_classes: int,
         n_folds: int = 3,
         seed: int = 0,
+        fold_seed: int | None = None,
     ):
         self.model_factory = model_factory
         self.X = np.asarray(X, dtype=np.float64)
         self.y = np.asarray(y, dtype=np.int64)
         self.n_classes = n_classes
-        self.folds = stratified_kfold_indices(self.y, n_folds, seed=seed)
+        if fold_seed is None:
+            fold_seed = seed
+        self.folds = stratified_kfold_indices(self.y, n_folds, seed=fold_seed)
         # Fancy-indexing X[train_idx]/X[test_idx] copies the data on every
         # (config, fold) evaluation; the folds are fixed for the objective's
         # lifetime, so copy each fold's train/test arrays once up front and
         # hand every fit the same (read-only by convention) arrays.  This
         # trades ~n_folds extra resident copies of X for zero per-evaluation
         # slicing — the right side of the trade at this library's
-        # laptop-scale datasets and 2-3 fold protocols.
+        # laptop-scale datasets and 2-3 fold protocols.  Each fold is then
+        # canonicalised by content digest: two objectives producing
+        # identical folds (candidates racing the same split) are handed the
+        # *same* array objects, so the identity-keyed presort/substrate
+        # registries below hit across objectives instead of rebuilding
+        # per-fold state for every candidate.
         self._fold_data = [
-            (self.X[train_idx], self.y[train_idx], self.X[test_idx], self.y[test_idx])
+            canonical_fold(
+                self.X[train_idx],
+                self.y[train_idx],
+                self.X[test_idx],
+                self.y[test_idx],
+            )
             for train_idx, test_idx in self.folds
         ]
         # Register each fold's training matrix for presort sharing: every

@@ -1,0 +1,58 @@
+"""Process-pool execution backend with shared-memory fold substrates.
+
+``backend.py`` defines the serial/thread/process execution abstraction,
+``shared.py`` the shared-memory array pool, worker-side attachment cache
+and content-addressed fold registry, and ``dispatch.py`` the deterministic
+candidate fan-out that ``SmartML.run`` phase 4 delegates to.
+"""
+
+from repro.parallel.backend import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    ProcessBackend,
+    ProcessBackendUnavailable,
+    SerialBackend,
+    ThreadBackend,
+    get_backend,
+    shutdown_backends,
+    validate_backend_name,
+)
+from repro.parallel.shared import (
+    ArrayHandle,
+    SharedArrayPool,
+    WorkerContext,
+    array_digest,
+    canonical_fold,
+    clear_fold_cache,
+    release_orphaned_segments,
+)
+
+__all__ = [
+    "BACKEND_NAMES",
+    "ArrayHandle",
+    "ExecutionBackend",
+    "ProcessBackend",
+    "ProcessBackendUnavailable",
+    "SerialBackend",
+    "SharedArrayPool",
+    "ThreadBackend",
+    "WorkerContext",
+    "array_digest",
+    "canonical_fold",
+    "clear_fold_cache",
+    "execute_candidates",
+    "get_backend",
+    "release_orphaned_segments",
+    "shutdown_backends",
+    "validate_backend_name",
+]
+
+
+def __getattr__(name: str):
+    # dispatch.py imports from repro.hpo / repro.core; loading it lazily
+    # keeps this package importable from either side of that boundary.
+    if name in ("execute_candidates", "tune_candidate", "CandidateTask"):
+        from repro.parallel import dispatch
+
+        return getattr(dispatch, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,217 @@
+"""Deterministic candidate fan-out over an execution backend.
+
+``SmartML.run`` phase 4 hands this module a **dispatch plan**: nominated
+algorithms, their per-candidate seeds (pre-drawn in nomination order from
+the master rng) and their time budgets.  :func:`execute_candidates` runs
+the plan on the configured backend and returns results **in nomination
+order**, so
+
+    ``backend="process"`` == ``backend="thread"`` == ``backend="serial"``
+
+bit for bit whenever the budget is evaluation-count based (wall-clock
+budgets make any backend timing-dependent, exactly as before).  The
+determinism contract:
+
+* every candidate's seed is drawn before dispatch, in nomination order —
+  no backend ever touches the master rng;
+* all candidates share one fold split (``fold_seed = seeds[0]``), so the
+  first candidate's folds are bit-identical to the pre-PR-6 behaviour
+  and every fold's presort/substrate is computed once per process;
+* results are reduced in submission order, whatever order workers finish.
+
+**Degradation ladder.**  ``process`` needs shared memory and a healthy
+pool; if publishing segments fails (``/dev/shm`` exhausted), the pool
+breaks mid-plan (worker crash) or a payload will not pickle, the full
+plan is replayed on the **thread** backend with a logged warning — seeds
+were pre-drawn, so the replay is result-identical and jobs never fail
+for infrastructure reasons.
+"""
+
+from __future__ import annotations
+
+import logging
+import pickle
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.classifiers import make_classifier
+from repro.core.config import SmartMLConfig
+from repro.core.result import CandidateResult
+from repro.evaluation.metrics import accuracy
+from repro.hpo.objective import CrossValObjective
+from repro.hpo.smac import SMAC, SMACSettings
+from repro.hpo.spaces import classifier_space
+from repro.kb.similarity import Nomination
+from repro.parallel.backend import (
+    ProcessBackend,
+    ProcessBackendUnavailable,
+    SerialBackend,
+    ThreadBackend,
+)
+from repro.parallel.shared import ArrayHandle, SharedArrayPool, WorkerContext
+
+__all__ = ["CandidateTask", "execute_candidates", "tune_candidate"]
+
+logger = logging.getLogger("repro.parallel")
+
+
+def tune_candidate(
+    algorithm: str,
+    warm_configs: list[dict],
+    budget_s: float | None,
+    config: SmartMLConfig,
+    X_train: np.ndarray,
+    y_train: np.ndarray,
+    X_val: np.ndarray,
+    y_val: np.ndarray,
+    n_classes: int,
+    seed: int,
+    fold_seed: int | None = None,
+) -> CandidateResult:
+    """One SMAC run for one nominated algorithm (any backend, any process)."""
+    space = classifier_space(algorithm)
+    objective = CrossValObjective(
+        lambda cfg, _algo=algorithm: make_classifier(_algo, **cfg),
+        X_train,
+        y_train,
+        n_classes=n_classes,
+        n_folds=config.n_folds,
+        seed=seed,
+        fold_seed=fold_seed,
+    )
+    settings = SMACSettings(
+        time_budget_s=budget_s,
+        max_config_evals=config.max_evals_per_algorithm,
+        seed=seed,
+    )
+    smac = SMAC(space, settings)
+    search = smac.optimize(objective, initial_configs=warm_configs)
+
+    model = make_classifier(algorithm, **search.incumbent)
+    model.fit(X_train, y_train, n_classes=n_classes)
+    validation_accuracy = accuracy(y_val, model.predict(X_val))
+
+    return CandidateResult(
+        algorithm=algorithm,
+        best_config=search.incumbent,
+        cv_error=search.incumbent_cost,
+        validation_accuracy=validation_accuracy,
+        n_config_evals=search.n_config_evals,
+        n_fold_evals=search.n_fold_evals,
+        tuning_seconds=search.elapsed_s,
+        warm_started=bool(warm_configs),
+        model=model,
+    )
+
+
+@dataclass
+class CandidateTask:
+    """Everything one process worker needs to tune one candidate.
+
+    Arrays travel as shared-memory handles, everything else by pickle.
+    """
+
+    algorithm: str
+    warm_configs: list[dict]
+    budget_s: float | None
+    config: SmartMLConfig
+    train_X: ArrayHandle
+    train_y: ArrayHandle
+    val_X: ArrayHandle
+    val_y: ArrayHandle
+    n_classes: int
+    seed: int
+    fold_seed: int
+
+
+def _process_entry(task: CandidateTask) -> CandidateResult:
+    """Worker-side task body: attach fold buffers, tune, return the result."""
+    ctx = WorkerContext.get()
+    X_train = ctx.attach(task.train_X)
+    y_train = ctx.attach(task.train_y)
+    X_val = ctx.attach(task.val_X)
+    y_val = ctx.attach(task.val_y)
+    return tune_candidate(
+        task.algorithm,
+        task.warm_configs,
+        task.budget_s,
+        task.config,
+        X_train,
+        y_train,
+        X_val,
+        y_val,
+        task.n_classes,
+        seed=task.seed,
+        fold_seed=task.fold_seed,
+    )
+
+
+def execute_candidates(
+    nominations: list[Nomination],
+    seeds: list[int],
+    budgets: dict[str, float | None],
+    config: SmartMLConfig,
+    X_train: np.ndarray,
+    y_train: np.ndarray,
+    X_val: np.ndarray,
+    y_val: np.ndarray,
+    n_classes: int,
+) -> list[CandidateResult]:
+    """Run the dispatch plan on the configured backend; nomination order out."""
+    if len(nominations) != len(seeds):
+        raise ValueError("one pre-drawn seed per nomination is required")
+    fold_seed = int(seeds[0]) if seeds else 0
+    workers = min(config.n_jobs, len(nominations))
+
+    def tune_local(pair: tuple[Nomination, int]) -> CandidateResult:
+        nomination, seed = pair
+        return tune_candidate(
+            nomination.algorithm,
+            nomination.warm_configs,
+            budgets[nomination.algorithm],
+            config,
+            X_train,
+            y_train,
+            X_val,
+            y_val,
+            n_classes,
+            seed=seed,
+            fold_seed=fold_seed,
+        )
+
+    pairs = list(zip(nominations, seeds))
+    if workers <= 1 or len(nominations) <= 1 or config.backend == "serial":
+        return SerialBackend().map(tune_local, pairs)
+    if config.backend == "thread":
+        return ThreadBackend(workers).map(tune_local, pairs)
+
+    # ---- process backend --------------------------------------------------
+    pool = SharedArrayPool()
+    try:
+        tasks = [
+            CandidateTask(
+                algorithm=nomination.algorithm,
+                warm_configs=nomination.warm_configs,
+                budget_s=budgets[nomination.algorithm],
+                config=config,
+                train_X=pool.publish(X_train),
+                train_y=pool.publish(y_train),
+                val_X=pool.publish(X_val),
+                val_y=pool.publish(y_val),
+                n_classes=n_classes,
+                seed=seed,
+                fold_seed=fold_seed,
+            )
+            for nomination, seed in pairs
+        ]
+        return ProcessBackend(workers).map(_process_entry, tasks)
+    except (ProcessBackendUnavailable, OSError, pickle.PicklingError) as exc:
+        logger.warning(
+            "process backend unavailable (%s); falling back to the thread "
+            "backend — results are unchanged because candidate seeds were "
+            "drawn before dispatch", exc,
+        )
+        return ThreadBackend(workers).map(tune_local, pairs)
+    finally:
+        pool.close()

@@ -1,0 +1,397 @@
+"""Shared-memory array publication and content-addressed fold reuse.
+
+Two pieces of machinery let candidate evaluation cross the process
+boundary without copying fold data per task, and let every backend —
+serial, thread *and* process — share per-fold substrates across
+candidates:
+
+* :class:`SharedArrayPool` / :class:`WorkerContext` — the parent process
+  publishes each numpy array **once** into a named
+  ``multiprocessing.shared_memory`` segment (deduplicated by content
+  digest, so republishing equal content reuses the segment) and ships
+  only a tiny :class:`ArrayHandle` with each task.  A worker attaches the
+  segment lazily, verifies the content digest, and rebuilds a read-only,
+  zero-copy numpy view.  Attachments are cached per worker keyed by
+  ``(segment name, digest)``, so every candidate dispatched to a worker
+  sees the *same array object* — which is exactly what the identity-keyed
+  presort/substrate registries need to hit.
+
+* :func:`canonical_fold` — a content-digest-keyed registry of fold
+  bundles.  ``CrossValObjective`` materialises per-fold train/test copies
+  by fancy indexing; when two objectives (two HPO candidates, any
+  backend) produce content-identical folds, the second one is handed the
+  first one's array objects *and* its live presort/substrate/pin handles.
+  This is the rekeying of the identity-keyed weak registries in
+  ``classifiers/tree/presort.py`` and ``classifiers/substrate.py`` by
+  content digest: per-fold presorts and substrates are computed once per
+  process (once per *worker* under the process backend) and reused across
+  every candidate dispatched to it.
+
+**Degradation.**  Shared memory can be unavailable (``/dev/shm``
+exhausted, exotic platforms); :meth:`SharedArrayPool.publish` then raises
+``OSError`` and the dispatcher falls back to the thread backend with a
+logged warning.  Segments are unlinked when their pool closes, when the
+pool is garbage collected (``weakref.finalize``), by
+:func:`release_orphaned_segments` (called from ``JobManager.shutdown``),
+and on interpreter exit via ``atexit`` — a crash can never strand
+``/dev/shm`` space past process exit.
+
+**Digest.**  ``blake2b(dtype || shape || C-bytes)`` (128-bit).  A worker
+re-digests the attached buffer before first use; a mismatch (stale or
+recycled segment) is *never* shared — the worker logs a warning and falls
+back to a private copy, so content-keyed caches cannot be poisoned.
+"""
+
+from __future__ import annotations
+
+import atexit
+import hashlib
+import logging
+import threading
+import weakref
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+
+import numpy as np
+
+from repro.classifiers.substrate import pin_block, share_substrate
+from repro.classifiers.tree.presort import share_presort
+
+__all__ = [
+    "ArrayHandle",
+    "SharedArrayPool",
+    "WorkerContext",
+    "array_digest",
+    "canonical_fold",
+    "clear_fold_cache",
+    "release_orphaned_segments",
+]
+
+logger = logging.getLogger("repro.parallel")
+
+#: Recent fold bundles kept alive so their presorts/substrates survive
+#: between objectives (one bundle per fold; 2 datasets x 3 folds).
+_FOLD_KEEPALIVE_MAX = 6
+
+#: Attached segments cached per worker (a candidate fan-out publishes ~4).
+_ATTACH_CACHE_MAX = 32
+
+
+def array_digest(array: np.ndarray) -> str:
+    """128-bit blake2b content digest over dtype, shape and C-order bytes."""
+    array = np.ascontiguousarray(array)
+    h = hashlib.blake2b(digest_size=16)
+    h.update(str(array.dtype).encode())
+    h.update(repr(array.shape).encode())
+    h.update(array.tobytes())
+    return h.hexdigest()
+
+
+@dataclass(frozen=True)
+class ArrayHandle:
+    """Everything a worker needs to rebuild a zero-copy view of an array."""
+
+    name: str
+    digest: str
+    shape: tuple
+    dtype: str
+
+    @property
+    def nbytes(self) -> int:
+        return int(np.dtype(self.dtype).itemsize * int(np.prod(self.shape, dtype=np.int64)))
+
+
+# ----------------------------------------------------------- parent side
+#: Every segment any live pool owns: name -> SharedMemory.  Module-level so
+#: orphan cleanup and atexit can unlink without a pool reference.
+_OWNED_SEGMENTS: dict[str, shared_memory.SharedMemory] = {}
+#: name -> weakref to the owning pool; a dead ref marks the segment orphaned.
+_SEGMENT_OWNERS: dict[str, "weakref.ref[SharedArrayPool]"] = {}
+_SEGMENTS_LOCK = threading.Lock()
+
+
+def _unlink_segment(name: str) -> None:
+    with _SEGMENTS_LOCK:
+        shm = _OWNED_SEGMENTS.pop(name, None)
+        _SEGMENT_OWNERS.pop(name, None)
+    if shm is None:
+        return
+    try:
+        shm.close()
+        shm.unlink()
+    except (FileNotFoundError, OSError):  # already gone: fine
+        pass
+
+
+def release_orphaned_segments() -> int:
+    """Unlink segments whose owning pool died without closing; returns count.
+
+    Called from ``JobManager.shutdown`` and harmless to call at any time:
+    segments with a live owner are left alone.
+    """
+    with _SEGMENTS_LOCK:
+        orphaned = [
+            name
+            for name, owner in _SEGMENT_OWNERS.items()
+            if owner() is None
+        ]
+    for name in orphaned:
+        _unlink_segment(name)
+    return len(orphaned)
+
+
+def _release_all_segments() -> None:
+    with _SEGMENTS_LOCK:
+        names = list(_OWNED_SEGMENTS)
+    for name in names:
+        _unlink_segment(name)
+
+
+atexit.register(_release_all_segments)
+
+
+class SharedArrayPool:
+    """Publishes numpy arrays into shared memory, one segment per digest.
+
+    ``publish`` is content-addressed: publishing two equal arrays (or the
+    same array twice) yields one segment and one handle.  The pool owns
+    its segments; :meth:`close` unlinks them, and a pool that is garbage
+    collected without ``close`` is cleaned up by its ``weakref.finalize``
+    (and, belt and braces, by :func:`release_orphaned_segments`/atexit).
+    """
+
+    def __init__(self):
+        self._handles: dict[str, ArrayHandle] = {}
+        self._names: list[str] = []
+        self._closed = False
+        self._finalizer = weakref.finalize(
+            self, SharedArrayPool._finalize_names, self._names
+        )
+
+    @staticmethod
+    def _finalize_names(names: list[str]) -> None:
+        for name in list(names):
+            _unlink_segment(name)
+
+    def publish(self, array: np.ndarray) -> ArrayHandle:
+        """Copy ``array`` into a shared segment; returns its handle.
+
+        Raises ``OSError`` when shared memory cannot be allocated (e.g.
+        ``/dev/shm`` exhausted) — callers degrade to the thread backend.
+        """
+        if self._closed:
+            raise RuntimeError("SharedArrayPool is closed")
+        array = np.ascontiguousarray(array)
+        digest = array_digest(array)
+        handle = self._handles.get(digest)
+        if handle is not None:
+            return handle
+        shm = shared_memory.SharedMemory(create=True, size=max(array.nbytes, 1))
+        try:
+            view = np.ndarray(array.shape, dtype=array.dtype, buffer=shm.buf)
+            view[...] = array
+        except BaseException:
+            shm.close()
+            shm.unlink()
+            raise
+        handle = ArrayHandle(
+            name=shm.name, digest=digest, shape=tuple(array.shape),
+            dtype=str(array.dtype),
+        )
+        with _SEGMENTS_LOCK:
+            _OWNED_SEGMENTS[shm.name] = shm
+            _SEGMENT_OWNERS[shm.name] = weakref.ref(self)
+        self._handles[digest] = handle
+        self._names.append(shm.name)
+        return handle
+
+    @property
+    def segment_names(self) -> list[str]:
+        return list(self._names)
+
+    def close(self) -> None:
+        """Unlink every segment this pool owns (idempotent)."""
+        self._closed = True
+        for name in list(self._names):
+            _unlink_segment(name)
+        self._names.clear()
+        self._handles.clear()
+
+
+# ----------------------------------------------------------- worker side
+class WorkerContext:
+    """Per-process attachment cache: handles in, canonical array views out.
+
+    One instance per worker process (:meth:`get`).  ``attach`` maps a
+    segment, verifies its content digest, and returns a **read-only**
+    zero-copy view; repeated attaches of the same ``(name, digest)``
+    return the *same array object*, so identity-keyed registries treat
+    fold buffers exactly as they would in-process.  Attached arrays are
+    also registered for presort/substrate sharing keyed by their digest,
+    which makes final-model fits on the training matrix reuse one argsort
+    and one substrate across every candidate dispatched to this worker.
+    """
+
+    _instance: "WorkerContext | None" = None
+    _instance_lock = threading.Lock()
+
+    def __init__(self):
+        self._attached: dict[tuple[str, str], tuple] = {}
+        self._order: deque[tuple[str, str]] = deque()
+        self._lock = threading.Lock()
+
+    @classmethod
+    def get(cls) -> "WorkerContext":
+        with cls._instance_lock:
+            if cls._instance is None:
+                cls._instance = WorkerContext()
+            return cls._instance
+
+    @classmethod
+    def reset(cls) -> None:
+        """Drop the singleton (fork-in-child / test hygiene)."""
+        with cls._instance_lock:
+            instance, cls._instance = cls._instance, None
+        if instance is not None:
+            instance.detach_all()
+
+    def attach(self, handle: ArrayHandle) -> np.ndarray:
+        """A read-only numpy view of the published array (zero-copy).
+
+        A digest mismatch — a stale or recycled segment — is logged and
+        answered with a **private copy** so no content-keyed cache can
+        alias wrong data; downstream simply recomputes.
+        """
+        key = (handle.name, handle.digest)
+        with self._lock:
+            hit = self._attached.get(key)
+            if hit is not None:
+                return hit[1]
+            shm = _attach_untracked(handle.name)
+            view = np.ndarray(
+                handle.shape, dtype=np.dtype(handle.dtype), buffer=shm.buf
+            )
+            if array_digest(view) != handle.digest:
+                logger.warning(
+                    "shared segment %s failed digest verification; "
+                    "recomputing from a private copy", handle.name,
+                )
+                private = view.copy()
+                shm.close()
+                return private
+            view.setflags(write=False)
+            # Keep the registry entries alive with the attachment so every
+            # candidate dispatched to this worker shares one presort and
+            # one substrate for this buffer.
+            keepalive = (
+                share_presort(view, content_key=("segment", handle.digest)),
+                share_substrate(view, content_key=("segment", handle.digest)),
+                pin_block(view),
+            )
+            self._attached[key] = (shm, view, keepalive)
+            self._order.append(key)
+            while len(self._order) > _ATTACH_CACHE_MAX:
+                old = self._order.popleft()
+                stale = self._attached.pop(old, None)
+                if stale is not None:
+                    stale[0].close()
+            return view
+
+    def detach_all(self) -> None:
+        with self._lock:
+            for shm, _view, _keep in self._attached.values():
+                try:
+                    shm.close()
+                except OSError:
+                    pass
+            self._attached.clear()
+            self._order.clear()
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker registration.
+
+    On 3.11 every ``SharedMemory(name=...)`` attach registers with the
+    resource tracker — wrong for segments the *parent* owns: under the
+    fork context parent and children share one tracker, so unregistering
+    after the fact would strip the owner's own registration (and a
+    spawn-context worker's tracker would unlink the segment when the
+    worker exits).  Suppressing the attach-side registration keeps
+    exactly one registration per segment: the owner's.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        original = resource_tracker.register
+        resource_tracker.register = lambda *args, **kwargs: None
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = original
+    except ImportError:  # pragma: no cover - tracker API drift
+        return shared_memory.SharedMemory(name=name)
+
+
+# ----------------------------------------- content-addressed fold bundles
+class _FoldBundle:
+    """Canonical arrays of one fold plus its live registry handles."""
+
+    __slots__ = ("arrays", "handles", "__weakref__")
+
+    def __init__(self, arrays: tuple[np.ndarray, ...]):
+        self.arrays = arrays
+        # (presort, substrate) on the training matrix, pin on the test
+        # block: lazy registrations, computed on first use and shared by
+        # every objective handed this bundle.
+        X_train, _y_train, X_test, _y_test = arrays
+        self.handles = (
+            share_presort(X_train),
+            share_substrate(X_train),
+            pin_block(X_test),
+        )
+
+
+_FOLDS: dict[str, "weakref.ref[_FoldBundle]"] = {}
+_FOLDS_LOCK = threading.Lock()
+#: Strong refs to recent bundles so presorts/substrates survive between
+#: objectives (bounded; the weak registry does the actual lookups).
+_FOLD_KEEPALIVE: deque[_FoldBundle] = deque(maxlen=_FOLD_KEEPALIVE_MAX)
+
+
+def canonical_fold(
+    X_train: np.ndarray,
+    y_train: np.ndarray,
+    X_test: np.ndarray,
+    y_test: np.ndarray,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """The canonical array objects for this fold content.
+
+    Keyed by the combined content digest of all four arrays: the first
+    registration wins and later content-identical folds (other HPO
+    candidates racing the same split, in this or any worker) are handed
+    the same array objects — so the identity-keyed presort/substrate
+    registries hit, and each fold's expensive state is built once per
+    process.  Callers must treat the returned arrays as read-only.
+    """
+    parts = (X_train, y_train, X_test, y_test)
+    h = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        h.update(array_digest(part).encode())
+    key = h.hexdigest()
+    with _FOLDS_LOCK:
+        ref = _FOLDS.get(key)
+        bundle = ref() if ref is not None else None
+        if bundle is None:
+            bundle = _FoldBundle(parts)
+            _FOLDS[key] = weakref.ref(
+                bundle, lambda _ref, _key=key: _FOLDS.pop(_key, None)
+            )
+        _FOLD_KEEPALIVE.append(bundle)
+        return bundle.arrays
+
+
+def clear_fold_cache() -> None:
+    """Drop the fold keepalive (tests, memory-pressure escape hatch)."""
+    with _FOLDS_LOCK:
+        _FOLD_KEEPALIVE.clear()
