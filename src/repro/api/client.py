@@ -86,11 +86,21 @@ class SmartMLClient:
         )
 
     # ------------------------------------------------------- job lifecycle
-    def submit_experiment(self, dataset_id: int, config: dict | None = None) -> dict:
-        """Enqueue an experiment; returns the queued job (202) immediately."""
-        return self._request(
-            "POST", "/experiments", {"dataset_id": dataset_id, "config": config or {}}
-        )
+    def submit_experiment(
+        self,
+        dataset_id: int,
+        config: dict | None = None,
+        register_as: str | None = None,
+    ) -> dict:
+        """Enqueue an experiment; returns the queued job (202) immediately.
+
+        ``register_as`` asks the server to persist the winning pipeline in
+        its model registry under that id once the job completes.
+        """
+        payload: dict = {"dataset_id": dataset_id, "config": config or {}}
+        if register_as is not None:
+            payload["register_as"] = register_as
+        return self._request("POST", "/experiments", payload)
 
     def list_experiments(self) -> dict:
         """Summaries of every job the server knows about."""
@@ -133,3 +143,45 @@ class SmartMLClient:
         """Submit and block until the result is ready (submit + wait)."""
         job = self.submit_experiment(dataset_id, config)
         return self.wait_experiment(job["job_id"], timeout=self.timeout)
+
+    # ------------------------------------------------------- model serving
+    def list_models(self) -> dict:
+        """Summaries of every registered model (latest versions)."""
+        return self._request("GET", "/models")
+
+    def get_model(self, model_id: str) -> dict:
+        """One model's summary plus its available versions (404 if absent)."""
+        return self._request("GET", f"/models/{model_id}")
+
+    def delete_model(self, model_id: str) -> dict:
+        """Drop every version of a registered model."""
+        return self._request("DELETE", f"/models/{model_id}")
+
+    def predict(
+        self,
+        model_id: str,
+        rows: list,
+        proba: bool = False,
+        version: int | None = None,
+        use_ensemble: bool = False,
+        coalesce: bool = True,
+    ) -> dict:
+        """Predict rows through a registered model.
+
+        ``rows`` is a list of feature lists in the model's raw training
+        width.  Concurrent calls for the same model are micro-batched
+        server-side unless ``coalesce=False``.
+        """
+        payload: dict = {
+            "rows": rows,
+            "proba": proba,
+            "use_ensemble": use_ensemble,
+            "coalesce": coalesce,
+        }
+        if version is not None:
+            payload["version"] = version
+        return self._request("POST", f"/models/{model_id}/predict", payload)
+
+    def serving_stats(self) -> dict:
+        """Registry cache and batcher coalescing counters."""
+        return self._request("GET", "/serving/stats")

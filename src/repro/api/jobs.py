@@ -85,6 +85,7 @@ class ExperimentJob:
     phases_done: list[str] = field(default_factory=list)
     error: str | None = None
     result: dict | None = None
+    register_as: str | None = None
 
     def to_dict(self, include_result: bool = True) -> dict:
         """JSON wire form; summaries omit the (large) result payload."""
@@ -109,6 +110,7 @@ class ExperimentJob:
             },
             "error": self.error,
             "config": dict(self.config),
+            "register_as": self.register_as,
         }
         if include_result:
             payload["result"] = self.result
@@ -126,6 +128,23 @@ class _KBWrite:
         self.runs = runs
         self.done = threading.Event()
         self.dataset_id: int | None = None
+        self.error: Exception | None = None
+
+
+class _RegistryWrite:
+    """One model-registry mutation waiting for the single writer thread.
+
+    Registry register/delete share the KB writer so the registry directory
+    — like the KB log — has exactly one writing thread no matter how many
+    workers or HTTP handler threads are active.
+    """
+
+    __slots__ = ("fn", "done", "outcome", "error")
+
+    def __init__(self, fn):
+        self.fn = fn
+        self.done = threading.Event()
+        self.outcome = None
         self.error: Exception | None = None
 
 
@@ -149,12 +168,24 @@ class JobManager:
         A config that explicitly sets ``backend`` always wins.
     """
 
-    def __init__(self, smartml: SmartML, workers: int = 1, backend: str = "thread"):
+    def __init__(
+        self,
+        smartml: SmartML,
+        workers: int = 1,
+        backend: str = "thread",
+        registry=None,
+    ):
         if workers < 1:
             raise SmartMLError("workers must be >= 1")
         self.smartml = smartml
         self.workers = workers
         self.backend = validate_backend_name(backend)
+        #: Optional :class:`~repro.serving.registry.ModelRegistry`; jobs
+        #: submitted with ``register_as`` persist their winner here, and the
+        #: server routes registry mutations through :meth:`registry_apply`.
+        self.registry = (
+            registry if registry is not None else getattr(smartml, "registry", None)
+        )
         self._jobs: dict[int, ExperimentJob] = {}
         self._job_inputs: dict[int, tuple[Dataset, SmartMLConfig]] = {}
         self._ids = itertools.count(1)
@@ -162,7 +193,7 @@ class JobManager:
         self._wakeup = threading.Condition(self._lock)
         self._pending: deque[int] = deque()
         self._stopping = False
-        self._kb_queue: queue.SimpleQueue[_KBWrite | None] = queue.SimpleQueue()
+        self._kb_queue: queue.SimpleQueue[_KBWrite | _RegistryWrite | None] = queue.SimpleQueue()
         self._kb_writer = threading.Thread(
             target=self._kb_writer_loop, name="smartml-kb-writer", daemon=True
         )
@@ -177,16 +208,31 @@ class JobManager:
             thread.start()
 
     # ----------------------------------------------------------------- API
-    def submit(self, dataset: Dataset, dataset_id: int, config_payload: dict | None) -> ExperimentJob:
+    def submit(
+        self,
+        dataset: Dataset,
+        dataset_id: int,
+        config_payload: dict | None,
+        register_as: str | None = None,
+    ) -> ExperimentJob:
         """Validate and enqueue an experiment; returns the queued job.
 
         Raises :class:`~repro.exceptions.ConfigurationError` (hence a 400 at
         the HTTP layer) *before* anything is enqueued when the config is
-        invalid — failures a client can fix never enter the queue.
+        invalid — failures a client can fix never enter the queue.  The same
+        goes for ``register_as``: a bad model id or a registry-less server
+        rejects at submit time, not after minutes of tuning.
         """
         payload = dict(config_payload or {})
         payload.setdefault("backend", self.backend)
         config = SmartMLConfig.from_dict(payload)
+        if register_as is not None:
+            if self.registry is None:
+                raise SmartMLError(
+                    "this server has no model registry; start it with a "
+                    "registry to use register_as"
+                )
+            self.registry.validate_model_id(register_as)
         with self._lock:
             if self._stopping:
                 raise JobStateError("server is shutting down; not accepting jobs")
@@ -195,6 +241,7 @@ class JobManager:
                 dataset_id=dataset_id,
                 dataset_name=dataset.name,
                 config=config.to_dict(),
+                register_as=register_as,
             )
             self._jobs[job.job_id] = job
             self._job_inputs[job.job_id] = (dataset, config)
@@ -296,9 +343,20 @@ class JobManager:
                         _job.phases_done.append(_job.phase)
                     _job.phase = phase
 
+            # Registration kwargs only when requested, so drop-in SmartML
+            # stand-ins with the pre-registry run() signature keep working.
+            registration_kwargs = (
+                {"register_as": job.register_as, "registry_sink": self._registry_sink}
+                if job.register_as is not None
+                else {}
+            )
             try:
                 result = self.smartml.run(
-                    dataset, config, on_phase=on_phase, kb_sink=self._kb_sink
+                    dataset,
+                    config,
+                    on_phase=on_phase,
+                    kb_sink=self._kb_sink,
+                    **registration_kwargs,
                 )
                 payload = result.to_dict()
                 with self._lock:
@@ -329,11 +387,44 @@ class JobManager:
             raise item.error
         return item.dataset_id
 
+    # ------------------------------------------------------- registry writer
+    def registry_apply(self, fn):
+        """Run a registry mutation on the single writer thread; return its value.
+
+        The HTTP layer calls this for ``register``/``delete`` so registry
+        directory writes observe the same one-writer discipline as KB
+        appends, even with many concurrent handler threads.
+        """
+        if self.registry is None:
+            raise SmartMLError("this server has no model registry")
+        item = _RegistryWrite(fn)
+        self._kb_queue.put(item)
+        while not item.done.wait(timeout=1.0):
+            if not self._kb_writer.is_alive():
+                raise SmartMLError("writer thread stopped before the registry write landed")
+        if item.error is not None:
+            raise item.error
+        return item.outcome
+
+    def _registry_sink(self, model_id, result, dataset) -> dict:
+        """``registry_sink`` hook for :meth:`SmartML.run` (worker threads)."""
+        return self.registry_apply(
+            lambda: self.registry.register(model_id, result, dataset=dataset)
+        )
+
     def _kb_writer_loop(self) -> None:
         while True:
             item = self._kb_queue.get()
             if item is None:
                 return
+            if isinstance(item, _RegistryWrite):
+                try:
+                    item.outcome = item.fn()
+                except Exception as exc:
+                    item.error = exc
+                finally:
+                    item.done.set()
+                continue
             try:
                 item.dataset_id = self.smartml.kb.add_result_batch(
                     item.dataset_name, item.metafeatures, item.runs

@@ -20,6 +20,12 @@ POST      /experiments           **enqueue** a pipeline run; returns 202 with
 GET       /experiments           list all jobs (summaries, no result payload)
 GET       /experiments/<id>      job status/progress/timings + result when done
 DELETE    /experiments/<id>      cancel a *queued* job (409 once running)
+GET       /models                list registered models (latest versions)
+GET       /models/<id>           one model's summary + available versions
+DELETE    /models/<id>           drop every version of a registered model
+POST      /models/<id>/predict   predict rows through a registered model;
+                                 concurrent requests are micro-batched
+GET       /serving/stats         registry cache + batcher coalescing counters
 ========  =====================  ==============================================
 
 All requests and responses are JSON.  Experiments execute on a background
@@ -41,6 +47,7 @@ from repro.core import SmartML
 from repro.data.io import parse_arff_text, parse_csv_text
 from repro.exceptions import SmartMLError
 from repro.metafeatures import MetaFeatures, extract_metafeatures
+from repro.serving import ModelRegistry, PredictionBatcher
 
 __all__ = ["SmartMLServer"]
 
@@ -59,6 +66,13 @@ class SmartMLServer:
     backend:
         Default execution backend for submitted experiments whose config
         does not name one (``serial`` | ``thread`` | ``process``).
+    registry:
+        Model registry serving ``/models``.  When omitted, one is built
+        from ``registry_dir`` (durable) or in memory (``registry_dir``
+        ``None``) — either way the endpoints are always available.
+    batch_window_s:
+        Micro-batching window for ``POST /models/<id>/predict``; requests
+        for the same model arriving within this window share one pass.
     """
 
     def __init__(
@@ -68,10 +82,22 @@ class SmartMLServer:
         port: int = 0,
         workers: int = 1,
         backend: str = "thread",
+        registry: ModelRegistry | None = None,
+        registry_dir=None,
+        batch_window_s: float = 0.002,
     ):
         self.smartml = smartml or SmartML()
         self.host = host
-        self.jobs = JobManager(self.smartml, workers=workers, backend=backend)
+        self.registry = (
+            registry
+            if registry is not None
+            else (self.smartml.registry or ModelRegistry(registry_dir))
+        )
+        self.smartml.registry = self.registry
+        self.jobs = JobManager(
+            self.smartml, workers=workers, backend=backend, registry=self.registry
+        )
+        self.batcher = PredictionBatcher(self.registry, window_s=batch_window_s)
         self._datasets: dict[int, object] = {}
         self._next_dataset_id = 1
         self._lock = threading.Lock()
@@ -95,6 +121,7 @@ class SmartMLServer:
         self._httpd.server_close()
         if self._thread is not None:
             self._thread.join(timeout=5)
+        self.batcher.shutdown()
         self.jobs.shutdown()
 
     @property
@@ -177,7 +204,12 @@ class SmartMLServer:
         if not isinstance(dataset_id, int):
             raise SmartMLError("payload must contain an integer 'dataset_id'")
         ds = self._get_dataset(dataset_id)
-        job = self.jobs.submit(ds, dataset_id, payload.get("config", {}))
+        job = self.jobs.submit(
+            ds,
+            dataset_id,
+            payload.get("config", {}),
+            register_as=payload.get("register_as"),
+        )
         return job.to_dict(include_result=False)
 
     def _list_experiments(self) -> dict:
@@ -193,6 +225,57 @@ class SmartMLServer:
         return {
             "datasets": self.smartml.kb.n_datasets(),
             "runs": self.smartml.kb.n_runs(),
+        }
+
+    # ------------------------------------------------------ model endpoints
+    def _list_models(self) -> dict:
+        return {"models": self.registry.list_models()}
+
+    def _get_model(self, model_id: str) -> dict:
+        return self.registry.info(model_id)
+
+    def _delete_model(self, model_id: str) -> dict:
+        # Mutation: route through the job manager's single writer thread so
+        # the registry directory never sees two writers.
+        return self.jobs.registry_apply(lambda: self.registry.delete(model_id))
+
+    def _predict(self, model_id: str, payload: dict) -> dict:
+        rows = payload.get("rows")
+        if not isinstance(rows, list) or not rows:
+            raise SmartMLError("payload must contain a non-empty 'rows' list")
+        proba = bool(payload.get("proba", False))
+        version = payload.get("version")
+        if version is not None:
+            version = int(version)
+        entry = self.registry.load(model_id, version)
+        out = self.batcher.predict(
+            model_id,
+            rows,
+            proba=proba,
+            # Pin the resolved version so the response header and the pass
+            # agree even if a re-register lands mid-request.
+            version=entry.version,
+            use_ensemble=bool(payload.get("use_ensemble", False)),
+            coalesce=bool(payload.get("coalesce", True)),
+        )
+        response = {
+            "model_id": entry.model_id,
+            "version": entry.version,
+            "n_rows": int(out.shape[0]),
+        }
+        if proba:
+            response["probabilities"] = out.tolist()
+            response["class_names"] = list(entry.class_names)
+        else:
+            predictions = out.astype(int).tolist()
+            response["predictions"] = predictions
+            response["labels"] = entry.labels_for(out)
+        return response
+
+    def _serving_stats(self) -> dict:
+        return {
+            "registry": self.registry.cache_info(),
+            "batcher": self.batcher.stats().to_dict(),
         }
 
     # -------------------------------------------------------------- plumbing
@@ -243,6 +326,13 @@ class SmartMLServer:
                     elif self.path.startswith("/metafeatures/"):
                         dataset_id = int(self.path.rsplit("/", 1)[1])
                         self._reply(200, server._metafeatures(dataset_id))
+                    elif self.path == "/models":
+                        self._reply(200, server._list_models())
+                    elif self.path.startswith("/models/"):
+                        model_id = self.path.split("/", 2)[2]
+                        self._reply(200, server._get_model(model_id))
+                    elif self.path == "/serving/stats":
+                        self._reply(200, server._serving_stats())
                     else:
                         self._reply(404, {"error": f"unknown path {self.path}"})
                 except (SmartMLError, ValueError) as exc:
@@ -257,6 +347,11 @@ class SmartMLServer:
                         self._reply(200, server._nominate(payload))
                     elif self.path == "/experiments":
                         self._reply(202, server._submit_experiment(payload))
+                    elif self.path.startswith("/models/") and self.path.endswith(
+                        "/predict"
+                    ):
+                        model_id = self.path.split("/", 2)[2][: -len("/predict")]
+                        self._reply(200, server._predict(model_id, payload))
                     else:
                         self._reply(404, {"error": f"unknown path {self.path}"})
                 except (SmartMLError, ValueError) as exc:
@@ -267,6 +362,9 @@ class SmartMLServer:
                     if self.path.startswith("/experiments/"):
                         job_id = int(self.path.rsplit("/", 1)[1])
                         self._reply(200, server._cancel_experiment(job_id))
+                    elif self.path.startswith("/models/"):
+                        model_id = self.path.split("/", 2)[2]
+                        self._reply(200, server._delete_model(model_id))
                     else:
                         self._reply(404, {"error": f"unknown path {self.path}"})
                 except (SmartMLError, ValueError) as exc:

@@ -20,6 +20,28 @@ neighbour orderings, sufficient statistics).  ``fit`` receives the exact
 array object the caller registered — ``check_Xy`` only converts when the
 input is not already a float64 matrix — which is what makes identity
 keying safe.
+
+Serialization contract
+----------------------
+A fitted classifier must round-trip through the stdlib pickle *protocol*
+(``__getstate__`` / ``__setstate__``) with **bit-identical** predictions:
+the model registry (:mod:`repro.serving`) and the process backend both
+ship models across memory/process boundaries this way.  Concretely:
+
+* fitted state must consist of primitives, numpy arrays of numeric dtype,
+  containers of those, and instances of ``repro.*`` classes that honour
+  the same contract — no lambdas, no open handles, no foreign objects;
+* anything derived lazily from the training matrix (cached Grams,
+  neighbour orderings, densities) must either be dropped in
+  ``__getstate__`` and rebuilt on demand to the same bits — the
+  ``Substrate`` convention — or be a pure function of serialised state;
+* no family needs a custom hook unless it holds such caches: the default
+  ``__dict__``/``__slots__`` state is serialised as-is by the registry's
+  typed codec (:mod:`repro.serving.codec`), with array dtypes and byte
+  order pinned.
+
+``tests/test_serving_registry.py`` enforces the round-trip for every
+registry entry, so a new family is covered the moment it is registered.
 """
 
 from __future__ import annotations

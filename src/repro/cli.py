@@ -11,12 +11,18 @@ APIs; this module is the command-line face of the Python reproduction:
     Run the full pipeline on a CSV/ARFF file (or a built-in dataset).
 ``repro nominate --dataset my.csv --target label --kb kb.jsonl``
     Algorithm selection only (no tuning).
-``repro serve --port 8080 --kb kb.jsonl --workers 2``
-    Start the REST server with an async experiment worker pool.
+``repro serve --port 8080 --kb kb.jsonl --workers 2 --registry models/``
+    Start the REST server with an async experiment worker pool and a
+    durable model registry.
 ``repro submit --dataset my.csv --target label --port 8080 [--wait]``
-    Upload a dataset to a running server and enqueue an experiment job.
+    Upload a dataset to a running server and enqueue an experiment job
+    (``--register-as my-model`` persists the winner in the registry).
 ``repro status --port 8080 [--job 3]``
     List a running server's experiment jobs, or show one job in full.
+``repro models --port 8080 [--model id] [--delete id]``
+    List, inspect, or delete a server's registered models.
+``repro predict --model id --rows '[[...]]' --port 8080``
+    Predict rows through a registered model on a running server.
 """
 
 from __future__ import annotations
@@ -110,11 +116,26 @@ def cmd_run(args, out) -> int:
             backend=args.backend,
             seed=args.seed,
         )
-        result = SmartML(kb).run(dataset, config)
+        registry = None
+        if args.register_as:
+            if not args.registry:
+                raise SmartMLError("--register-as requires --registry DIR")
+            from repro.serving import ModelRegistry
+
+            registry = ModelRegistry(args.registry)
+        result = SmartML(kb, model_registry=registry).run(
+            dataset, config, register_as=args.register_as or None
+        )
         if args.json:
             print(json.dumps(result.to_dict(), indent=2), file=out)
         else:
             print(result.describe(), file=out)
+            if result.registration:
+                print(
+                    f"registered as {result.registration['model_id']!r} "
+                    f"v{result.registration['version']} in {args.registry}",
+                    file=out,
+                )
         return 0
     finally:
         kb.close()
@@ -148,12 +169,15 @@ def cmd_serve(args, out) -> int:  # pragma: no cover - blocking loop
     kb = _open_kb(args)
     server = SmartMLServer(
         SmartML(kb), host=args.host, port=args.port, workers=args.workers,
-        backend=args.backend,
+        backend=args.backend, registry_dir=args.registry,
+    )
+    registry_note = (
+        f"registry at {args.registry}" if args.registry else "in-memory registry"
     )
     print(
         f"SmartML REST server on {server.base_url} "
-        f"({args.workers} experiment worker(s), {args.backend} backend; "
-        "Ctrl-C to stop)",
+        f"({args.workers} experiment worker(s), {args.backend} backend, "
+        f"{registry_note}; Ctrl-C to stop)",
         file=out,
     )
     try:
@@ -178,10 +202,13 @@ def cmd_submit(args, out) -> int:
     config.setdefault("time_budget_s", args.budget)
     config.setdefault("n_algorithms", args.algorithms)
     config.setdefault("seed", args.seed)
-    job = client.submit_experiment(upload["dataset_id"], config)
+    job = client.submit_experiment(
+        upload["dataset_id"], config, register_as=args.register_as or None
+    )
+    registered = f", will register as {args.register_as!r}" if args.register_as else ""
     print(
         f"job {job['job_id']} {job['status']} "
-        f"(dataset {upload['dataset_id']}: {dataset.name})",
+        f"(dataset {upload['dataset_id']}: {dataset.name}{registered})",
         file=out,
     )
     if args.wait:
@@ -218,6 +245,68 @@ def cmd_status(args, out) -> int:
             f"{phase:22s} {run_s:>8s}",
             file=out,
         )
+    return 0
+
+
+def cmd_models(args, out) -> int:
+    from repro.api import SmartMLClient
+
+    client = SmartMLClient(host=args.host, port=args.port)
+    if args.delete:
+        deleted = client.delete_model(args.delete)
+        print(
+            f"deleted {deleted['model_id']!r} "
+            f"(versions {deleted['deleted_versions']})",
+            file=out,
+        )
+        return 0
+    if args.model:
+        print(json.dumps(client.get_model(args.model), indent=2), file=out)
+        return 0
+    models = client.list_models()["models"]
+    if not models:
+        print("no registered models", file=out)
+        return 0
+    print(f"{'model':24s} {'ver':>4s} {'algorithm':14s} {'val_acc':>8s} {'d':>4s} {'k':>3s}", file=out)
+    for model in models:
+        if "error" in model:
+            print(f"{model['model_id']:24s} !! {model['error']}", file=out)
+            continue
+        acc = model.get("validation_accuracy")
+        print(
+            f"{model['model_id']:24s} {model['version']:>4d} "
+            f"{(model.get('algorithm') or '-'):14s} "
+            f"{acc:8.4f} {model['n_features']:>4d} {model['n_classes']:>3d}"
+            if acc is not None
+            else f"{model['model_id']:24s} {model['version']:>4d}",
+            file=out,
+        )
+    return 0
+
+
+def cmd_predict(args, out) -> int:
+    from repro.api import SmartMLClient
+
+    try:
+        rows = json.loads(args.rows)
+    except json.JSONDecodeError as exc:
+        raise SmartMLError(f"--rows must be a JSON list of rows: {exc}") from exc
+    client = SmartMLClient(host=args.host, port=args.port)
+    response = client.predict(
+        args.model, rows, proba=args.proba, version=args.version
+    )
+    if args.json:
+        print(json.dumps(response, indent=2), file=out)
+    elif args.proba:
+        names = response["class_names"]
+        for row in response["probabilities"]:
+            print(
+                "  ".join(f"{name}={p:.4f}" for name, p in zip(names, row)),
+                file=out,
+            )
+    else:
+        for code, label in zip(response["predictions"], response["labels"]):
+            print(f"{code} ({label})", file=out)
     return 0
 
 
@@ -258,6 +347,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="execution backend for candidate evaluation (default thread)",
     )
     p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument(
+        "--register-as", dest="register_as",
+        help="persist the winning pipeline in the model registry under this id",
+    )
+    p_run.add_argument(
+        "--registry", help="model registry directory (required with --register-as)"
+    )
 
     p_nom = sub.add_parser("nominate", help="algorithm selection only")
     p_nom.add_argument("--dataset", required=True)
@@ -277,6 +373,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--backend", choices=["serial", "thread", "process"], default="thread",
         help="default execution backend for submitted experiments (default thread)",
     )
+    p_serve.add_argument(
+        "--registry",
+        help="model registry directory (omit for an in-memory registry)",
+    )
 
     p_submit = sub.add_parser("submit", help="submit an experiment job to a server")
     p_submit.add_argument("--dataset", required=True, help="registry key or csv/arff path")
@@ -289,11 +389,33 @@ def build_parser() -> argparse.ArgumentParser:
     p_submit.add_argument("--config", help="extra config as a JSON object (overrides flags)")
     p_submit.add_argument("--wait", action="store_true", help="poll until the job finishes")
     p_submit.add_argument("--json", action="store_true", help="with --wait: emit result JSON")
+    p_submit.add_argument(
+        "--register-as", dest="register_as",
+        help="register the winning pipeline in the server's model registry",
+    )
 
     p_status = sub.add_parser("status", help="show a server's experiment jobs")
     p_status.add_argument("--host", default="127.0.0.1")
     p_status.add_argument("--port", type=int, default=8080)
     p_status.add_argument("--job", type=int, help="show this job in full (JSON)")
+
+    p_models = sub.add_parser("models", help="list/inspect/delete registered models")
+    p_models.add_argument("--host", default="127.0.0.1")
+    p_models.add_argument("--port", type=int, default=8080)
+    p_models.add_argument("--model", help="show this model in full (JSON)")
+    p_models.add_argument("--delete", help="delete this model (all versions)")
+
+    p_predict = sub.add_parser("predict", help="predict rows through a registered model")
+    p_predict.add_argument("--model", required=True, help="registered model id")
+    p_predict.add_argument(
+        "--rows", required=True,
+        help="JSON list of feature rows, e.g. '[[5.1, 3.5, 1.4, 0.2]]'",
+    )
+    p_predict.add_argument("--host", default="127.0.0.1")
+    p_predict.add_argument("--port", type=int, default=8080)
+    p_predict.add_argument("--version", type=int, help="pin a model version")
+    p_predict.add_argument("--proba", action="store_true", help="class probabilities")
+    p_predict.add_argument("--json", action="store_true", help="emit the raw response")
 
     return parser
 
@@ -306,6 +428,8 @@ COMMANDS = {
     "serve": cmd_serve,
     "submit": cmd_submit,
     "status": cmd_status,
+    "models": cmd_models,
+    "predict": cmd_predict,
 }
 
 

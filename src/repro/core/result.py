@@ -71,6 +71,7 @@ class SmartMLResult:
     phase_seconds: dict[str, float] = field(default_factory=dict)
     kb_dataset_id: int | None = None
     used_meta_learning: bool = False
+    registration: dict | None = None
 
     def to_dict(self) -> dict:
         """JSON-friendly summary for the REST API and the demo output."""
@@ -101,6 +102,7 @@ class SmartMLResult:
             "phase_seconds": dict(self.phase_seconds),
             "kb_dataset_id": self.kb_dataset_id,
             "used_meta_learning": self.used_meta_learning,
+            "registration": dict(self.registration) if self.registration else None,
         }
 
     def predict(self, dataset: Dataset, use_ensemble: bool = False) -> np.ndarray:

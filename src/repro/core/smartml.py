@@ -31,6 +31,7 @@ from repro.data.dataset import Dataset
 from repro.ensemble import build_weighted_ensemble
 from repro.evaluation.metrics import accuracy
 from repro.evaluation.resampling import train_validation_split
+from repro.exceptions import SmartMLError
 from repro.hpo import allocate_budget, uniform_budget
 from repro.interpret import permutation_importance
 from repro.kb import KnowledgeBase
@@ -54,8 +55,15 @@ class SmartML:
     smarter — the paper's central loop.
     """
 
-    def __init__(self, knowledge_base: KnowledgeBase | None = None):
+    def __init__(
+        self,
+        knowledge_base: KnowledgeBase | None = None,
+        model_registry=None,
+    ):
         self.kb = knowledge_base if knowledge_base is not None else KnowledgeBase()
+        #: Optional :class:`~repro.serving.registry.ModelRegistry`; when set,
+        #: ``run(..., register_as=...)`` persists the winning pipeline there.
+        self.registry = model_registry
 
     # ------------------------------------------------------------------ run
     def run(
@@ -64,6 +72,8 @@ class SmartML:
         config: SmartMLConfig | None = None,
         on_phase: Callable[[str], None] | None = None,
         kb_sink: Callable[..., int] | None = None,
+        register_as: str | None = None,
+        registry_sink: Callable[..., dict] | None = None,
     ) -> SmartMLResult:
         """Execute the full pipeline on ``dataset``.
 
@@ -81,8 +91,27 @@ class SmartML:
             dataset id.  The job service passes its single-writer batcher
             here so concurrent workers never write the store directly.
             ``None`` (the default) appends inline, as a single batch.
+        register_as:
+            Optional model id; when set, the winning pipeline is persisted
+            to the model registry once the run completes, and
+            ``result.registration`` records the id/version it landed as.
+        registry_sink:
+            Optional override for the registry write, mirroring ``kb_sink``.
+            Called as ``registry_sink(model_id, result, dataset)``; must
+            return the registration summary dict.  ``None`` writes through
+            ``self.registry`` directly.
         """
         config = config or SmartMLConfig()
+        if register_as is not None:
+            # Fail before any tuning happens, not after minutes of work.
+            from repro.serving.registry import ModelRegistry
+
+            ModelRegistry.validate_model_id(register_as)
+            if registry_sink is None and self.registry is None:
+                raise SmartMLError(
+                    "register_as requires a model registry: construct "
+                    "SmartML(model_registry=...) or pass registry_sink"
+                )
         rng = np.random.default_rng(config.seed)
         phase_seconds: dict[str, float] = {}
         notify = on_phase if on_phase is not None else (lambda phase: None)
@@ -209,6 +238,17 @@ class SmartML:
             sink = kb_sink if kb_sink is not None else self.kb.add_result_batch
             result.kb_dataset_id = sink(dataset.name, metafeatures, runs)
         phase_seconds["kb_update"] = time.monotonic() - started
+
+        if register_as is not None:
+            notify("model_registration")
+            started = time.monotonic()
+            reg_sink = (
+                registry_sink
+                if registry_sink is not None
+                else (lambda mid, res, ds: self.registry.register(mid, res, dataset=ds))
+            )
+            result.registration = reg_sink(register_as, result, dataset)
+            phase_seconds["model_registration"] = time.monotonic() - started
 
         result.phase_seconds = phase_seconds
         return result

@@ -1,0 +1,125 @@
+"""Shared CRC-checked snapshot plumbing.
+
+Both durable sidecars in the system — the knowledge-base log checkpoints
+(:mod:`repro.kb.store`) and the model-registry snapshots
+(:mod:`repro.serving.registry`) — need the same three guarantees:
+
+* **atomic replacement** — a snapshot file is either the old complete
+  version or the new complete version, never a torn mix
+  (:func:`atomic_write_bytes`: temp file + ``fsync`` + ``os.replace``);
+* **bit-rot detection** — payload bytes travel with a CRC32 that is
+  verified before anything is deserialised (:func:`frame_blob` /
+  :func:`unframe_blob`, and the per-table helpers
+  :func:`crc_tables` / :func:`verify_crc_tables` the store embeds in its
+  marshal payload);
+* **schema versioning** — every frame names its format version so a
+  reader can reject (or fall back from) a snapshot written by a different
+  schema instead of misinterpreting it.
+
+``marshal`` is the serialiser of choice on top of these helpers: it is
+the fastest stdlib option for JSON-shaped data and a corrupt or hostile
+blob can at worst raise — caught by the caller — never execute code.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+from pathlib import Path
+
+from repro.exceptions import SmartMLError
+
+__all__ = [
+    "SnapshotIntegrityError",
+    "SnapshotSchemaError",
+    "atomic_write_bytes",
+    "frame_blob",
+    "unframe_blob",
+    "crc_tables",
+    "verify_crc_tables",
+]
+
+
+class SnapshotIntegrityError(SmartMLError):
+    """A snapshot file is corrupt, truncated, or mislabelled."""
+
+
+class SnapshotSchemaError(SnapshotIntegrityError):
+    """A snapshot was written under a different (incompatible) schema."""
+
+
+#: Fixed-size frame header: 4-byte magic, u32 format, u32 crc32, u64 length.
+_HEADER = struct.Struct("<4sIIQ")
+
+
+def atomic_write_bytes(path: str | Path, blob: bytes) -> None:
+    """Write ``blob`` to ``path`` atomically (temp file + fsync + replace)."""
+    path = Path(path)
+    tmp = path.with_suffix(path.suffix + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(blob)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+
+
+def frame_blob(payload: bytes, magic: bytes, format_version: int) -> bytes:
+    """Wrap ``payload`` in a CRC-checked, schema-versioned frame."""
+    if len(magic) != 4:
+        raise ValueError("magic must be exactly 4 bytes")
+    header = _HEADER.pack(magic, format_version, zlib.crc32(payload), len(payload))
+    return header + payload
+
+
+def unframe_blob(data: bytes, magic: bytes, format_version: int, what: str = "snapshot") -> bytes:
+    """Validate a frame written by :func:`frame_blob`; returns the payload.
+
+    Raises :class:`SnapshotIntegrityError` on truncation, wrong magic, or a
+    CRC mismatch, and :class:`SnapshotSchemaError` when the format version
+    differs from ``format_version`` — callers choose whether that is fatal
+    (the model registry: fail loudly) or a fallback trigger (the KB store:
+    replay the log).
+    """
+    if len(data) < _HEADER.size:
+        raise SnapshotIntegrityError(
+            f"{what} is truncated: {len(data)} bytes is shorter than the "
+            f"{_HEADER.size}-byte header"
+        )
+    got_magic, got_format, crc, length = _HEADER.unpack_from(data)
+    if got_magic != magic:
+        raise SnapshotIntegrityError(
+            f"{what} has wrong magic {got_magic!r} (expected {magic!r}); "
+            "this is not the file format it claims to be"
+        )
+    if got_format != format_version:
+        raise SnapshotSchemaError(
+            f"{what} uses schema version {got_format} but this build reads "
+            f"version {format_version}; refusing to guess at the layout"
+        )
+    payload = data[_HEADER.size :]
+    if len(payload) != length:
+        raise SnapshotIntegrityError(
+            f"{what} is truncated: header promises {length} payload bytes "
+            f"but {len(payload)} are present"
+        )
+    if zlib.crc32(payload) != crc:
+        raise SnapshotIntegrityError(f"{what} failed its CRC32 check (bit rot or tampering)")
+    return payload
+
+
+def crc_tables(tables: dict[str, bytes]) -> dict[str, int]:
+    """CRC32 per named blob, stored alongside the blobs themselves."""
+    return {name: zlib.crc32(blob) for name, blob in tables.items()}
+
+
+def verify_crc_tables(tables: dict[str, bytes], crcs: dict[str, int]) -> bool:
+    """Whether every named blob matches its recorded CRC32."""
+    if not isinstance(tables, dict) or not isinstance(crcs, dict):
+        return False
+    for name, blob in tables.items():
+        if not isinstance(name, str) or not isinstance(blob, bytes):
+            return False
+        if zlib.crc32(blob) != crcs.get(name):
+            return False
+    return True

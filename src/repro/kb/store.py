@@ -48,11 +48,11 @@ import marshal
 import os
 import sys
 import threading
-import zlib
 from contextlib import contextmanager
 from pathlib import Path
 
 from repro.exceptions import KnowledgeBaseError
+from repro.kb.snapshots import atomic_write_bytes, crc_tables, verify_crc_tables
 
 __all__ = ["RecordStore"]
 
@@ -171,14 +171,8 @@ class RecordStore:
             if prefix_digest.hexdigest() != snap["log_prefix_md5"]:
                 return 0  # log was rewritten (compaction/repair): replay it
             tables = snap["tables"]
-            crcs = snap["table_crc32"]
-            if not isinstance(tables, dict):
-                return 0
-            for name, blob in tables.items():
-                if not isinstance(name, str) or not isinstance(blob, bytes):
-                    return 0
-                if zlib.crc32(blob) != crcs.get(name):
-                    return 0  # bit rot in the sidecar: replay instead
+            if not verify_crc_tables(tables, snap["table_crc32"]):
+                return 0  # bit rot in the sidecar: replay instead
             next_id = int(snap["next_id"])
         except Exception:
             # A damaged snapshot must never take the store down — the log
@@ -380,15 +374,9 @@ class RecordStore:
                 "log_offset": self._log_bytes,
                 "log_prefix_md5": self._digest.hexdigest(),
                 "tables": tables,
-                "table_crc32": {name: zlib.crc32(data) for name, data in tables.items()},
+                "table_crc32": crc_tables(tables),
             }
-            blob = marshal.dumps(payload)
-            tmp = snapshot_path.with_suffix(".tmp")
-            with open(tmp, "wb") as fh:
-                fh.write(blob)
-                fh.flush()
-                os.fsync(fh.fileno())
-            os.replace(tmp, snapshot_path)
+            atomic_write_bytes(snapshot_path, marshal.dumps(payload))
         except Exception:
             if raise_on_error:
                 raise

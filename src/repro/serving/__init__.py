@@ -1,0 +1,42 @@
+"""Prediction serving: model registry + micro-batched predict execution.
+
+The paper positions SmartML as a service; PRs 1–6 made *experiments* fast
+and async, but the service could not yet serve the thing millions of users
+actually request — predictions from a model that finished tuning last
+week.  This package adds that layer:
+
+* :mod:`repro.serving.codec` — a marshal-backed, code-execution-safe
+  serialiser for fitted pipelines (numpy arrays pinned to little-endian
+  float/int layouts; class instances restored through the same
+  ``__getstate__``/``__setstate__`` contract the process backend already
+  relies on);
+* :mod:`repro.serving.registry` — a durable, versioned, CRC-checked
+  on-disk model registry with lazy loads and LRU eviction;
+* :mod:`repro.serving.batcher` — a micro-batching layer that coalesces
+  concurrent predict requests into one batch pass over the flat-tree /
+  substrate engines, returning per-request slices with order preserved
+  and per-request error isolation.
+
+See ``docs/serving.md``.
+"""
+
+from repro.serving.batcher import BatcherStats, PredictionBatcher
+from repro.serving.codec import CodecError, decode_state, encode_state
+from repro.serving.registry import (
+    ModelNotFoundError,
+    ModelRegistry,
+    RegisteredModel,
+    RegistryError,
+)
+
+__all__ = [
+    "ModelRegistry",
+    "RegisteredModel",
+    "RegistryError",
+    "ModelNotFoundError",
+    "PredictionBatcher",
+    "BatcherStats",
+    "encode_state",
+    "decode_state",
+    "CodecError",
+]

@@ -1,0 +1,174 @@
+"""Typed state codec for fitted pipelines (marshal-backed, pickle-free).
+
+The model registry must persist fitted models across restarts with two
+properties the obvious tool (pickle) cannot give simultaneously:
+
+* **safety** — a registry directory is long-lived, shared state; a corrupt
+  or hostile snapshot must at worst raise, never execute code.  Like the
+  KB snapshots, everything here bottoms out in ``marshal`` over primitive
+  types, and object reconstruction is restricted to classes resolved from
+  ``repro.*`` modules by name;
+* **bit-identity** — a reloaded model must predict exactly what the
+  in-memory model predicted.  Numpy arrays are serialised with their
+  dtype and byte order pinned (stored little-endian, converted back to
+  the native order on load), shapes exact, C-contiguous.
+
+Object graphs are walked through the stdlib pickle *protocol* without the
+pickle *format*: every instance contributes ``obj.__getstate__()`` and is
+restored via ``cls.__new__(cls)`` + ``__setstate__`` (or the standard
+``(dict, slots)`` application when no custom hook exists).  PR 6 already
+made the fitted families cross process boundaries through exactly this
+contract — e.g. :class:`~repro.classifiers.substrate.Substrate` reduces
+itself to its training matrix and rebuilds caches lazily and
+bit-identically — so the registry serialises every classifier family,
+preprocessing pipeline, and ensemble without per-call special cases.
+"""
+
+from __future__ import annotations
+
+import importlib
+import sys
+
+import numpy as np
+
+from repro.exceptions import SmartMLError
+
+__all__ = ["CodecError", "encode_state", "decode_state"]
+
+
+class CodecError(SmartMLError):
+    """A value cannot be encoded, or an encoded tree is malformed."""
+
+
+#: Only classes defined under this package root may be reconstructed.
+_TRUSTED_ROOT = "repro"
+
+_PRIMITIVES = (type(None), bool, int, float, str, bytes)
+
+
+def _encode_array(array: np.ndarray):
+    if array.dtype.kind not in "biufc":
+        raise CodecError(
+            f"cannot serialise array of dtype {array.dtype}: only "
+            "bool/int/uint/float/complex arrays round-trip bit-exactly"
+        )
+    little = array.dtype.newbyteorder("<")
+    data = np.ascontiguousarray(array.astype(little, copy=False))
+    return ("nd", (little.str, tuple(int(s) for s in array.shape), data.tobytes()))
+
+
+def _decode_array(payload) -> np.ndarray:
+    descr, shape, raw = payload
+    dtype = np.dtype(descr)
+    array = np.frombuffer(raw, dtype=dtype).reshape(shape)
+    # Native byte order + writable copy: models mutate nothing, but the
+    # decoded state must be indistinguishable from freshly-fitted state.
+    return array.astype(dtype.newbyteorder("="), copy=True)
+
+
+def encode_state(value):
+    """Encode ``value`` into a marshal-compatible tagged tree."""
+    # Numpy scalars first: np.float64 *subclasses* float (np.complex128
+    # subclasses complex), so the primitive check would otherwise swallow
+    # them and lose the dtype.  Scalars travel as 0-d arrays.
+    if isinstance(value, np.ndarray):
+        return _encode_array(value)
+    if isinstance(value, np.generic):
+        tag, payload = _encode_array(np.asarray(value))
+        return ("ns", payload)
+    if isinstance(value, _PRIMITIVES):
+        return ("x", value)
+    if isinstance(value, list):
+        return ("li", [encode_state(item) for item in value])
+    if isinstance(value, tuple):
+        return ("tu", tuple(encode_state(item) for item in value))
+    if isinstance(value, dict):
+        return (
+            "di",
+            tuple((encode_state(k), encode_state(v)) for k, v in value.items()),
+        )
+    cls = type(value)
+    module = cls.__module__
+    if not (module == _TRUSTED_ROOT or module.startswith(_TRUSTED_ROOT + ".")):
+        raise CodecError(
+            f"refusing to serialise {cls.__qualname__} from module {module!r}: "
+            f"only classes under {_TRUSTED_ROOT!r} round-trip through the registry"
+        )
+    try:
+        state = value.__getstate__()
+    except Exception as exc:  # pragma: no cover - defensive
+        raise CodecError(f"{cls.__qualname__}.__getstate__ failed: {exc}") from exc
+    return ("ob", (module, cls.__qualname__, encode_state(state)))
+
+
+def _resolve_class(module: str, qualname: str) -> type:
+    if not (module == _TRUSTED_ROOT or module.startswith(_TRUSTED_ROOT + ".")):
+        raise CodecError(
+            f"snapshot names class {qualname!r} in untrusted module {module!r}"
+        )
+    try:
+        mod = sys.modules.get(module) or importlib.import_module(module)
+        obj = mod
+        for part in qualname.split("."):
+            obj = getattr(obj, part)
+    except (ImportError, AttributeError) as exc:
+        raise CodecError(
+            f"snapshot references {module}.{qualname}, which this build does "
+            "not define (schema drift between writer and reader?)"
+        ) from exc
+    if not isinstance(obj, type):
+        raise CodecError(f"{module}.{qualname} is not a class")
+    return obj
+
+
+def _apply_default_state(instance, state) -> None:
+    """The stdlib ``__setstate__``-free restore: dict or (dict, slots)."""
+    if state is None:
+        return
+    if isinstance(state, tuple) and len(state) == 2:
+        dict_state, slots_state = state
+    else:
+        dict_state, slots_state = state, None
+    if dict_state:
+        if not isinstance(dict_state, dict):
+            raise CodecError(
+                f"malformed instance state for {type(instance).__qualname__}"
+            )
+        instance.__dict__.update(dict_state)
+    if slots_state:
+        for name, val in slots_state.items():
+            setattr(instance, name, val)
+
+
+def decode_state(node):
+    """Rebuild the value encoded by :func:`encode_state`."""
+    try:
+        tag, payload = node
+    except (TypeError, ValueError):
+        raise CodecError(f"malformed codec node: {node!r}") from None
+    if tag == "x":
+        if not isinstance(payload, _PRIMITIVES):
+            raise CodecError(f"malformed primitive node: {payload!r}")
+        return payload
+    if tag == "nd":
+        return _decode_array(payload)
+    if tag == "ns":
+        return _decode_array(payload)[()]
+    if tag == "li":
+        return [decode_state(item) for item in payload]
+    if tag == "tu":
+        return tuple(decode_state(item) for item in payload)
+    if tag == "di":
+        return {decode_state(k): decode_state(v) for k, v in payload}
+    if tag == "ob":
+        module, qualname, enc_state = payload
+        cls = _resolve_class(module, qualname)
+        instance = cls.__new__(cls)
+        state = decode_state(enc_state)
+        setstate = getattr(cls, "__setstate__", None)
+        if setstate is not None:
+            instance.__setstate__(state)
+        else:
+            _apply_default_state(instance, state)
+        return instance
+    raise CodecError(f"unknown codec tag {tag!r}")

@@ -1,0 +1,223 @@
+"""REST model-serving lifecycle: register -> list -> predict -> delete -> 404.
+
+Plus the property that actually makes a registry worth having: a model
+registered before a server dies is served — bit-identically — by the next
+server started over the same registry directory.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.api import SmartMLClient, SmartMLServer
+from repro.classifiers import CLASSIFIER_REGISTRY
+from repro.core import SmartML
+from repro.core.result import SmartMLResult
+from repro.data import SyntheticSpec, make_dataset
+from repro.data.writers import dataset_to_arff
+from repro.exceptions import SmartMLError
+from repro.preprocess import Imputer, Pipeline
+from repro.serving import ModelRegistry
+
+FAST_CONFIG = {
+    "time_budget_s": None,
+    "max_evals_per_algorithm": 1,
+    "n_folds": 2,
+    "n_algorithms": 1,
+    "fallback_portfolio": ["knn"],
+    "update_kb": False,
+    "backend": "serial",
+}
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    train = make_dataset(
+        SyntheticSpec(name="rest-train", n_instances=80, n_features=5,
+                      n_classes=2, class_sep=2.2, seed=53)
+    )
+    fresh = make_dataset(
+        SyntheticSpec(name="rest-fresh", n_instances=30, n_features=5,
+                      n_classes=2, class_sep=2.2, seed=59)
+    )
+    return train, fresh
+
+
+def _fitted_result(train, family="knn", **params):
+    pipeline = Pipeline([Imputer()])
+    prepared = pipeline.fit_transform(train)
+    model = CLASSIFIER_REGISTRY[family](**params)
+    model.fit(prepared.X, prepared.y, n_classes=train.n_classes)
+    return SmartMLResult(
+        dataset_name=train.name, best_algorithm=family, best_config=dict(params),
+        validation_accuracy=0.0, model=model, pipeline=pipeline,
+    )
+
+
+@pytest.fixture
+def server(tmp_path):
+    srv = SmartMLServer(workers=1, registry_dir=tmp_path / "models")
+    srv.serve_background()
+    yield srv
+    srv.shutdown()
+
+
+def test_full_model_lifecycle_over_rest(server, corpus):
+    train, fresh = corpus
+    client = SmartMLClient(port=server.port)
+
+    # Empty registry to start.
+    assert client.list_models()["models"] == []
+
+    # Register through the experiment pipeline (the production path).
+    upload = client.upload_arff(dataset_to_arff(train), name=train.name)
+    job = client.submit_experiment(
+        upload["dataset_id"], FAST_CONFIG, register_as="lifecycle-model"
+    )
+    assert job["register_as"] == "lifecycle-model"
+    result = client.wait_experiment(job["job_id"], timeout=120)
+    assert result["registration"]["model_id"] == "lifecycle-model"
+    assert result["registration"]["version"] == 1
+
+    # List + inspect.
+    models = client.list_models()["models"]
+    assert [m["model_id"] for m in models] == ["lifecycle-model"]
+    info = client.get_model("lifecycle-model")
+    assert info["versions"] == [1]
+    assert info["n_features"] == train.n_features
+
+    # Predict: response carries codes and human-readable labels.
+    response = client.predict("lifecycle-model", fresh.X[:7].tolist())
+    assert response["version"] == 1
+    assert len(response["predictions"]) == 7
+    assert response["labels"] == [train.class_names[c] for c in response["predictions"]]
+    proba = client.predict("lifecycle-model", fresh.X[:4].tolist(), proba=True)
+    assert np.allclose(np.sum(proba["probabilities"], axis=1), 1.0)
+    assert proba["class_names"] == list(train.class_names)
+
+    # Delete -> 404 on every model route.
+    assert client.delete_model("lifecycle-model")["deleted_versions"] == [1]
+    for call in (
+        lambda: client.get_model("lifecycle-model"),
+        lambda: client.predict("lifecycle-model", fresh.X[:1].tolist()),
+        lambda: client.delete_model("lifecycle-model"),
+    ):
+        with pytest.raises(SmartMLError, match="404"):
+            call()
+
+
+def test_models_survive_server_restart(tmp_path, corpus):
+    train, fresh = corpus
+    registry_dir = tmp_path / "models"
+
+    first = SmartMLServer(workers=1, registry_dir=registry_dir)
+    first.serve_background()
+    try:
+        result = _fitted_result(train, "random_forest", ntree=5)
+        expected = result.predict_proba(fresh)
+        first.jobs.registry_apply(
+            lambda: first.registry.register("durable", result, dataset=train)
+        )
+        client = SmartMLClient(port=first.port)
+        before = client.predict("durable", fresh.X.tolist(), proba=True)
+    finally:
+        first.shutdown()
+
+    # A brand-new process-equivalent: new server, new registry object, same
+    # directory.  The model must still be there and predict the same bits.
+    second = SmartMLServer(workers=1, registry_dir=registry_dir)
+    second.serve_background()
+    try:
+        client = SmartMLClient(port=second.port)
+        assert [m["model_id"] for m in client.list_models()["models"]] == ["durable"]
+        after = client.predict("durable", fresh.X.tolist(), proba=True)
+        assert after["probabilities"] == before["probabilities"]
+        assert np.array_equal(np.asarray(after["probabilities"]), expected)
+    finally:
+        second.shutdown()
+
+
+def test_register_as_validated_at_submit_time(server, corpus):
+    train, _ = corpus
+    client = SmartMLClient(port=server.port)
+    upload = client.upload_arff(dataset_to_arff(train), name=train.name)
+    with pytest.raises(SmartMLError, match="invalid model id"):
+        client.submit_experiment(upload["dataset_id"], FAST_CONFIG,
+                                 register_as="../escape")
+    # Nothing was enqueued for the bad id.
+    assert all(
+        job["register_as"] is None for job in client.list_experiments()["jobs"]
+    )
+
+
+def test_predict_validation_errors_are_4xx(server, corpus):
+    train, fresh = corpus
+    client = SmartMLClient(port=server.port)
+    with pytest.raises(SmartMLError, match="404"):
+        client.predict("never-registered", fresh.X[:1].tolist())
+    server.jobs.registry_apply(
+        lambda: server.registry.register("m", _fitted_result(train), dataset=train)
+    )
+    with pytest.raises(SmartMLError, match="400"):
+        client.predict("m", [])  # empty rows
+    with pytest.raises(SmartMLError, match="400"):
+        client.predict("m", fresh.X[:2, :3].tolist())  # wrong width
+
+
+def test_concurrent_rest_predicts_coalesce_and_stay_correct(server, corpus):
+    train, fresh = corpus
+    client = SmartMLClient(port=server.port)
+    result = _fitted_result(train, "lda")
+    expected = result.predict_proba(fresh)
+    server.jobs.registry_apply(
+        lambda: server.registry.register("lda-m", result, dataset=train)
+    )
+
+    slices = [(i, i + 3) for i in range(0, 30, 3)]
+    outcomes: list = [None] * len(slices)
+    barrier = threading.Barrier(len(slices))
+
+    def call(i, lo, hi):
+        barrier.wait()
+        outcomes[i] = SmartMLClient(port=server.port).predict(
+            "lda-m", fresh.X[lo:hi].tolist(), proba=True
+        )
+
+    threads = [
+        threading.Thread(target=call, args=(i, lo, hi))
+        for i, (lo, hi) in enumerate(slices)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    for (lo, hi), response in zip(slices, outcomes):
+        assert np.array_equal(np.asarray(response["probabilities"]), expected[lo:hi])
+    stats = client.serving_stats()
+    assert stats["batcher"]["requests"] >= len(slices)
+
+
+def test_cli_level_registry_registration(tmp_path, corpus):
+    # SmartML.run(register_as=...) without any server: the library path.
+    train, fresh = corpus
+    registry = ModelRegistry(tmp_path / "reg")
+    from repro.core import SmartMLConfig
+
+    result = SmartML(model_registry=registry).run(
+        train, SmartMLConfig.from_dict(dict(FAST_CONFIG)), register_as="lib-model"
+    )
+    assert result.registration["version"] == 1
+    reloaded = ModelRegistry(tmp_path / "reg").load("lib-model")
+    assert np.array_equal(
+        reloaded.predict_rows(fresh.X), result.predict(fresh)
+    )
+
+
+def test_register_as_without_registry_raises(corpus):
+    train, _ = corpus
+    from repro.core import SmartMLConfig
+
+    with pytest.raises(SmartMLError, match="requires a model registry"):
+        SmartML().run(train, SmartMLConfig.from_dict(dict(FAST_CONFIG)),
+                      register_as="m")

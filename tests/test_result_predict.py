@@ -1,4 +1,12 @@
-"""Tests for end-to-end prediction through a SmartML result."""
+"""End-to-end prediction through a SmartML result — both provenances.
+
+Every behavioural test here runs twice: once against the in-process result
+a ``SmartML.run`` call returned, and once against the same result after a
+round-trip through the model registry (register -> reload -> ``to_result``).
+The two must be interchangeable — same shapes, same guarantees, and for
+the reload, the *same bits* — because the serving layer promises exactly
+that: a registered model predicts what the in-memory model predicted.
+"""
 
 import numpy as np
 import pytest
@@ -8,6 +16,7 @@ from repro.core.result import SmartMLResult
 from repro.data import SyntheticSpec, make_dataset
 from repro.evaluation import accuracy
 from repro.exceptions import NotFittedError
+from repro.serving import ModelRegistry
 
 FAST = dict(
     time_budget_s=None,
@@ -17,8 +26,10 @@ FAST = dict(
     n_algorithms=2,
 )
 
+ROUTES = ["in_process", "registry"]
 
-@pytest.fixture
+
+@pytest.fixture(scope="module")
 def train_and_fresh():
     # One generating process, disjoint rows: the held-back slice plays the
     # role of genuinely new data arriving after deployment.
@@ -32,46 +43,106 @@ def train_and_fresh():
     return train, fresh
 
 
-def test_predict_on_raw_dataset(train_and_fresh):
+@pytest.fixture(scope="module")
+def runs(train_and_fresh):
+    """One SmartML run per config variant, shared by both routes."""
+    train, _ = train_and_fresh
+    return {
+        "scaled": SmartML().run(
+            train, SmartMLConfig(preprocessing=["center", "scale"], **FAST)
+        ),
+        "plain": SmartML().run(train, SmartMLConfig(**FAST)),
+        "ensemble": SmartML().run(train, SmartMLConfig(ensemble=True, **FAST)),
+        "featsel": SmartML().run(train, SmartMLConfig(feature_selection_k=3, **FAST)),
+    }
+
+
+def _route_result(result: SmartMLResult, route: str, train) -> SmartMLResult:
+    """The result itself, or its registry-round-tripped twin."""
+    if route == "in_process":
+        return result
+    registry = ModelRegistry()  # in-memory: same codec/framing, no disk
+    registry.register("twin", result, dataset=train)
+    return registry.load("twin").to_result()
+
+
+@pytest.mark.parametrize("route", ROUTES)
+def test_predict_on_raw_dataset(train_and_fresh, runs, route):
     train, fresh = train_and_fresh
-    result = SmartML().run(train, SmartMLConfig(preprocessing=["center", "scale"], **FAST))
-    predictions = result.predict(fresh)
+    served = _route_result(runs["scaled"], route, train)
+    predictions = served.predict(fresh)
     assert predictions.shape == (fresh.n_instances,)
     # Same generating process: the model must clearly beat chance.
     assert accuracy(fresh.y, predictions) > 0.7
 
 
-def test_predict_handles_missing_values(train_and_fresh):
+@pytest.mark.parametrize("route", ROUTES)
+def test_predict_handles_missing_values(train_and_fresh, runs, route):
     train, fresh = train_and_fresh
-    result = SmartML().run(train, SmartMLConfig(**FAST))
+    served = _route_result(runs["plain"], route, train)
     withheld = fresh.copy()
     withheld.X[0, :3] = np.nan
-    predictions = result.predict(withheld)
+    predictions = served.predict(withheld)
     assert predictions.shape == (fresh.n_instances,)
 
 
-def test_predict_proba_normalised(train_and_fresh):
+@pytest.mark.parametrize("route", ROUTES)
+def test_predict_proba_normalised(train_and_fresh, runs, route):
     train, fresh = train_and_fresh
-    result = SmartML().run(train, SmartMLConfig(**FAST))
-    proba = result.predict_proba(fresh)
+    served = _route_result(runs["plain"], route, train)
+    proba = served.predict_proba(fresh)
     assert proba.shape == (fresh.n_instances, train.n_classes)
     assert np.allclose(proba.sum(axis=1), 1.0, atol=1e-6)
 
 
-def test_predict_through_ensemble(train_and_fresh):
+@pytest.mark.parametrize("route", ROUTES)
+def test_predict_through_ensemble(train_and_fresh, runs, route):
     train, fresh = train_and_fresh
-    result = SmartML().run(train, SmartMLConfig(ensemble=True, **FAST))
-    assert result.ensemble is not None
-    direct = result.predict(fresh)
-    via_ensemble = result.predict(fresh, use_ensemble=True)
+    assert runs["ensemble"].ensemble is not None
+    served = _route_result(runs["ensemble"], route, train)
+    assert served.ensemble is not None, "registry must carry the ensemble too"
+    direct = served.predict(fresh)
+    via_ensemble = served.predict(fresh, use_ensemble=True)
     assert via_ensemble.shape == direct.shape
 
 
-def test_predict_consistent_with_feature_selection(train_and_fresh):
+@pytest.mark.parametrize("route", ROUTES)
+def test_predict_consistent_with_feature_selection(train_and_fresh, runs, route):
     train, fresh = train_and_fresh
-    result = SmartML().run(train, SmartMLConfig(feature_selection_k=3, **FAST))
-    predictions = result.predict(fresh)  # pipeline reduces to 3 columns itself
+    served = _route_result(runs["featsel"], route, train)
+    predictions = served.predict(fresh)  # pipeline reduces to 3 columns itself
     assert predictions.shape == (fresh.n_instances,)
+
+
+@pytest.mark.parametrize("variant", ["scaled", "plain", "ensemble", "featsel"])
+def test_routes_agree_bit_for_bit(train_and_fresh, runs, variant):
+    # The serving guarantee itself: the registry twin is not merely close,
+    # it is the same function.
+    train, fresh = train_and_fresh
+    in_process = runs[variant]
+    registry_twin = _route_result(in_process, "registry", train)
+    assert np.array_equal(in_process.predict(fresh), registry_twin.predict(fresh))
+    assert np.array_equal(
+        in_process.predict_proba(fresh), registry_twin.predict_proba(fresh)
+    )
+    if in_process.ensemble is not None:
+        assert np.array_equal(
+            in_process.predict(fresh, use_ensemble=True),
+            registry_twin.predict(fresh, use_ensemble=True),
+        )
+
+
+def test_registry_twin_carries_run_summary(train_and_fresh, runs):
+    train, _ = train_and_fresh
+    source = runs["plain"]
+    twin = _route_result(source, "registry", train)
+    assert twin.best_algorithm == source.best_algorithm
+    assert twin.dataset_name == source.dataset_name
+    assert twin.validation_accuracy == source.validation_accuracy
+    assert twin.best_config == {
+        k: (v.item() if hasattr(v, "item") else v)
+        for k, v in source.best_config.items()
+    }
 
 
 def test_predict_without_pipeline_raises():

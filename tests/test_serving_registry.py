@@ -1,0 +1,313 @@
+"""Serving-grade registry tests: every family round-trips bit-identically.
+
+The registry's contract is stronger than "predictions look similar after a
+reload": a registered model must predict **the same bits** after
+fit -> save -> load, across registry restarts, with array dtypes and byte
+order pinned.  Corruption must fail loudly — a registry that silently
+serves a bit-rotted model is worse than one that is down.
+"""
+
+import marshal
+import struct
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.classifiers import CLASSIFIER_REGISTRY
+from repro.core.result import SmartMLResult
+from repro.data import SyntheticSpec, make_dataset
+from repro.preprocess import Imputer, Pipeline
+from repro.serving import ModelRegistry, decode_state, encode_state
+from repro.serving.codec import CodecError
+from repro.serving.registry import (
+    MODEL_SNAPSHOT_MAGIC,
+    ModelNotFoundError,
+    RegistryError,
+)
+
+#: Cheap hyperparameters per family so fitting all 15 stays fast.
+FAMILY_PARAMS = {
+    "svm": {},
+    "naive_bayes": {},
+    "knn": {"k": 3},
+    "bagging": {"nbagg": 3},
+    "part": {},
+    "j48": {},
+    "random_forest": {"ntree": 5},
+    "c50": {},
+    "rpart": {},
+    "lda": {},
+    "plsda": {},
+    "lmt": {"iterations": 3},
+    "rda": {},
+    "neural_net": {"size": 4, "max_iter": 20},
+    "deep_boost": {"num_iter": 3},
+}
+
+assert set(FAMILY_PARAMS) == set(CLASSIFIER_REGISTRY), (
+    "new classifier family registered without serving round-trip coverage"
+)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    train = make_dataset(
+        SyntheticSpec(name="serving-train", n_instances=90, n_features=6,
+                      n_classes=3, class_sep=2.0, seed=29)
+    )
+    fresh = make_dataset(
+        SyntheticSpec(name="serving-fresh", n_instances=40, n_features=6,
+                      n_classes=3, class_sep=2.0, seed=31)
+    )
+    return train, fresh
+
+
+@pytest.fixture(scope="module")
+def fitted(problem):
+    """One fitted SmartMLResult per classifier family."""
+    train, _ = problem
+    pipeline = Pipeline([Imputer()])
+    prepared = pipeline.fit_transform(train)
+    out = {}
+    for name, params in FAMILY_PARAMS.items():
+        model = CLASSIFIER_REGISTRY[name](**params)
+        model.fit(prepared.X, prepared.y, n_classes=train.n_classes)
+        out[name] = SmartMLResult(
+            dataset_name=train.name, best_algorithm=name, best_config=dict(params),
+            validation_accuracy=0.0, model=model, pipeline=pipeline,
+        )
+    return out
+
+
+@pytest.mark.parametrize("family", sorted(FAMILY_PARAMS))
+def test_family_roundtrips_bit_identically(family, fitted, problem, tmp_path):
+    train, fresh = problem
+    result = fitted[family]
+    expected = result.predict(fresh)
+    expected_proba = result.predict_proba(fresh)
+
+    registry = ModelRegistry(tmp_path / "reg")
+    registry.register(f"m-{family}", result, dataset=train)
+
+    # A *fresh* registry over the same directory: nothing cached, every
+    # byte comes off disk — this is the server-restart path.
+    reloaded = ModelRegistry(tmp_path / "reg").load(f"m-{family}")
+    got = reloaded.predict_rows(fresh.X)
+    got_proba = reloaded.predict_rows(fresh.X, proba=True)
+
+    assert np.array_equal(expected, got), f"{family}: labels drifted after reload"
+    assert expected_proba.dtype == got_proba.dtype
+    assert np.array_equal(expected_proba, got_proba), (
+        f"{family}: probabilities not bit-identical after reload"
+    )
+
+
+def test_arrays_store_little_endian_and_restore_native():
+    # The wire format must be byte-order-pinned so snapshots written on a
+    # big-endian host read back identically here and vice versa.
+    big = np.arange(6, dtype=">f8").reshape(2, 3)
+    tag, (descr, shape, raw) = encode_state(big)
+    assert tag == "nd"
+    assert descr.startswith("<")
+    assert shape == (2, 3)
+    restored = decode_state((tag, (descr, shape, raw)))
+    assert restored.dtype == np.dtype("<f8").newbyteorder("=")
+    assert np.array_equal(restored, big.astype("<f8"))
+    assert restored.flags.writeable
+
+
+@st.composite
+def codec_values(draw, depth=2):
+    scalars = st.one_of(
+        st.none(), st.booleans(), st.integers(-2**40, 2**40),
+        st.floats(allow_nan=False), st.text(max_size=20), st.binary(max_size=20),
+    )
+    arrays = st.builds(
+        lambda seed, dt, n: np.random.default_rng(seed).integers(-100, 100, n).astype(dt),
+        st.integers(0, 2**16), st.sampled_from(["f8", "f4", "i8", "i4", "u2", "c16"]),
+        st.integers(0, 12),
+    )
+    leaf = st.one_of(scalars, arrays)
+    if depth == 0:
+        return draw(leaf)
+    inner = codec_values(depth=depth - 1)
+    return draw(
+        st.one_of(
+            leaf,
+            st.lists(inner, max_size=4),
+            st.lists(inner, max_size=3).map(tuple),
+            st.dictionaries(st.text(max_size=8), inner, max_size=4),
+        )
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(value=codec_values())
+def test_codec_roundtrip_property(value):
+    # marshal.dumps in the middle: the encoded tree must really be
+    # marshal-compatible, not just walkable.
+    restored = decode_state(marshal.loads(marshal.dumps(encode_state(value))))
+
+    def assert_same(a, b):
+        if isinstance(a, np.ndarray):
+            assert isinstance(b, np.ndarray)
+            assert a.dtype == b.dtype and a.shape == b.shape
+            assert np.array_equal(a, b)
+        elif isinstance(a, dict):
+            assert set(a) == set(b)
+            for key in a:
+                assert_same(a[key], b[key])
+        elif isinstance(a, (list, tuple)):
+            assert type(a) is type(b) and len(a) == len(b)
+            for x, y in zip(a, b):
+                assert_same(x, y)
+        else:
+            assert type(a) is type(b)
+            assert a == b or (a != a and b != b)  # NaN-tolerant
+
+    assert_same(value, restored)
+
+
+def test_codec_refuses_foreign_classes():
+    class NotOurs:
+        pass
+
+    with pytest.raises(CodecError, match="refusing to serialise"):
+        encode_state(NotOurs())
+
+
+def test_codec_refuses_object_arrays():
+    with pytest.raises(CodecError, match="dtype"):
+        encode_state(np.array([object()], dtype=object))
+
+
+def test_decode_refuses_untrusted_module():
+    node = ("ob", ("os.path", "join", ("di", ())))
+    with pytest.raises(CodecError, match="untrusted module"):
+        decode_state(node)
+
+
+def test_numpy_scalar_keeps_dtype():
+    restored = decode_state(encode_state(np.float32(1.5)))
+    assert isinstance(restored, np.float32)
+    restored64 = decode_state(encode_state(np.float64(2.5)))
+    assert isinstance(restored64, np.float64) and restored64 == 2.5
+
+
+# --------------------------------------------------------------- corruption
+def _register_one(tmp_path, fitted, problem):
+    train, _ = problem
+    registry = ModelRegistry(tmp_path / "reg")
+    registry.register("victim", fitted["knn"], dataset=train)
+    return tmp_path / "reg" / "victim" / "v1.model"
+
+
+def test_bit_flip_fails_loudly(tmp_path, fitted, problem):
+    path = _register_one(tmp_path, fitted, problem)
+    blob = bytearray(path.read_bytes())
+    blob[len(blob) // 2] ^= 0x40
+    path.write_bytes(bytes(blob))
+    with pytest.raises(RegistryError, match="CRC32"):
+        ModelRegistry(tmp_path / "reg").load("victim")
+
+
+@pytest.mark.parametrize("keep", [0, 3, 19, 100])
+def test_truncation_fails_loudly(tmp_path, fitted, problem, keep):
+    path = _register_one(tmp_path, fitted, problem)
+    path.write_bytes(path.read_bytes()[:keep])
+    with pytest.raises(RegistryError, match="truncated|CRC32"):
+        ModelRegistry(tmp_path / "reg").load("victim")
+
+
+def test_schema_version_mismatch_rejected(tmp_path, fitted, problem):
+    path = _register_one(tmp_path, fitted, problem)
+    blob = bytearray(path.read_bytes())
+    # Rewrite the u32 format field (bytes 4..8) to a future version.
+    struct.pack_into("<I", blob, 4, 999)
+    path.write_bytes(bytes(blob))
+    with pytest.raises(RegistryError, match="schema version 999"):
+        ModelRegistry(tmp_path / "reg").load("victim")
+
+
+def test_wrong_magic_rejected(tmp_path, fitted, problem):
+    path = _register_one(tmp_path, fitted, problem)
+    blob = bytearray(path.read_bytes())
+    assert bytes(blob[:4]) == MODEL_SNAPSHOT_MAGIC
+    blob[:4] = b"NOPE"
+    path.write_bytes(bytes(blob))
+    with pytest.raises(RegistryError, match="magic"):
+        ModelRegistry(tmp_path / "reg").load("victim")
+
+
+# ------------------------------------------------------------ registry API
+@pytest.mark.parametrize(
+    "bad_id",
+    ["", "../escape", "a/b", "a\\b", ".hidden", "x" * 65, "sp ace", None, 7],
+)
+def test_unsafe_model_ids_rejected(bad_id):
+    with pytest.raises(RegistryError, match="invalid model id"):
+        ModelRegistry.validate_model_id(bad_id)
+
+
+def test_versioning_and_pinned_loads(tmp_path, fitted, problem):
+    train, fresh = problem
+    registry = ModelRegistry(tmp_path / "reg")
+    registry.register("m", fitted["lda"], dataset=train)
+    registry.register("m", fitted["naive_bayes"], dataset=train)
+    assert registry.info("m")["versions"] == [1, 2]
+    assert registry.load("m").metadata["algorithm"] == "naive_bayes"
+    assert registry.load("m", version=1).metadata["algorithm"] == "lda"
+    with pytest.raises(ModelNotFoundError):
+        registry.load("m", version=3)
+
+
+def test_delete_removes_every_version(tmp_path, fitted, problem):
+    train, _ = problem
+    registry = ModelRegistry(tmp_path / "reg")
+    registry.register("m", fitted["lda"], dataset=train)
+    registry.register("m", fitted["lda"], dataset=train)
+    assert registry.delete("m")["deleted_versions"] == [1, 2]
+    with pytest.raises(ModelNotFoundError):
+        registry.load("m")
+    assert not (tmp_path / "reg" / "m").exists()
+
+
+def test_lru_eviction_keeps_serving(tmp_path, fitted, problem):
+    train, fresh = problem
+    registry = ModelRegistry(tmp_path / "reg", cache_size=1)
+    registry.register("a", fitted["lda"], dataset=train)
+    registry.register("b", fitted["rda"], dataset=train)
+    expected_a = fitted["lda"].predict_proba(fresh)
+    for _ in range(3):  # a,b alternate: every load past the first evicts
+        assert np.array_equal(registry.load("a").predict_rows(fresh.X, proba=True),
+                              expected_a)
+        registry.load("b")
+    info = registry.cache_info()
+    assert info["capacity"] == 1 and info["size"] == 1
+    assert info["evictions"] >= 3
+
+
+def test_in_memory_registry_roundtrips(fitted, problem):
+    train, fresh = problem
+    registry = ModelRegistry()  # no root: same framing, no disk
+    registry.register("m", fitted["rpart"], dataset=train)
+    expected = fitted["rpart"].predict_proba(fresh)
+    assert np.array_equal(registry.load("m").predict_rows(fresh.X, proba=True),
+                          expected)
+
+
+def test_row_width_validated_against_training(fitted, problem, tmp_path):
+    train, fresh = problem
+    registry = ModelRegistry(tmp_path / "reg")
+    registry.register("m", fitted["knn"], dataset=train)
+    with pytest.raises(RegistryError, match="features"):
+        registry.load("m").predict_rows(fresh.X[:, :3])
+
+
+def test_register_unfitted_result_rejected():
+    bare = SmartMLResult(dataset_name="x", best_algorithm="knn", best_config={},
+                         validation_accuracy=0.0, model=None)
+    with pytest.raises(RegistryError, match="no fitted pipeline"):
+        ModelRegistry().register("m", bare)
