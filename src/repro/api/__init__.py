@@ -1,7 +1,15 @@
-"""REST API: async experiment-job server, job manager, and client."""
+"""REST API: async experiment-job server, job manager, journal, and client."""
 
 from repro.api.client import SmartMLClient
-from repro.api.jobs import ExperimentJob, JobManager, JobNotFoundError, JobStateError
+from repro.api.jobs import (
+    ExperimentJob,
+    JobManager,
+    JobNotFoundError,
+    JobStateError,
+    QueueFullError,
+    ServiceDrainingError,
+)
+from repro.api.journal import JobJournal, JournalError
 from repro.api.server import SmartMLServer
 
 __all__ = [
@@ -9,6 +17,10 @@ __all__ = [
     "SmartMLClient",
     "JobManager",
     "ExperimentJob",
+    "JobJournal",
+    "JournalError",
     "JobNotFoundError",
     "JobStateError",
+    "QueueFullError",
+    "ServiceDrainingError",
 ]

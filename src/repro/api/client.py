@@ -10,6 +10,14 @@ until the job lands and hands back the result (raising on failure).
 :meth:`~SmartMLClient.run_experiment` is the submit-then-wait convenience —
 the same blocking call the old synchronous endpoint offered, now built on
 the job lifecycle.
+
+Because jobs are durable server-side (the server journals submissions and
+replays them after a crash), the client treats a connection failure on an
+**idempotent GET** as transient: it retries with capped exponential backoff
+for up to ``connect_retry_s`` seconds, so :meth:`~SmartMLClient.wait_experiment`
+rides through a server restart instead of failing the whole experiment.
+Non-idempotent requests (POST/DELETE) are never retried — the caller cannot
+know whether the lost request landed.
 """
 
 from __future__ import annotations
@@ -22,16 +30,52 @@ from repro.exceptions import SmartMLError
 
 __all__ = ["SmartMLClient"]
 
+#: Connection-level failures worth retrying on idempotent requests: the
+#: server is down (refused), mid-restart (reset), or the socket died.
+_TRANSIENT_ERRORS = (ConnectionError, http.client.NotConnected, TimeoutError)
+
 
 class SmartMLClient:
-    """Blocking JSON-over-HTTP client."""
+    """Blocking JSON-over-HTTP client.
 
-    def __init__(self, host: str = "127.0.0.1", port: int = 8080, timeout: float = 300.0):
+    ``connect_retry_s`` bounds how long idempotent GETs keep retrying a
+    dead connection (0 disables retries; the first failure raises).
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        timeout: float = 300.0,
+        connect_retry_s: float = 15.0,
+    ):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.connect_retry_s = connect_retry_s
 
     def _request(self, method: str, path: str, payload: dict | None = None) -> dict:
+        # Only GET is safe to replay blindly: a lost POST/DELETE may or may
+        # not have been applied, and re-sending could double-submit.
+        retry_until = (
+            time.monotonic() + self.connect_retry_s
+            if method == "GET" and self.connect_retry_s > 0
+            else None
+        )
+        backoff = 0.1
+        while True:
+            try:
+                return self._request_once(method, path, payload)
+            except _TRANSIENT_ERRORS as exc:
+                if retry_until is None or time.monotonic() + backoff > retry_until:
+                    raise SmartMLError(
+                        f"{method} {path} failed: cannot reach the server at "
+                        f"{self.host}:{self.port} ({type(exc).__name__}: {exc})"
+                    ) from exc
+                time.sleep(backoff)
+                backoff = min(2.0, backoff * 2)
+
+    def _request_once(self, method: str, path: str, payload: dict | None = None) -> dict:
         connection = http.client.HTTPConnection(self.host, self.port, timeout=self.timeout)
         try:
             body = json.dumps(payload).encode("utf-8") if payload is not None else None
@@ -44,9 +88,14 @@ class SmartMLClient:
             except json.JSONDecodeError as exc:
                 raise SmartMLError(f"non-JSON response from server: {raw!r}") from exc
             if response.status >= 400:
-                raise SmartMLError(
+                error = SmartMLError(
                     f"{method} {path} failed ({response.status}): {data.get('error')}"
                 )
+                error.http_status = response.status
+                retry_after = response.getheader("Retry-After")
+                if retry_after is not None:
+                    error.retry_after = int(retry_after)
+                raise error
             return data
         finally:
             connection.close()
@@ -54,6 +103,14 @@ class SmartMLClient:
     # ------------------------------------------------------------ endpoints
     def health(self) -> dict:
         return self._request("GET", "/health")
+
+    def readyz(self) -> dict:
+        """Readiness detail; raises with ``http_status`` 503 when unready."""
+        return self._request("GET", "/readyz")
+
+    def jobs_stats(self) -> dict:
+        """Job-service gauges: per-state counts, queue depth, heartbeats."""
+        return self._request("GET", "/jobs/stats")
 
     def kb_stats(self) -> dict:
         return self._request("GET", "/kb/stats")
@@ -91,15 +148,21 @@ class SmartMLClient:
         dataset_id: int,
         config: dict | None = None,
         register_as: str | None = None,
+        timeout_s: float | None = None,
     ) -> dict:
         """Enqueue an experiment; returns the queued job (202) immediately.
 
         ``register_as`` asks the server to persist the winning pipeline in
         its model registry under that id once the job completes.
+        ``timeout_s`` overrides the server's default per-job wall-clock
+        limit.  Raises with ``http_status`` 429 (and a ``retry_after``
+        attribute) when the server's job queue is full.
         """
         payload: dict = {"dataset_id": dataset_id, "config": config or {}}
         if register_as is not None:
             payload["register_as"] = register_as
+        if timeout_s is not None:
+            payload["timeout_s"] = timeout_s
         return self._request("POST", "/experiments", payload)
 
     def list_experiments(self) -> dict:

@@ -1,0 +1,426 @@
+"""Write-ahead job journal: crash-recoverable experiment-job lifecycle.
+
+A :class:`~repro.api.jobs.JobManager` without a journal forgets every
+queued and running job the moment the process dies.  This module gives it
+a durable memory: every job lifecycle transition is appended to a single
+log file as one CRC32-framed ``marshal`` record (the
+:func:`~repro.kb.snapshots.frame_blob` format the KB snapshots and model
+registry already use), flushed before the transition is acknowledged.
+
+Frame stream
+------------
+The journal is frames laid end to end; each frame's payload is one marshal
+dict with a ``"t"`` type tag:
+
+``submitted``
+    Job identity, config, ``register_as`` and the **dataset itself**
+    (encoded with the registry's pickle-free state codec) — everything a
+    restarted service needs to re-run the job without the original HTTP
+    upload.
+``started`` / ``retry``
+    A worker picked the job up (attempt number) / an infrastructure fault
+    scheduled a bounded backoff re-run.
+``kb_commit`` / ``registry_commit``
+    **Write-ahead intents** recorded immediately before the KB batch
+    append / model-registry register, carrying the dataset id / version
+    those writes are about to claim.  On recovery the intent is verified
+    against the KB store / registry directory: if the write landed, the
+    re-run is handed the committed id and its own KB/registry write is
+    suppressed — a replayed experiment never double-appends.
+``done`` / ``failed`` / ``cancelled``
+    Terminal transitions; ``done`` carries the full result payload so a
+    restarted service serves finished results without recomputing them.
+
+Recovery
+--------
+:class:`JobJournal` replays the file on open.  Frames are validated
+front-to-back; the first invalid frame (truncated tail, bit flip, torn
+write) ends the trusted prefix — everything after it is dropped **loudly**
+(a warning naming the byte counts) and the file is repaired by atomic
+truncation, exactly like the KB store's torn-tail repair.
+:class:`JournalRecovery` folds the surviving records into per-job states:
+terminal jobs are restored verbatim; jobs that were queued or running at
+crash time come back as *pending* and are deterministically re-enqueued in
+job-id (submission) order.
+
+The journal is **single-writer**: all appends go through one lock, and the
+:class:`~repro.api.jobs.JobManager` routes them from its own threads.
+Fault injection (``repro.testing.faults``) hooks the frame write so tests
+can kill the service at any frame boundary — or mid-frame — and assert
+recovery is exact.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.exceptions import SmartMLError
+from repro.kb.snapshots import frame_blob, iter_frames
+
+__all__ = [
+    "JOURNAL_MAGIC",
+    "JOURNAL_FORMAT",
+    "JournalError",
+    "JobJournal",
+    "JournalJobState",
+    "JournalRecovery",
+]
+
+logger = logging.getLogger("repro.api.journal")
+
+#: Frame tag of a job-journal record.
+JOURNAL_MAGIC = b"SMJF"
+#: Schema version; bump when the record layout changes.
+JOURNAL_FORMAT = 1
+
+#: Record types that end a job's lifecycle.
+TERMINAL_TYPES = ("done", "failed", "cancelled")
+
+
+class JournalError(SmartMLError):
+    """The job journal could not be written (durability is compromised)."""
+
+
+def _marshal_dumps(record: dict) -> bytes:
+    import marshal
+
+    return marshal.dumps(record)
+
+
+def _marshal_loads(blob: bytes) -> dict:
+    import marshal
+
+    return marshal.loads(blob)
+
+
+@dataclass
+class JournalJobState:
+    """Everything the journal knows about one job after replay."""
+
+    job_id: int
+    dataset_id: int = 0
+    dataset_name: str = ""
+    config: dict = field(default_factory=dict)
+    register_as: str | None = None
+    timeout_s: float | None = None
+    submitted_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    status: str = "queued"  # queued|done|failed|cancelled after replay
+    attempt: int = 0
+    error: str | None = None
+    result: dict | None = None
+    phases_done: list = field(default_factory=list)
+    dataset_state: object | None = None  # encoded Dataset (codec tree)
+    kb_commit: dict | None = None  # {"dataset_id": int, "n_rows": int}
+    registry_commit: dict | None = None  # {"model_id": str, "version": int}
+
+    @property
+    def terminal(self) -> bool:
+        return self.status in TERMINAL_TYPES
+
+
+class JournalRecovery:
+    """Fold replayed records into per-job states (pure, no I/O)."""
+
+    def __init__(self, records: list[dict]):
+        self.jobs: dict[int, JournalJobState] = {}
+        self.max_job_id = 0
+        for record in records:
+            self._apply(record)
+
+    def _state(self, record: dict) -> JournalJobState:
+        job_id = int(record["job"])
+        self.max_job_id = max(self.max_job_id, job_id)
+        if job_id not in self.jobs:
+            self.jobs[job_id] = JournalJobState(job_id=job_id)
+        return self.jobs[job_id]
+
+    def _apply(self, record: dict) -> None:
+        kind = record.get("t")
+        state = self._state(record)
+        if kind == "submitted":
+            state.dataset_id = int(record.get("dataset_id", 0))
+            state.dataset_name = str(record.get("dataset_name", ""))
+            state.config = dict(record.get("config", {}))
+            state.register_as = record.get("register_as")
+            state.timeout_s = record.get("timeout_s")
+            state.submitted_at = float(record.get("at", 0.0))
+            state.dataset_state = record.get("dataset")
+        elif kind == "started":
+            state.started_at = float(record.get("at", 0.0))
+            state.attempt = int(record.get("attempt", 1))
+        elif kind == "retry":
+            state.attempt = int(record.get("attempt", state.attempt))
+            state.error = record.get("error")
+        elif kind == "kb_commit":
+            state.kb_commit = {
+                "dataset_id": int(record["kb_dataset_id"]),
+                "n_rows": int(record.get("n_rows", 0)),
+            }
+        elif kind == "registry_commit":
+            state.registry_commit = {
+                "model_id": str(record["model_id"]),
+                "version": int(record["version"]),
+            }
+        elif kind == "done":
+            state.status = "done"
+            state.finished_at = float(record.get("at", 0.0))
+            state.result = record.get("result")
+            state.phases_done = list(record.get("phases_done", []))
+        elif kind == "failed":
+            state.status = "failed"
+            state.finished_at = float(record.get("at", 0.0))
+            state.error = record.get("error")
+        elif kind == "cancelled":
+            state.status = "cancelled"
+            state.finished_at = float(record.get("at", 0.0))
+        # Unknown record types are skipped: a newer writer may add
+        # informational frames an older reader can safely ignore.
+
+    def terminal_jobs(self) -> list[JournalJobState]:
+        return sorted(
+            (s for s in self.jobs.values() if s.terminal), key=lambda s: s.job_id
+        )
+
+    def pending_jobs(self) -> list[JournalJobState]:
+        """Jobs that were queued/running at crash time, submission order."""
+        return sorted(
+            (s for s in self.jobs.values() if not s.terminal), key=lambda s: s.job_id
+        )
+
+
+class JobJournal:
+    """Append-only, CRC-framed write-ahead log of job transitions.
+
+    Parameters
+    ----------
+    path:
+        Journal file; created (with parents) if absent.  An existing file
+        is replayed and tail-repaired on open — read :attr:`recovery`.
+    fsync:
+        ``True`` forces ``os.fsync`` after every frame (survives machine
+        crashes, not just process crashes) at a per-transition cost;
+        the default flushes to the OS, which is exactly the durability the
+        KB log provides.
+    fault_hook:
+        Test-only injection point (see ``repro.testing.faults``): called
+        as ``fault_hook(record, frame_bytes)`` before each write.  ``None``
+        writes normally; returning bytes simulates a crash mid-write — the
+        returned bytes (empty, or a frame prefix) land on disk and the
+        journal is sealed.
+    clock:
+        Wall-clock source for frame timestamps (injectable for
+        deterministic recovery tests).
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        fsync: bool = False,
+        fault_hook=None,
+        clock=time.time,
+    ):
+        self.path = Path(path)
+        self.fsync = fsync
+        self.fault_hook = fault_hook
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._dead = False
+        self._closed = False
+        self.healthy = True
+        self.frames_written = 0
+        self.dropped_bytes = 0
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        records = self._replay_and_repair()
+        self.recovery = JournalRecovery(records)
+        self._file = open(self.path, "ab")
+
+    # ----------------------------------------------------------------- state
+    @property
+    def dead(self) -> bool:
+        """Sealed by an injected crash: all further writes are no-ops."""
+        return self._dead
+
+    def kill(self) -> None:
+        """Seal the journal (fault harness: the 'process' just died)."""
+        self._dead = True
+
+    # ---------------------------------------------------------------- replay
+    def _replay_and_repair(self) -> list[dict]:
+        if not self.path.exists():
+            return []
+        raw = self.path.read_bytes()
+        records: list[dict] = []
+        valid_end = 0
+        for payload, end in iter_frames(raw, JOURNAL_MAGIC, JOURNAL_FORMAT):
+            try:
+                record = _marshal_loads(payload)
+            except Exception:
+                break  # CRC passed but payload unreadable: distrust the rest
+            if not isinstance(record, dict):
+                break
+            records.append(record)
+            valid_end = end
+        if valid_end < len(raw):
+            self.dropped_bytes = len(raw) - valid_end
+            logger.warning(
+                "job journal %s: dropping %d bytes after the last valid frame "
+                "(torn write or corruption at byte %d of %d); %d frames recovered",
+                self.path, self.dropped_bytes, valid_end, len(raw), len(records),
+            )
+            tmp = self.path.with_suffix(self.path.suffix + ".repair")
+            tmp.write_bytes(raw[:valid_end])
+            os.replace(tmp, self.path)
+        return records
+
+    # ---------------------------------------------------------------- append
+    def append(self, record: dict) -> None:
+        """Durably append one lifecycle record (flushed before returning).
+
+        Raises :class:`JournalError` when the write fails — callers that
+        *must* be durable (job submission) surface that to the client;
+        best-effort callers catch and log.  After :meth:`close` or an
+        injected crash the append is a silent no-op: a straggler thread
+        must never resurrect a retired journal.
+        """
+        with self._lock:
+            if self._dead or self._closed:
+                return
+            payload = dict(record)
+            payload.setdefault("at", float(self.clock()))
+            frame = frame_blob(_marshal_dumps(payload), JOURNAL_MAGIC, JOURNAL_FORMAT)
+            if self.fault_hook is not None:
+                # Contract: None -> write normally; bytes -> the simulated
+                # process died mid-write, leaving exactly those bytes (empty
+                # for a crash before the frame, a prefix for a torn frame).
+                injected = self.fault_hook(payload, frame)
+                if injected is not None:
+                    try:
+                        if injected:
+                            self._file.write(injected)
+                            self._file.flush()
+                    finally:
+                        self._dead = True
+                    return
+            try:
+                self._file.write(frame)
+                self._file.flush()
+                if self.fsync:
+                    os.fsync(self._file.fileno())
+            except OSError as exc:
+                self.healthy = False
+                raise JournalError(
+                    f"job journal {self.path} write failed: {exc}"
+                ) from exc
+            self.healthy = True
+            self.frames_written += 1
+
+    # --------------------------------------------------------------- compact
+    def compact(self) -> None:
+        """Rewrite the journal to its minimal equivalent state.
+
+        Terminal jobs keep their identity and terminal frame but drop the
+        (large) encoded dataset — they will never re-run; pending jobs keep
+        everything recovery needs (dataset, commit intents, attempts).
+        Called after a successful recovery so journals stay bounded across
+        restart cycles.  Atomic: the old journal survives a crash mid-compaction.
+        """
+        with self._lock:
+            if self._dead or self._closed:
+                return
+            frames: list[bytes] = []
+            for state in sorted(self.recovery.jobs.values(), key=lambda s: s.job_id):
+                submitted = {
+                    "t": "submitted",
+                    "job": state.job_id,
+                    "dataset_id": state.dataset_id,
+                    "dataset_name": state.dataset_name,
+                    "config": state.config,
+                    "register_as": state.register_as,
+                    "timeout_s": state.timeout_s,
+                    "at": state.submitted_at,
+                }
+                if not state.terminal:
+                    submitted["dataset"] = state.dataset_state
+                frames.append(
+                    frame_blob(_marshal_dumps(submitted), JOURNAL_MAGIC, JOURNAL_FORMAT)
+                )
+                extra: list[dict] = []
+                if not state.terminal:
+                    if state.attempt:
+                        extra.append(
+                            {"t": "started", "job": state.job_id,
+                             "at": state.started_at or 0.0, "attempt": state.attempt}
+                        )
+                    if state.kb_commit is not None:
+                        extra.append(
+                            {"t": "kb_commit", "job": state.job_id,
+                             "kb_dataset_id": state.kb_commit["dataset_id"],
+                             "n_rows": state.kb_commit["n_rows"], "at": 0.0}
+                        )
+                    if state.registry_commit is not None:
+                        extra.append(
+                            {"t": "registry_commit", "job": state.job_id,
+                             "model_id": state.registry_commit["model_id"],
+                             "version": state.registry_commit["version"], "at": 0.0}
+                        )
+                elif state.status == "done":
+                    extra.append(
+                        {"t": "done", "job": state.job_id, "at": state.finished_at,
+                         "result": state.result, "phases_done": state.phases_done}
+                    )
+                elif state.status == "failed":
+                    extra.append(
+                        {"t": "failed", "job": state.job_id, "at": state.finished_at,
+                         "error": state.error}
+                    )
+                else:
+                    extra.append(
+                        {"t": "cancelled", "job": state.job_id, "at": state.finished_at}
+                    )
+                frames.extend(
+                    frame_blob(_marshal_dumps(rec), JOURNAL_MAGIC, JOURNAL_FORMAT)
+                    for rec in extra
+                )
+            blob = b"".join(frames)
+            tmp = self.path.with_suffix(self.path.suffix + ".compact")
+            with open(tmp, "wb") as fh:
+                fh.write(blob)
+                fh.flush()
+                os.fsync(fh.fileno())
+            self._file.close()
+            os.replace(tmp, self.path)
+            self._file = open(self.path, "ab")
+
+    # -------------------------------------------------------------- lifecycle
+    def flush(self) -> None:
+        with self._lock:
+            if self._closed or self._dead:
+                return
+            self._file.flush()
+            if self.fsync:
+                os.fsync(self._file.fileno())
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._file.flush()
+                os.fsync(self._file.fileno())
+            except OSError:  # pragma: no cover - best effort on teardown
+                pass
+            self._file.close()
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -8,6 +8,12 @@ This module provides that surface on the Python stdlib HTTP server:
 method    path                   behaviour
 ========  =====================  ==============================================
 GET       /health                liveness probe
+GET       /healthz               liveness probe (k8s-style alias)
+GET       /readyz                readiness: 200 when accepting work, 503 with
+                                 failing checks (queue depth, worker liveness,
+                                 journal health) when a balancer should back off
+GET       /jobs/stats            job-service gauges: per-state counts, queue
+                                 depth, worker heartbeats, timeout/retry totals
 GET       /kb/stats              knowledge-base dataset/run counts
 POST      /datasets              upload a dataset (csv or arff payload)
 GET       /datasets              list uploaded datasets
@@ -16,7 +22,9 @@ POST      /nominate              algorithm selection only, from raw
                                  meta-features (the paper's "upload only the
                                  dataset meta-features file" mode)
 POST      /experiments           **enqueue** a pipeline run; returns 202 with
-                                 a job id immediately (never blocks on tuning)
+                                 a job id immediately (never blocks on tuning);
+                                 429 + ``Retry-After`` when the queue is full,
+                                 503 + ``Retry-After`` while draining
 GET       /experiments           list all jobs (summaries, no result payload)
 GET       /experiments/<id>      job status/progress/timings + result when done
 DELETE    /experiments/<id>      cancel a *queued* job (409 once running)
@@ -73,6 +81,18 @@ class SmartMLServer:
     batch_window_s:
         Micro-batching window for ``POST /models/<id>/predict``; requests
         for the same model arriving within this window share one pass.
+    journal:
+        Job-journal path (or :class:`~repro.api.journal.JobJournal`); when
+        set, submitted jobs survive a crash — a restarted server with the
+        same journal path replays them (see ``docs/reliability.md``).
+    max_queue:
+        Bound on queued-but-unstarted jobs; saturation returns HTTP 429
+        with a ``Retry-After`` estimate.  ``None`` keeps intake unbounded.
+    default_timeout_s:
+        Wall-clock timeout applied to experiments that do not set their
+        own ``timeout_s`` at submission.
+    max_retries:
+        Automatic re-runs for jobs killed by infrastructure faults.
     """
 
     def __init__(
@@ -85,6 +105,10 @@ class SmartMLServer:
         registry: ModelRegistry | None = None,
         registry_dir=None,
         batch_window_s: float = 0.002,
+        journal=None,
+        max_queue: int | None = None,
+        default_timeout_s: float | None = None,
+        max_retries: int = 2,
     ):
         self.smartml = smartml or SmartML()
         self.host = host
@@ -95,7 +119,14 @@ class SmartMLServer:
         )
         self.smartml.registry = self.registry
         self.jobs = JobManager(
-            self.smartml, workers=workers, backend=backend, registry=self.registry
+            self.smartml,
+            workers=workers,
+            backend=backend,
+            registry=self.registry,
+            journal=journal,
+            max_queue=max_queue,
+            default_timeout_s=default_timeout_s,
+            max_retries=max_retries,
         )
         self.batcher = PredictionBatcher(self.registry, window_s=batch_window_s)
         self._datasets: dict[int, object] = {}
@@ -123,6 +154,22 @@ class SmartMLServer:
             self._thread.join(timeout=5)
         self.batcher.shutdown()
         self.jobs.shutdown()
+
+    def drain(self, timeout: float = 30.0) -> dict:
+        """Graceful (SIGTERM) shutdown: finish running jobs, defer queued ones.
+
+        Intake flips to 503 immediately (readiness goes false), running
+        experiments get up to ``timeout`` seconds to finish and land their
+        KB/registry writes, queued jobs stay journaled for the next start,
+        and only then does the HTTP listener stop.
+        """
+        summary = self.jobs.drain(timeout=timeout)
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        self.batcher.shutdown()
+        return summary
 
     @property
     def base_url(self) -> str:
@@ -204,11 +251,15 @@ class SmartMLServer:
         if not isinstance(dataset_id, int):
             raise SmartMLError("payload must contain an integer 'dataset_id'")
         ds = self._get_dataset(dataset_id)
+        timeout_s = payload.get("timeout_s")
+        if timeout_s is not None:
+            timeout_s = float(timeout_s)
         job = self.jobs.submit(
             ds,
             dataset_id,
             payload.get("config", {}),
             register_as=payload.get("register_as"),
+            timeout_s=timeout_s,
         )
         return job.to_dict(include_result=False)
 
@@ -286,18 +337,27 @@ class SmartMLServer:
             def log_message(self, *args):  # silence default stderr noise
                 pass
 
-            def _reply(self, status: int, payload: dict) -> None:
+            def _reply(self, status: int, payload: dict, headers: dict | None = None) -> None:
                 body = json.dumps(payload).encode("utf-8")
                 self.send_response(status)
                 self.send_header("Content-Type", "application/json")
                 self.send_header("Content-Length", str(len(body)))
+                for name, value in (headers or {}).items():
+                    self.send_header(name, str(value))
                 self.end_headers()
                 self.wfile.write(body)
 
             def _fail(self, exc: Exception) -> None:
-                # Exceptions may carry their HTTP status (404/409); plain
-                # validation errors map to 400.
-                self._reply(getattr(exc, "http_status", 400), {"error": str(exc)})
+                # Exceptions may carry their HTTP status (404/409/429/503);
+                # plain validation errors map to 400.  Backpressure and
+                # draining errors also carry a Retry-After hint.
+                headers = {}
+                retry_after = getattr(exc, "retry_after", None)
+                if retry_after is not None:
+                    headers["Retry-After"] = int(retry_after)
+                self._reply(
+                    getattr(exc, "http_status", 400), {"error": str(exc)}, headers
+                )
 
             def _read_json(self) -> dict:
                 length = int(self.headers.get("Content-Length", "0"))
@@ -312,8 +372,13 @@ class SmartMLServer:
 
             def do_GET(self):  # noqa: N802 - http.server API
                 try:
-                    if self.path == "/health":
+                    if self.path in ("/health", "/healthz"):
                         self._reply(200, {"status": "ok"})
+                    elif self.path == "/readyz":
+                        ready, detail = server.jobs.readiness()
+                        self._reply(200 if ready else 503, detail)
+                    elif self.path == "/jobs/stats":
+                        self._reply(200, server.jobs.stats())
                     elif self.path == "/kb/stats":
                         self._reply(200, server._kb_stats())
                     elif self.path == "/datasets":

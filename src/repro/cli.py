@@ -11,9 +11,11 @@ APIs; this module is the command-line face of the Python reproduction:
     Run the full pipeline on a CSV/ARFF file (or a built-in dataset).
 ``repro nominate --dataset my.csv --target label --kb kb.jsonl``
     Algorithm selection only (no tuning).
-``repro serve --port 8080 --kb kb.jsonl --workers 2 --registry models/``
-    Start the REST server with an async experiment worker pool and a
-    durable model registry.
+``repro serve --port 8080 --kb kb.jsonl --workers 2 --registry models/ --journal jobs.wal``
+    Start the REST server with an async experiment worker pool, a durable
+    model registry, and a crash-recoverable job journal (plus backpressure
+    and timeout knobs: ``--max-queue``, ``--job-timeout``, ``--max-retries``,
+    ``--drain-grace``).
 ``repro submit --dataset my.csv --target label --port 8080 [--wait]``
     Upload a dataset to a running server and enqueue an experiment job
     (``--register-as my-model`` persists the winner in the registry).
@@ -164,29 +166,62 @@ def cmd_nominate(args, out) -> int:
 
 
 def cmd_serve(args, out) -> int:  # pragma: no cover - blocking loop
+    import signal
+    import threading
+
     from repro.api import SmartMLServer
 
     kb = _open_kb(args)
     server = SmartMLServer(
         SmartML(kb), host=args.host, port=args.port, workers=args.workers,
         backend=args.backend, registry_dir=args.registry,
+        journal=args.journal, max_queue=args.max_queue,
+        default_timeout_s=args.job_timeout, max_retries=args.max_retries,
     )
     registry_note = (
         f"registry at {args.registry}" if args.registry else "in-memory registry"
     )
+    journal_note = (
+        f"journal at {args.journal}" if args.journal else "no journal (jobs are volatile)"
+    )
     print(
         f"SmartML REST server on {server.base_url} "
         f"({args.workers} experiment worker(s), {args.backend} backend, "
-        f"{registry_note}; Ctrl-C to stop)",
+        f"{registry_note}, {journal_note}; Ctrl-C to stop, SIGTERM to drain)",
         file=out,
     )
+
+    # SIGTERM (the orchestrator's "please stop") drains: intake flips to
+    # 503, running jobs get --drain-grace seconds to finish and land their
+    # KB writes, queued jobs stay journaled for the next start.
+    draining = {"requested": False}
+
+    def _on_sigterm(signum, frame):
+        draining["requested"] = True
+        threading.Thread(
+            target=server._httpd.shutdown, name="smartml-sigterm", daemon=True
+        ).start()
+
+    previous = signal.signal(signal.SIGTERM, _on_sigterm)
     try:
         server.serve_forever()
+        if draining["requested"]:
+            print(f"SIGTERM received; draining (grace {args.drain_grace:.0f}s)...", file=out)
+            summary = server.jobs.drain(timeout=args.drain_grace)
+            server._httpd.server_close()
+            server.batcher.shutdown()
+            print(
+                f"drained: {summary['finished']} job(s) finished, "
+                f"{summary['deferred']} deferred to the journal",
+                file=out,
+            )
     except KeyboardInterrupt:
         pass
     finally:
-        server._httpd.server_close()
-        server.jobs.shutdown()
+        signal.signal(signal.SIGTERM, previous)
+        if not draining["requested"]:
+            server._httpd.server_close()
+            server.jobs.shutdown()
         kb.close()
     return 0
 
@@ -376,6 +411,31 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument(
         "--registry",
         help="model registry directory (omit for an in-memory registry)",
+    )
+    p_serve.add_argument(
+        "--journal",
+        help="job-journal file: submitted jobs survive a crash and are "
+        "replayed on the next start with the same path (omit for volatile jobs)",
+    )
+    p_serve.add_argument(
+        "--max-queue", dest="max_queue", type=int,
+        help="bound on queued jobs; a full queue returns HTTP 429 with "
+        "Retry-After (omit for unbounded intake)",
+    )
+    p_serve.add_argument(
+        "--job-timeout", dest="job_timeout", type=float,
+        help="default per-job wall-clock timeout in seconds; requests may "
+        "override with their own timeout_s (omit for no limit)",
+    )
+    p_serve.add_argument(
+        "--max-retries", dest="max_retries", type=int, default=2,
+        help="automatic re-runs for jobs killed by infrastructure faults "
+        "(default 2; 0 disables)",
+    )
+    p_serve.add_argument(
+        "--drain-grace", dest="drain_grace", type=float, default=30.0,
+        help="seconds SIGTERM draining waits for running jobs before exiting "
+        "(queued jobs stay journaled; default 30)",
     )
 
     p_submit = sub.add_parser("submit", help="submit an experiment job to a server")

@@ -83,7 +83,12 @@ class SmartML:
             Optional progress hook, called with the phase name as each
             pipeline phase *starts* (names match ``result.phase_seconds``
             keys).  Used by the async job service to publish partial
-            progress; must be cheap and must not raise.
+            progress; must be cheap.  It is also the **cooperative
+            cancellation point**: the hook may raise to abort the run at a
+            phase boundary (the job service raises its timeout/abandon
+            control exceptions here), and ``run`` propagates the exception
+            unchanged without writing to the KB or registry for the
+            aborted run.
         kb_sink:
             Optional override for the knowledge-base append.  Called as
             ``kb_sink(dataset_name, metafeatures, runs)`` where ``runs`` is

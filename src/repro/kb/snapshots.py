@@ -36,6 +36,8 @@ __all__ = [
     "atomic_write_bytes",
     "frame_blob",
     "unframe_blob",
+    "frame_header_size",
+    "iter_frames",
     "crc_tables",
     "verify_crc_tables",
 ]
@@ -106,6 +108,42 @@ def unframe_blob(data: bytes, magic: bytes, format_version: int, what: str = "sn
     if zlib.crc32(payload) != crc:
         raise SnapshotIntegrityError(f"{what} failed its CRC32 check (bit rot or tampering)")
     return payload
+
+
+def frame_header_size() -> int:
+    """Byte length of the fixed frame header written by :func:`frame_blob`."""
+    return _HEADER.size
+
+
+def iter_frames(data: bytes, magic: bytes, format_version: int):
+    """Yield ``(payload, end_offset)`` for each valid frame in ``data``.
+
+    Frames are the :func:`frame_blob` format laid end to end — the layout
+    the job journal uses for its write-ahead log.  Iteration stops at the
+    first frame that fails validation (truncation, bad magic, schema
+    mismatch, or CRC failure): because frames are length-delimited, nothing
+    after a damaged frame can be trusted, so the valid prefix is the
+    recoverable log.  Callers inspect the last yielded ``end_offset``
+    against ``len(data)`` to detect (and loudly repair) a torn or
+    bit-flipped tail.
+    """
+    offset = 0
+    total = len(data)
+    while offset < total:
+        remaining = total - offset
+        if remaining < _HEADER.size:
+            return
+        got_magic, got_format, crc, length = _HEADER.unpack_from(data, offset)
+        if got_magic != magic or got_format != format_version:
+            return
+        end = offset + _HEADER.size + length
+        if length > remaining - _HEADER.size:
+            return
+        payload = data[offset + _HEADER.size : end]
+        if zlib.crc32(payload) != crc:
+            return
+        yield payload, end
+        offset = end
 
 
 def crc_tables(tables: dict[str, bytes]) -> dict[str, int]:

@@ -51,9 +51,43 @@ from repro.parallel.backend import (
 )
 from repro.parallel.shared import ArrayHandle, SharedArrayPool, WorkerContext
 
-__all__ = ["CandidateTask", "execute_candidates", "tune_candidate"]
+__all__ = [
+    "CandidateTask",
+    "execute_candidates",
+    "is_infrastructure_fault",
+    "tune_candidate",
+]
 
 logger = logging.getLogger("repro.parallel")
+
+
+def is_infrastructure_fault(exc: BaseException) -> bool:
+    """Whether an exception is environmental rather than the user's fault.
+
+    The dispatcher already degrades ``process`` -> ``thread`` in-plan
+    (pool crash, shm exhaustion, unpicklable payload), so faults of this
+    class that still surface killed the *replay* too — a sick host, not a
+    bad request.  The job service retries these with bounded exponential
+    backoff; deterministic user errors (bad config, degenerate data, a
+    raising classifier) are never retried — re-running them burns a worker
+    to produce the same failure.
+
+    Fault-injection exceptions opt in by setting ``infrastructure_fault``
+    = True; real infrastructure faults are the OS-level families below.
+    """
+    if getattr(exc, "infrastructure_fault", False):
+        return True
+    import concurrent.futures
+
+    return isinstance(
+        exc,
+        (
+            MemoryError,
+            OSError,
+            ProcessBackendUnavailable,
+            concurrent.futures.BrokenExecutor,
+        ),
+    )
 
 
 def tune_candidate(

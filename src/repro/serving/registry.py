@@ -182,9 +182,18 @@ class ModelRegistry:
         Decoded entries kept hot in the LRU cache.
     """
 
-    def __init__(self, root: str | Path | None = None, cache_size: int = 8):
+    def __init__(
+        self,
+        root: str | Path | None = None,
+        cache_size: int = 8,
+        clock=time.time,
+    ):
         if cache_size < 1:
             raise RegistryError("cache_size must be >= 1")
+        #: Wall-clock source for ``registered_at`` stamps; injectable so the
+        #: crash-recovery suite can assert registry directories byte-identical
+        #: across a kill-and-restart.
+        self.clock = clock
         self.root = Path(root) if root is not None else None
         if self.root is not None:
             self.root.mkdir(parents=True, exist_ok=True)
@@ -235,7 +244,7 @@ class ModelRegistry:
             "algorithm": getattr(result, "best_algorithm", ""),
             "best_config": self._plain_config(getattr(result, "best_config", {})),
             "validation_accuracy": float(getattr(result, "validation_accuracy", 0.0)),
-            "registered_at": time.time(),
+            "registered_at": self.clock(),
         }
         if metadata:
             meta.update(metadata)
@@ -371,6 +380,46 @@ class ModelRegistry:
             for key in [k for k in self._cache if k[0] == model_id]:
                 del self._cache[key]
             return {"model_id": model_id, "deleted_versions": versions}
+
+    # ------------------------------------------------- crash-recovery support
+    def peek_next_version(self, model_id: str) -> int:
+        """The version :meth:`register` would assign next (write-ahead peek).
+
+        The job journal records this *before* the register as a commit
+        intent; hold the registry lock (reentrant) across peek + register
+        so the prediction cannot be raced stale.
+        """
+        self.validate_model_id(model_id)
+        with self._lock:
+            return self._next_version(model_id)
+
+    def has_version(self, model_id: str, version: int) -> bool:
+        """Whether a specific snapshot version exists (commit verification)."""
+        with self._lock:
+            return int(version) in self._versions(model_id)
+
+    def registration_summary(self, model_id: str, version: int) -> dict:
+        """Rebuild the dict :meth:`register` returned for an existing version.
+
+        Used by journal recovery: a job whose registration committed before
+        the crash gets the same registration payload on replay without
+        writing a duplicate version.
+        """
+        with self._lock:
+            resolved = self._resolve_version(model_id, version)
+            blob = self._read_blob(model_id, resolved)
+            entry = self._decode(model_id, resolved, blob)
+            return {
+                "model_id": model_id,
+                "version": resolved,
+                "algorithm": entry.metadata.get("algorithm", ""),
+                "validation_accuracy": entry.metadata.get("validation_accuracy", 0.0),
+                "snapshot_bytes": len(blob),
+            }
+
+    def lock(self):
+        """The registry's reentrant lock (single-writer peek+write spans)."""
+        return self._lock
 
     def cache_info(self) -> dict:
         """Hit/miss/eviction counters plus current occupancy (for tests)."""

@@ -1,0 +1,29 @@
+"""Deterministic fault-injection harness for reliability testing.
+
+Everything here is test-support code: seedable, deterministic stand-ins
+for the ways a SmartML service dies in production — worker crashes, pool
+loss, journal writes torn mid-frame, slow candidates.  Production code
+never imports this package; tests and the recovery smoke tool do.
+"""
+
+from repro.testing.faults import (
+    FaultScript,
+    FaultyRunner,
+    InjectedInfraFault,
+    InjectedPoolLoss,
+    InjectedUserError,
+    InjectedWorkerCrash,
+    JournalCrashPlan,
+    count_journal_frames,
+)
+
+__all__ = [
+    "FaultScript",
+    "FaultyRunner",
+    "InjectedInfraFault",
+    "InjectedPoolLoss",
+    "InjectedUserError",
+    "InjectedWorkerCrash",
+    "JournalCrashPlan",
+    "count_journal_frames",
+]

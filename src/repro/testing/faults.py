@@ -1,0 +1,295 @@
+"""Seedable fault injection for the crash-recoverable job service.
+
+Three injection surfaces, all deterministic so every failure a test finds
+is replayable from its seed:
+
+* :class:`JournalCrashPlan` — a ``fault_hook`` for
+  :class:`~repro.api.journal.JobJournal` that kills the simulated process
+  at an exact frame boundary (or mid-frame, leaving a torn write on disk).
+  Once it fires the journal is sealed: no durable byte changes after the
+  crash point, which is precisely the invariant a real ``SIGKILL``
+  provides.
+* :class:`FaultScript` / :class:`FaultyRunner` — a deterministic
+  :class:`~repro.core.SmartML` stand-in whose per-dataset scripts raise
+  infrastructure faults (retried), user errors (not retried), simulate a
+  worker crash mid-run, or run slow (timeout tests).  Its KB payloads are
+  pure functions of the dataset, so two runs that should be equivalent
+  produce byte-identical KB appends.
+* :func:`count_journal_frames` — how many valid frames a journal holds,
+  so tests can enumerate every crash point a scenario produces and drive
+  :class:`JournalCrashPlan` through all of them.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.api.journal import JOURNAL_FORMAT, JOURNAL_MAGIC
+from repro.kb.snapshots import iter_frames
+from repro.metafeatures import extract_metafeatures
+
+__all__ = [
+    "FaultScript",
+    "FaultyRunner",
+    "InjectedInfraFault",
+    "InjectedPoolLoss",
+    "InjectedUserError",
+    "InjectedWorkerCrash",
+    "JournalCrashPlan",
+    "count_journal_frames",
+]
+
+
+class InjectedInfraFault(RuntimeError):
+    """A scripted environmental failure (shm exhaustion, sick host)."""
+
+    infrastructure_fault = True
+
+
+class InjectedPoolLoss(RuntimeError):
+    """A scripted process-pool crash (workers died mid-plan)."""
+
+    infrastructure_fault = True
+
+
+class InjectedUserError(ValueError):
+    """A scripted deterministic failure: retrying would reproduce it."""
+
+
+class InjectedWorkerCrash(RuntimeError):
+    """A scripted hard process death mid-run.
+
+    The job manager's worker loop recognises ``simulates_crash``, seals
+    the journal (freezing durable state at the crash point) and retires —
+    the in-memory job table dies with the "process", exactly like SIGKILL.
+    """
+
+    simulates_crash = True
+
+
+def count_journal_frames(path) -> int:
+    """Valid frames currently in the journal at ``path`` (0 if absent)."""
+    from pathlib import Path
+
+    path = Path(path)
+    if not path.exists():
+        return 0
+    return sum(1 for _ in iter_frames(path.read_bytes(), JOURNAL_MAGIC, JOURNAL_FORMAT))
+
+
+class JournalCrashPlan:
+    """Kill the simulated process at an exact journal write.
+
+    Parameters
+    ----------
+    at_frame:
+        0-based index of the ``append`` call to die on, counting every
+        append attempted through this journal instance.
+    mode:
+        ``"before"`` — die before any byte of the frame lands (clean
+        boundary, the previous frame is the recovery point);
+        ``"torn"`` — die mid-write, leaving ``cut_bytes`` bytes of the
+        frame on disk (recovery must detect and drop the torn tail);
+        ``"after"`` — die immediately after the frame is durable (the
+        frame itself is the recovery point).
+    cut_bytes:
+        For ``"torn"``: how many bytes of the frame land before death.
+        Clamped to ``[1, len(frame) - 1]`` so the tear is real.  Fixed
+        rather than random so every tear a test explores is in its
+        example database, not in an unseeded rng.
+    """
+
+    def __init__(self, at_frame: int, mode: str = "before", cut_bytes: int = 1):
+        if mode not in ("before", "torn", "after"):
+            raise ValueError(f"unknown crash mode {mode!r}")
+        self.at_frame = at_frame
+        self.mode = mode
+        self.cut_bytes = cut_bytes
+        self.appends_seen = 0
+        self.fired = False
+        self._lock = threading.Lock()
+
+    def __call__(self, record: dict, frame: bytes) -> bytes | None:
+        with self._lock:
+            index = self.appends_seen
+            self.appends_seen += 1
+        if index != self.at_frame:
+            return None
+        self.fired = True
+        if self.mode == "before":
+            return b""
+        if self.mode == "after":
+            return frame
+        cut = max(1, min(len(frame) - 1, self.cut_bytes))
+        return frame[:cut]
+
+
+class FaultScript:
+    """Per-dataset fault choreography for :class:`FaultyRunner`.
+
+    Parameters
+    ----------
+    infra_faults:
+        Raise :class:`InjectedInfraFault` on this many *initial* attempts
+        (attempt 1..n); later attempts succeed — the retry path's bread
+        and butter.
+    pool_loss_attempts / crash_attempts / user_error_attempts:
+        Attempt numbers (1-based) on which to raise
+        :class:`InjectedPoolLoss` / :class:`InjectedWorkerCrash` /
+        :class:`InjectedUserError` respectively.
+    fault_phase:
+        Which pipeline phase the scripted fault fires in.
+    slow_s:
+        Sleep this long in ``fault_phase`` on *every* attempt (drives the
+        watchdog/timeout tests — and with ``on_phase`` raising at the next
+        boundary, cooperative cancellation).
+    """
+
+    def __init__(
+        self,
+        infra_faults: int = 0,
+        pool_loss_attempts: tuple = (),
+        crash_attempts: tuple = (),
+        user_error_attempts: tuple = (),
+        fault_phase: str = "tuning",
+        slow_s: float = 0.0,
+    ):
+        self.infra_faults = infra_faults
+        self.pool_loss_attempts = tuple(pool_loss_attempts)
+        self.crash_attempts = tuple(crash_attempts)
+        self.user_error_attempts = tuple(user_error_attempts)
+        self.fault_phase = fault_phase
+        self.slow_s = slow_s
+
+    def fire(self, phase: str, attempt: int, dataset_name: str) -> None:
+        """Raise whatever this script schedules for (phase, attempt)."""
+        if phase != self.fault_phase:
+            return
+        if self.slow_s:
+            time.sleep(self.slow_s)
+        if attempt in self.crash_attempts:
+            raise InjectedWorkerCrash(
+                f"scripted process death: {dataset_name} attempt {attempt}"
+            )
+        if attempt in self.pool_loss_attempts:
+            raise InjectedPoolLoss(
+                f"scripted pool crash: {dataset_name} attempt {attempt}"
+            )
+        if attempt <= self.infra_faults:
+            raise InjectedInfraFault(
+                f"scripted shm exhaustion: {dataset_name} attempt {attempt}"
+            )
+        if attempt in self.user_error_attempts:
+            raise InjectedUserError(
+                f"scripted bad request: {dataset_name} attempt {attempt}"
+            )
+
+
+class _FaultRunResult:
+    """Minimal result double: deterministic wire dict, registrable shape."""
+
+    def __init__(self, dataset_name, model=None, pipeline=None):
+        self.dataset_name = dataset_name
+        self.model = model
+        self.pipeline = pipeline
+        self.ensemble = None
+        self.best_algorithm = "knn"
+        self.best_config = {"k": 3}
+        self.validation_accuracy = 0.75
+
+    def to_dict(self) -> dict:
+        # Deliberately no wall-clock fields: recovery tests compare this
+        # payload byte for byte across crashed and uninterrupted runs.
+        return {
+            "dataset": self.dataset_name,
+            "best_algorithm": self.best_algorithm,
+            "best_config": dict(self.best_config),
+            "validation_accuracy": self.validation_accuracy,
+        }
+
+
+class FaultyRunner:
+    """Deterministic ``SmartML`` stand-in with scriptable failure modes.
+
+    Honours the full :meth:`~repro.core.SmartML.run` contract the job
+    manager relies on — ``on_phase`` at each phase start (the cooperative
+    cancellation point), ``kb_sink`` for the KB append, ``registry_sink``
+    when ``register_as`` is set — while being a pure function of
+    (dataset, attempt number).  The KB payload is derived only from the
+    dataset, so any two attempts that complete produce identical appends;
+    registration fits a real (tiny, deterministic) pipeline so the
+    registry snapshot is genuinely servable and byte-stable.
+    """
+
+    PHASES = ("preprocessing", "metafeatures", "selection", "tuning", "evaluation")
+
+    def __init__(self, kb, registry=None, scripts: dict | None = None):
+        self.kb = kb
+        self.registry = registry
+        self.scripts = dict(scripts or {})
+        self.calls: list[tuple[str, int]] = []
+        self._attempts: dict[str, int] = {}
+        self._lock = threading.Lock()
+
+    def run(
+        self,
+        dataset,
+        config,
+        on_phase=None,
+        kb_sink=None,
+        register_as=None,
+        registry_sink=None,
+    ):
+        with self._lock:
+            attempt = self._attempts.get(dataset.name, 0) + 1
+            self._attempts[dataset.name] = attempt
+            self.calls.append((dataset.name, attempt))
+        script = self.scripts.get(dataset.name)
+        notify = on_phase if on_phase is not None else (lambda phase: None)
+        for phase in self.PHASES[:-1]:
+            notify(phase)
+            if script is not None:
+                script.fire(phase, attempt, dataset.name)
+        metafeatures = extract_metafeatures(dataset)
+        runs = [
+            {
+                "algorithm": "knn",
+                "config": {"k": 3},
+                "accuracy": 0.75,
+                "n_folds": 3,
+                "budget_s": 1.0,
+            },
+            {
+                "algorithm": "lda",
+                "config": {},
+                "accuracy": 0.5,
+                "n_folds": 3,
+                "budget_s": 1.0,
+            },
+        ]
+        if kb_sink is not None:
+            kb_sink(dataset.name, metafeatures, runs)
+        else:
+            self.kb.add_result_batch(dataset.name, metafeatures, runs)
+        result = _FaultRunResult(dataset.name)
+        if register_as is not None:
+            result = self._fitted_result(dataset)
+            if registry_sink is not None:
+                registry_sink(register_as, result, dataset)
+            elif self.registry is not None:
+                self.registry.register(register_as, result, dataset=dataset)
+        notify(self.PHASES[-1])
+        return result
+
+    @staticmethod
+    def _fitted_result(dataset) -> _FaultRunResult:
+        """A real fitted knn pipeline: cheap, deterministic, servable."""
+        from repro.classifiers import make_classifier
+        from repro.preprocess import Imputer, Pipeline
+
+        pipeline = Pipeline([Imputer()])
+        prepared = pipeline.fit_transform(dataset)
+        model = make_classifier("knn", k=3)
+        model.fit(prepared.X, prepared.y, n_classes=dataset.n_classes)
+        return _FaultRunResult(dataset.name, model=model, pipeline=pipeline)

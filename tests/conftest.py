@@ -1,11 +1,43 @@
-"""Shared fixtures: small, fast, deterministic datasets."""
+"""Shared fixtures (small, fast, deterministic datasets) and a hang guard.
+
+``--timeout <seconds>`` arms a per-test watchdog built on
+:func:`faulthandler.dump_traceback_later`: a test that exceeds the limit
+gets every thread's traceback dumped to stderr and the process exits —
+turning a silent CI hang (a deadlocked worker, a stuck drain) into a
+diagnosable failure.  Implemented locally so the suite has no dependency
+on the ``pytest-timeout`` plugin.
+"""
 
 from __future__ import annotations
+
+import faulthandler
 
 import numpy as np
 import pytest
 
 from repro.data import Dataset, SyntheticSpec, make_dataset
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-test hang guard in seconds: dump all thread tracebacks "
+        "and abort the run when a single test exceeds this limit",
+    )
+
+
+@pytest.hookimpl(wrapper=True)
+def pytest_runtest_protocol(item, nextitem):
+    timeout = item.config.getoption("--timeout")
+    if not timeout or timeout <= 0:
+        return (yield)
+    faulthandler.dump_traceback_later(timeout, exit=True)
+    try:
+        return (yield)
+    finally:
+        faulthandler.cancel_dump_traceback_later()
 
 
 @pytest.fixture

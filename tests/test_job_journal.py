@@ -1,0 +1,262 @@
+"""Job-journal unit tests: framing, replay, corruption, compaction.
+
+The journal's contract is that the *valid frame prefix* is always
+recoverable, whatever garbage a crash leaves after it — and that a
+corrupt tail is dropped **loudly** (a warning naming byte counts), then
+physically repaired so the next writer appends onto clean frames.
+"""
+
+import logging
+import zlib
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.journal import (
+    JOURNAL_FORMAT,
+    JOURNAL_MAGIC,
+    JobJournal,
+)
+from repro.kb.snapshots import frame_header_size, iter_frames
+from repro.testing import JournalCrashPlan, count_journal_frames
+
+
+def _records(n: int) -> list[dict]:
+    out = []
+    for i in range(1, n + 1):
+        out.append(
+            {"t": "submitted", "job": i, "dataset_id": i, "dataset_name": f"ds-{i}",
+             "config": {"seed": i}, "at": 100.0 + i}
+        )
+        out.append({"t": "started", "job": i, "attempt": 1, "at": 200.0 + i})
+        out.append({"t": "done", "job": i, "result": {"acc": 0.5 + i / 10},
+                    "phases_done": ["preprocessing", "tuning"], "at": 300.0 + i})
+    return out
+
+
+def _write(path, records):
+    with JobJournal(path) as journal:
+        for record in records:
+            journal.append(record)
+    return path
+
+
+# --------------------------------------------------------------- round trip
+def test_replay_restores_terminal_jobs(tmp_path):
+    path = _write(tmp_path / "jobs.wal", _records(3))
+    journal = JobJournal(path)
+    recovery = journal.recovery
+    assert recovery.max_job_id == 3
+    assert [s.job_id for s in recovery.terminal_jobs()] == [1, 2, 3]
+    assert recovery.pending_jobs() == []
+    state = recovery.jobs[2]
+    assert state.status == "done"
+    assert state.result == {"acc": 0.7}
+    assert state.phases_done == ["preprocessing", "tuning"]
+    assert state.config == {"seed": 2}
+    journal.close()
+
+
+def test_replay_requeues_unfinished_jobs_in_submission_order(tmp_path):
+    records = _records(1)  # job 1 terminal
+    records += [
+        {"t": "submitted", "job": 3, "dataset_id": 3, "dataset_name": "late",
+         "config": {}, "at": 1.0},
+        {"t": "submitted", "job": 2, "dataset_id": 2, "dataset_name": "early",
+         "config": {}, "at": 1.0},
+        {"t": "started", "job": 2, "attempt": 1, "at": 2.0},
+    ]
+    path = _write(tmp_path / "jobs.wal", records)
+    with JobJournal(path) as journal:
+        pending = journal.recovery.pending_jobs()
+    assert [s.job_id for s in pending] == [2, 3]
+    assert pending[0].attempt == 1  # was running at crash time
+    assert pending[1].attempt == 0  # never started
+
+
+def test_commit_intents_survive_replay(tmp_path):
+    records = [
+        {"t": "submitted", "job": 1, "dataset_id": 1, "dataset_name": "d",
+         "config": {}, "at": 1.0},
+        {"t": "started", "job": 1, "attempt": 1, "at": 2.0},
+        {"t": "kb_commit", "job": 1, "kb_dataset_id": 7, "n_rows": 3},
+        {"t": "registry_commit", "job": 1, "model_id": "m", "version": 2},
+    ]
+    path = _write(tmp_path / "jobs.wal", records)
+    with JobJournal(path) as journal:
+        state = journal.recovery.jobs[1]
+    assert state.kb_commit == {"dataset_id": 7, "n_rows": 3}
+    assert state.registry_commit == {"model_id": "m", "version": 2}
+    assert not state.terminal
+
+
+def test_unknown_record_types_are_skipped(tmp_path):
+    records = [
+        {"t": "submitted", "job": 1, "dataset_id": 1, "dataset_name": "d",
+         "config": {}, "at": 1.0},
+        {"t": "future-extension", "job": 1, "payload": "whatever"},
+        {"t": "done", "job": 1, "result": {}, "phases_done": [], "at": 2.0},
+    ]
+    path = _write(tmp_path / "jobs.wal", records)
+    with JobJournal(path) as journal:
+        assert journal.recovery.jobs[1].status == "done"
+
+
+# --------------------------------------------------------------- corruption
+def test_truncated_tail_is_dropped_loudly_and_repaired(tmp_path, caplog):
+    path = _write(tmp_path / "jobs.wal", _records(2))
+    raw = path.read_bytes()
+    # Tear the last frame: keep everything but its final 5 bytes.
+    path.write_bytes(raw[:-5])
+    with caplog.at_level(logging.WARNING, logger="repro.api.journal"):
+        journal = JobJournal(path)
+    assert journal.dropped_bytes > 0
+    assert any("dropping" in r.message for r in caplog.records)
+    # Job 2's done frame was the casualty: it comes back pending.
+    assert journal.recovery.jobs[1].status == "done"
+    assert not journal.recovery.jobs[2].terminal
+    # The file was physically repaired: a fresh open is clean.
+    journal.close()
+    with caplog.at_level(logging.WARNING, logger="repro.api.journal"):
+        caplog.clear()
+        clean = JobJournal(path)
+    assert clean.dropped_bytes == 0
+    assert not caplog.records
+    clean.close()
+
+
+def test_bit_flip_invalidates_frame_and_everything_after(tmp_path, caplog):
+    path = _write(tmp_path / "jobs.wal", _records(3))
+    raw = bytearray(path.read_bytes())
+    # Flip one payload bit inside the *second* job's frames.
+    ends = [end for _, end in iter_frames(bytes(raw), JOURNAL_MAGIC, JOURNAL_FORMAT)]
+    target = ends[2] + frame_header_size() + 3  # payload byte of frame 4
+    raw[target] ^= 0x40
+    path.write_bytes(bytes(raw))
+    with caplog.at_level(logging.WARNING, logger="repro.api.journal"):
+        journal = JobJournal(path)
+    # Frames 1-3 (job 1) survive; the flipped frame and all later ones drop.
+    assert journal.recovery.jobs[1].status == "done"
+    assert 3 not in journal.recovery.jobs or not journal.recovery.jobs[3].terminal
+    assert journal.dropped_bytes > 0
+    assert any("dropping" in r.message for r in caplog.records)
+    journal.close()
+
+
+def test_garbage_file_recovers_to_empty(tmp_path, caplog):
+    path = tmp_path / "jobs.wal"
+    path.write_bytes(b"this was never a journal" * 10)
+    with caplog.at_level(logging.WARNING, logger="repro.api.journal"):
+        journal = JobJournal(path)
+    assert journal.recovery.jobs == {}
+    assert journal.dropped_bytes == 240
+    journal.append({"t": "submitted", "job": 1, "dataset_id": 1,
+                    "dataset_name": "d", "config": {}})
+    journal.close()
+    assert count_journal_frames(path) == 1
+
+
+@settings(max_examples=30, deadline=None)
+@given(cut=st.integers(min_value=0, max_value=400), flip=st.integers(0, 399))
+def test_any_tail_damage_recovers_a_valid_prefix(tmp_path_factory, cut, flip):
+    """Truncate at any byte, flip any byte: replay never crashes and every
+    job it reports is internally consistent."""
+    tmp_path = tmp_path_factory.mktemp("wal")
+    path = _write(tmp_path / "jobs.wal", _records(2))
+    raw = bytearray(path.read_bytes())
+    raw = raw[: max(0, len(raw) - cut)]
+    if raw and flip < len(raw):
+        raw[flip] ^= 0x01
+    path.write_bytes(bytes(raw))
+    journal = JobJournal(path)
+    for state in journal.recovery.jobs.values():
+        assert state.job_id >= 1
+        if state.status == "done":
+            assert state.result is not None
+    journal.close()
+
+
+# --------------------------------------------------------------- fault hook
+def test_crash_plan_before_leaves_previous_frame_as_recovery_point(tmp_path):
+    plan = JournalCrashPlan(at_frame=2, mode="before")
+    journal = JobJournal(tmp_path / "jobs.wal", fault_hook=plan)
+    for record in _records(1):  # 3 appends; the third dies
+        journal.append(record)
+    assert plan.fired and journal.dead
+    # Appends after death are silent no-ops.
+    journal.append({"t": "cancelled", "job": 9})
+    assert count_journal_frames(tmp_path / "jobs.wal") == 2
+    with JobJournal(tmp_path / "jobs.wal") as reopened:
+        assert not reopened.recovery.jobs[1].terminal  # done frame lost
+
+
+def test_crash_plan_torn_tail_is_repaired_on_reopen(tmp_path, caplog):
+    plan = JournalCrashPlan(at_frame=2, mode="torn", cut_bytes=9)
+    journal = JobJournal(tmp_path / "jobs.wal", fault_hook=plan)
+    for record in _records(1):
+        journal.append(record)
+    assert journal.dead
+    size_at_crash = (tmp_path / "jobs.wal").stat().st_size
+    with caplog.at_level(logging.WARNING, logger="repro.api.journal"):
+        reopened = JobJournal(tmp_path / "jobs.wal")
+    assert reopened.dropped_bytes == 9
+    assert (tmp_path / "jobs.wal").stat().st_size == size_at_crash - 9
+    assert not reopened.recovery.jobs[1].terminal
+    reopened.close()
+
+
+def test_crash_plan_after_keeps_the_frame(tmp_path):
+    plan = JournalCrashPlan(at_frame=2, mode="after")
+    journal = JobJournal(tmp_path / "jobs.wal", fault_hook=plan)
+    for record in _records(1):
+        journal.append(record)
+    assert journal.dead
+    with JobJournal(tmp_path / "jobs.wal") as reopened:
+        assert reopened.recovery.jobs[1].status == "done"
+
+
+# --------------------------------------------------------------- compaction
+def test_compact_drops_terminal_dataset_payloads(tmp_path):
+    big = {"t": "submitted", "job": 1, "dataset_id": 1, "dataset_name": "big",
+           "config": {}, "at": 1.0, "dataset": b"x" * 50_000}
+    records = [
+        big,
+        {"t": "done", "job": 1, "result": {"acc": 0.9}, "phases_done": [], "at": 2.0},
+        {"t": "submitted", "job": 2, "dataset_id": 2, "dataset_name": "pending",
+         "config": {}, "at": 3.0, "dataset": b"y" * 50_000},
+        {"t": "started", "job": 2, "attempt": 1, "at": 4.0},
+        {"t": "kb_commit", "job": 2, "kb_dataset_id": 5, "n_rows": 2},
+    ]
+    path = _write(tmp_path / "jobs.wal", records)
+    before = path.stat().st_size
+    journal = JobJournal(path)
+    journal.compact()
+    journal.close()
+    after = path.stat().st_size
+    assert after < before - 40_000  # job 1's dataset blob is gone
+    with JobJournal(path) as reopened:
+        done = reopened.recovery.jobs[1]
+        pending = reopened.recovery.jobs[2]
+    assert done.status == "done" and done.result == {"acc": 0.9}
+    assert done.dataset_state is None
+    # The pending job keeps everything a re-run needs.
+    assert pending.dataset_state == b"y" * 50_000
+    assert pending.attempt == 1
+    assert pending.kb_commit == {"dataset_id": 5, "n_rows": 2}
+
+
+def test_write_failure_marks_unhealthy_and_raises(tmp_path):
+    from repro.api.journal import JournalError
+
+    journal = JobJournal(tmp_path / "jobs.wal")
+    journal.append({"t": "submitted", "job": 1, "dataset_id": 1,
+                    "dataset_name": "d", "config": {}})
+    # Swap the descriptor for a read-only one: writes now raise OSError
+    # (io.UnsupportedOperation), the disk-full / yanked-volume shape.
+    journal._file.close()
+    journal._file = open(tmp_path / "jobs.wal", "rb")
+    with pytest.raises(JournalError):
+        journal.append({"t": "started", "job": 1, "attempt": 1})
+    assert not journal.healthy
+    journal._file.close()
