@@ -95,6 +95,12 @@ class SmartMLClient:
                 retry_after = response.getheader("Retry-After")
                 if retry_after is not None:
                     error.retry_after = int(retry_after)
+                # Structured error bodies (validation reports, candidate
+                # failure records) ride along for programmatic handling.
+                if isinstance(data.get("validation"), dict):
+                    error.validation = data["validation"]
+                if isinstance(data.get("failures"), list):
+                    error.failures = data["failures"]
                 raise error
             return data
         finally:
@@ -192,9 +198,18 @@ class SmartMLClient:
             if status == "done":
                 return job["result"]
             if status in ("failed", "cancelled"):
-                raise SmartMLError(
-                    f"experiment job {job_id} {status}: {job.get('error')}"
-                )
+                message = f"experiment job {job_id} {status}: {job.get('error')}"
+                failures = job.get("failures") or []
+                if failures:
+                    summaries = "; ".join(
+                        f"{f.get('algorithm')} [{f.get('phase')}] "
+                        f"{f.get('error_type')}: {f.get('message')}"
+                        for f in failures
+                    )
+                    message += f" — quarantined candidates: {summaries}"
+                error = SmartMLError(message)
+                error.failures = list(failures)
+                raise error
             if deadline is not None and time.monotonic() > deadline:
                 raise SmartMLError(
                     f"timed out after {timeout}s waiting for job {job_id} "

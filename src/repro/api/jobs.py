@@ -62,6 +62,7 @@ from pathlib import Path
 from repro.api.journal import JobJournal, JournalError
 from repro.core import SmartML, SmartMLConfig
 from repro.data.dataset import Dataset
+from repro.data.validation import ensure_valid_dataset
 from repro.exceptions import SmartMLError
 from repro.parallel import release_orphaned_segments, validate_backend_name
 from repro.parallel.dispatch import is_infrastructure_fault
@@ -141,6 +142,11 @@ class ExperimentJob:
     phases_done: list[str] = field(default_factory=list)
     error: str | None = None
     result: dict | None = None
+    #: True when the run finished but one or more candidates were quarantined.
+    degraded: bool = False
+    #: Structured failure records (CandidateFailure.to_dict shape), both for
+    #: degraded done jobs and for jobs that failed with no survivors.
+    failures: list[dict] = field(default_factory=list)
     register_as: str | None = None
     timeout_s: float | None = None
     attempt: int = 0
@@ -176,6 +182,8 @@ class ExperimentJob:
                 "phases_done": list(self.phases_done),
             },
             "error": self.error,
+            "degraded": self.degraded,
+            "failures": [dict(f) for f in self.failures],
             "config": dict(self.config),
             "register_as": self.register_as,
             "timeout_s": self.timeout_s,
@@ -373,6 +381,11 @@ class JobManager:
                 recovered=True,
             )
             job.phases_done = [str(p) for p in state.phases_done]
+            if state.result is not None:
+                job.degraded = bool(state.result.get("degraded"))
+                job.failures = list(state.result.get("failures") or [])
+            elif state.failures:
+                job.failures = [dict(f) for f in state.failures]
             self._jobs[job.job_id] = job
         for state in recovery.pending_jobs():
             job = ExperimentJob(
@@ -479,6 +492,12 @@ class JobManager:
         payload = dict(config_payload or {})
         payload.setdefault("backend", self.backend)
         config = SmartMLConfig.from_dict(payload)
+        # Reject datasets that are guaranteed to sink the pipeline with a
+        # structured 400 report now, not a failed job minutes later.  Only
+        # objects that carry data are linted: lifecycle tests drive the
+        # manager with stub datasets that have no arrays to inspect.
+        if hasattr(dataset, "X") and hasattr(dataset, "y"):
+            ensure_valid_dataset(dataset, n_folds=config.n_folds)
         if register_as is not None:
             if self.registry is None:
                 raise SmartMLError(
@@ -901,6 +920,8 @@ class JobManager:
                     job.phase = None
                 job.result = payload
                 job.status = "done"
+                job.degraded = bool(payload.get("degraded"))
+                job.failures = list(payload.get("failures") or [])
                 job.error = None  # clear any transient retry message
                 job.finished_at = self._clock()
                 job.worker = None
@@ -940,6 +961,14 @@ class JobManager:
         me = threading.current_thread().name
         message = f"{type(exc).__name__}: {exc}"
         infra = is_infrastructure_fault(exc)
+        # Structured failure records (ExperimentFailedError: every candidate
+        # or a pipeline phase was quarantined) travel with the failed job.
+        failure_records: list[dict] = []
+        if hasattr(exc, "failure_dicts"):
+            try:
+                failure_records = list(exc.failure_dicts())
+            except Exception:  # pragma: no cover - diagnostics must not throw
+                failure_records = []
         retry_delay = None
         with self._lock:
             if job.status != "running" or job.worker != me:
@@ -960,6 +989,7 @@ class JobManager:
             else:
                 job.error = message
                 job.status = "failed"
+                job.failures = failure_records
                 job.finished_at = self._clock()
                 self._job_inputs.pop(job.job_id, None)
         if retry_delay is not None:
@@ -978,7 +1008,12 @@ class JobManager:
             )
         else:
             self._journal_safe(
-                {"t": "failed", "job": job.job_id, "error": message}
+                {
+                    "t": "failed",
+                    "job": job.job_id,
+                    "error": message,
+                    "failures": failure_records,
+                }
             )
 
     def _backoff_delay(self, attempt: int) -> float:

@@ -116,6 +116,8 @@ class JournalJobState:
     error: str | None = None
     result: dict | None = None
     phases_done: list = field(default_factory=list)
+    #: Structured per-candidate failure records attached to a failed job.
+    failures: list = field(default_factory=list)
     dataset_state: object | None = None  # encoded Dataset (codec tree)
     kb_commit: dict | None = None  # {"dataset_id": int, "n_rows": int}
     registry_commit: dict | None = None  # {"model_id": str, "version": int}
@@ -177,6 +179,7 @@ class JournalRecovery:
             state.status = "failed"
             state.finished_at = float(record.get("at", 0.0))
             state.error = record.get("error")
+            state.failures = list(record.get("failures", []))
         elif kind == "cancelled":
             state.status = "cancelled"
             state.finished_at = float(record.get("at", 0.0))
@@ -378,7 +381,7 @@ class JobJournal:
                 elif state.status == "failed":
                     extra.append(
                         {"t": "failed", "job": state.job_id, "at": state.finished_at,
-                         "error": state.error}
+                         "error": state.error, "failures": state.failures}
                     )
                 else:
                     extra.append(

@@ -350,14 +350,18 @@ class SmartMLServer:
             def _fail(self, exc: Exception) -> None:
                 # Exceptions may carry their HTTP status (404/409/429/503);
                 # plain validation errors map to 400.  Backpressure and
-                # draining errors also carry a Retry-After hint.
+                # draining errors also carry a Retry-After hint; structured
+                # errors (dataset validation reports, candidate failure
+                # records) merge their machine-readable payload into the body.
                 headers = {}
                 retry_after = getattr(exc, "retry_after", None)
                 if retry_after is not None:
                     headers["Retry-After"] = int(retry_after)
-                self._reply(
-                    getattr(exc, "http_status", 400), {"error": str(exc)}, headers
-                )
+                body = {"error": str(exc)}
+                extra = getattr(exc, "payload", None)
+                if isinstance(extra, dict):
+                    body.update(extra)
+                self._reply(getattr(exc, "http_status", 400), body, headers)
 
             def _read_json(self) -> dict:
                 length = int(self.headers.get("Content-Length", "0"))

@@ -9,6 +9,9 @@ APIs; this module is the command-line face of the Python reproduction:
     Bootstrap a knowledge base from the synthetic corpus.
 ``repro run --dataset my.csv --target label --kb kb.jsonl --budget 10``
     Run the full pipeline on a CSV/ARFF file (or a built-in dataset).
+``repro validate --dataset my.csv --target label``
+    Pre-flight lint: the same dataset validation ``POST /experiments``
+    enforces, as a local report (exit 1 when the dataset would be rejected).
 ``repro nominate --dataset my.csv --target label --kb kb.jsonl``
     Algorithm selection only (no tuning).
 ``repro serve --port 8080 --kb kb.jsonl --workers 2 --registry models/ --journal jobs.wal``
@@ -143,6 +146,24 @@ def cmd_run(args, out) -> int:
         kb.close()
 
 
+def cmd_validate(args, out) -> int:
+    from repro.data.validation import validate_dataset
+
+    dataset = _load_dataset(args)
+    report = validate_dataset(dataset, n_folds=args.folds)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2), file=out)
+    else:
+        print(report.describe(), file=out)
+        if not report.ok:
+            print(
+                "the server would reject this dataset at POST /experiments "
+                "(HTTP 400)",
+                file=out,
+            )
+    return 0 if report.ok else 1
+
+
 def cmd_nominate(args, out) -> int:
     from repro.metafeatures import extract_metafeatures
 
@@ -257,6 +278,19 @@ def cmd_submit(args, out) -> int:
                 f"config={result['best_config']}",
                 file=out,
             )
+            if result.get("degraded"):
+                failures = result.get("failures") or []
+                print(
+                    f"DEGRADED: {len(failures)} candidate(s) quarantined "
+                    "(best-of-survivors result):",
+                    file=out,
+                )
+                for f in failures:
+                    print(
+                        f"  ! {f.get('algorithm')} [{f.get('phase')}] "
+                        f"{f.get('error_type')}: {f.get('message')}",
+                        file=out,
+                    )
     return 0
 
 
@@ -271,13 +305,22 @@ def cmd_status(args, out) -> int:
     if not jobs:
         print("no experiment jobs", file=out)
         return 0
-    print(f"{'job':>4s} {'status':10s} {'dataset':16s} {'phase':22s} {'run_s':>8s}", file=out)
+    print(
+        f"{'job':>4s} {'status':10s} {'dataset':16s} {'phase':22s} {'run_s':>8s} notes",
+        file=out,
+    )
     for job in jobs:
         phase = job["progress"]["phase"] or "-"
         run_s = f"{job['run_seconds']:.2f}" if job["run_seconds"] is not None else "-"
+        notes = ""
+        failures = job.get("failures") or []
+        if job.get("degraded"):
+            notes = f"DEGRADED ({len(failures)} quarantined)"
+        elif failures:
+            notes = f"{len(failures)} candidate failure(s)"
         print(
             f"{job['job_id']:>4d} {job['status']:10s} {job['dataset_name'][:16]:16s} "
-            f"{phase:22s} {run_s:>8s}",
+            f"{phase:22s} {run_s:>8s} {notes}",
             file=out,
         )
     return 0
@@ -390,6 +433,17 @@ def build_parser() -> argparse.ArgumentParser:
         "--registry", help="model registry directory (required with --register-as)"
     )
 
+    p_val = sub.add_parser(
+        "validate", help="pre-flight lint a dataset against pipeline requirements"
+    )
+    p_val.add_argument("--dataset", required=True, help="registry key or csv/arff path")
+    p_val.add_argument("--target", help="target column name (files only)")
+    p_val.add_argument(
+        "--folds", type=int, default=3,
+        help="cross-validation folds the experiment would use (default 3)",
+    )
+    p_val.add_argument("--json", action="store_true", help="emit the report as JSON")
+
     p_nom = sub.add_parser("nominate", help="algorithm selection only")
     p_nom.add_argument("--dataset", required=True)
     p_nom.add_argument("--target")
@@ -484,6 +538,7 @@ COMMANDS = {
     "datasets": cmd_datasets,
     "bootstrap": cmd_bootstrap,
     "run": cmd_run,
+    "validate": cmd_validate,
     "nominate": cmd_nominate,
     "serve": cmd_serve,
     "submit": cmd_submit,

@@ -2,7 +2,10 @@
 
 from __future__ import annotations
 
+import hashlib
+import traceback
 from dataclasses import dataclass, field
+from pathlib import PurePath
 
 import numpy as np
 
@@ -15,7 +18,85 @@ from repro.kb.similarity import Nomination
 from repro.metafeatures import MetaFeatures
 from repro.preprocess import Pipeline
 
-__all__ = ["CandidateResult", "SmartMLResult"]
+__all__ = ["CandidateFailure", "CandidateResult", "SmartMLResult"]
+
+
+@dataclass
+class CandidateFailure:
+    """Structured record of one quarantined candidate (or pipeline phase).
+
+    The graceful-degradation layer converts deterministic per-candidate
+    exceptions into these instead of letting one bad candidate sink the
+    whole experiment.  ``traceback_digest`` is a stable content hash of the
+    full traceback so operators can bucket recurring failures across jobs
+    without shipping whole stack traces over the wire; ``origin`` names the
+    innermost application frame for at-a-glance triage.
+    """
+
+    algorithm: str
+    phase: str  # "setup" | "search" | "refit" | pipeline phase name
+    error_type: str
+    message: str
+    traceback_digest: str = ""
+    origin: str = ""
+    config: dict | None = None
+    seed: int | None = None
+
+    @classmethod
+    def from_exception(
+        cls,
+        algorithm: str,
+        phase: str,
+        exc: BaseException,
+        config: dict | None = None,
+        seed: int | None = None,
+    ) -> "CandidateFailure":
+        text = "".join(
+            traceback.format_exception(type(exc), exc, exc.__traceback__)
+        )
+        digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8).hexdigest()
+        frames = traceback.extract_tb(exc.__traceback__)
+        origin = ""
+        if frames:
+            last = frames[-1]
+            origin = f"{PurePath(last.filename).name}:{last.lineno} in {last.name}"
+        message = str(exc)
+        if len(message) > 500:
+            message = message[:500] + "..."
+        return cls(
+            algorithm=algorithm,
+            phase=phase,
+            error_type=type(exc).__name__,
+            message=message,
+            traceback_digest=digest,
+            origin=origin,
+            config=dict(config) if config is not None else None,
+            seed=seed,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-friendly wire form (job results, 4xx payloads, CLI)."""
+        return {
+            "algorithm": self.algorithm,
+            "phase": self.phase,
+            "error_type": self.error_type,
+            "message": self.message,
+            "traceback_digest": self.traceback_digest,
+            "origin": self.origin,
+            "config": (
+                {k: _jsonable(v) for k, v in self.config.items()}
+                if self.config is not None
+                else None
+            ),
+            "seed": self.seed,
+        }
+
+    def describe(self) -> str:
+        return (
+            f"{self.algorithm} failed during {self.phase}: "
+            f"{self.error_type}: {self.message}"
+            + (f" ({self.origin})" if self.origin else "")
+        )
 
 
 @dataclass
@@ -31,6 +112,8 @@ class CandidateResult:
     tuning_seconds: float
     warm_started: bool
     model: Classifier | None = None
+    #: Configurations the SMAC loop quarantined at +inf cost (0 = clean run).
+    n_failed_trials: int = 0
 
     def to_dict(self) -> dict:
         """JSON-friendly summary (model object excluded)."""
@@ -43,6 +126,7 @@ class CandidateResult:
             "n_fold_evals": self.n_fold_evals,
             "tuning_seconds": self.tuning_seconds,
             "warm_started": self.warm_started,
+            "n_failed_trials": self.n_failed_trials,
         }
 
 
@@ -63,6 +147,7 @@ class SmartMLResult:
     model: Classifier | None
     pipeline: Pipeline | None = None
     candidates: list[CandidateResult] = field(default_factory=list)
+    failures: list[CandidateFailure] = field(default_factory=list)
     nominations: list[Nomination] = field(default_factory=list)
     metafeatures: MetaFeatures | None = None
     ensemble: WeightedEnsemble | None = None
@@ -73,6 +158,16 @@ class SmartMLResult:
     used_meta_learning: bool = False
     registration: dict | None = None
 
+    @property
+    def degraded(self) -> bool:
+        """True when at least one nominated candidate was quarantined.
+
+        The recommendation is still the best of the *survivors*, but it was
+        chosen from fewer candidates than nominated — clients deciding how
+        much to trust the result should check this flag and ``failures``.
+        """
+        return bool(self.failures)
+
     def to_dict(self) -> dict:
         """JSON-friendly summary for the REST API and the demo output."""
         return {
@@ -81,6 +176,8 @@ class SmartMLResult:
             "best_config": {k: _jsonable(v) for k, v in self.best_config.items()},
             "validation_accuracy": self.validation_accuracy,
             "candidates": [c.to_dict() for c in self.candidates],
+            "degraded": self.degraded,
+            "failures": [f.to_dict() for f in self.failures],
             "nominations": [
                 {
                     "algorithm": n.algorithm,
@@ -144,6 +241,12 @@ class SmartMLResult:
                     f"   {marker} {c.algorithm:14s} val_acc={c.validation_accuracy:.4f} "
                     f"cv_err={c.cv_error:.4f} evals={c.n_config_evals}"
                 )
+        if self.failures:
+            lines.append(
+                f"  DEGRADED: {len(self.failures)} candidate(s) quarantined:"
+            )
+            for failure in self.failures:
+                lines.append(f"    ! {failure.describe()}")
         if self.ensemble_validation_accuracy is not None:
             lines.append(
                 f"  weighted ensemble     : val_acc={self.ensemble_validation_accuracy:.4f}"

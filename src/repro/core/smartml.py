@@ -26,12 +26,17 @@ from collections.abc import Callable
 import numpy as np
 
 from repro.core.config import SmartMLConfig
-from repro.core.result import CandidateResult, SmartMLResult
+from repro.core.result import CandidateFailure, CandidateResult, SmartMLResult
 from repro.data.dataset import Dataset
+from repro.data.validation import ensure_valid_dataset
 from repro.ensemble import build_weighted_ensemble
 from repro.evaluation.metrics import accuracy
 from repro.evaluation.resampling import train_validation_split
-from repro.exceptions import SmartMLError
+from repro.exceptions import (
+    ExperimentFailedError,
+    SmartMLError,
+    is_infrastructure_fault,
+)
 from repro.hpo import allocate_budget, uniform_budget
 from repro.interpret import permutation_importance
 from repro.kb import KnowledgeBase
@@ -121,20 +126,36 @@ class SmartML:
         phase_seconds: dict[str, float] = {}
         notify = on_phase if on_phase is not None else (lambda phase: None)
 
+        # ---- phase 1.5: input validation ---------------------------------
+        # Reject datasets that would deterministically sink the pipeline
+        # (single observed class, fewer rows than folds, infinities) with a
+        # structured report before any expensive work happens.
+        notify("validation")
+        started = time.monotonic()
+        ensure_valid_dataset(dataset, n_folds=config.n_folds)
+        phase_seconds["validation"] = time.monotonic() - started
+
         # ---- phase 2: preprocessing -------------------------------------
         notify("preprocessing")
         started = time.monotonic()
-        train, validation = train_validation_split(
-            dataset, config.validation_fraction, seed=int(rng.integers(0, 2**31 - 1))
-        )
-        pipeline = self._build_pipeline(config)
-        train_p = pipeline.fit_transform(train)
-        validation_p = pipeline.transform(validation)
+        try:
+            train, validation = train_validation_split(
+                dataset, config.validation_fraction,
+                seed=int(rng.integers(0, 2**31 - 1)),
+            )
+            pipeline = self._build_pipeline(config)
+            train_p = pipeline.fit_transform(train)
+            validation_p = pipeline.transform(validation)
+        except Exception as exc:
+            raise self._pipeline_failure("preprocessing", dataset, exc) from exc
         phase_seconds["preprocessing"] = time.monotonic() - started
 
         notify("metafeatures")
         started = time.monotonic()
-        metafeatures = extract_metafeatures(train)
+        try:
+            metafeatures = extract_metafeatures(train)
+        except Exception as exc:
+            raise self._pipeline_failure("metafeatures", dataset, exc) from exc
         phase_seconds["metafeatures"] = time.monotonic() - started
 
         # ---- phase 3: algorithm selection --------------------------------
@@ -175,7 +196,7 @@ class SmartML:
         seeds = [int(rng.integers(0, 2**31 - 1)) for _ in nominations]
         from repro.parallel.dispatch import execute_candidates
 
-        candidates = execute_candidates(
+        outcomes = execute_candidates(
             nominations,
             seeds,
             budgets,
@@ -191,6 +212,22 @@ class SmartML:
         # ---- phase 5: output + KB update ----------------------------------
         notify("computing_output")
         started = time.monotonic()
+        # Quarantined candidates come back as CandidateFailure records in
+        # their nomination slots: the winner is the best of the *survivors*,
+        # and the result is flagged degraded.  No survivors at all is a
+        # structured experiment failure, never a bare max() crash.
+        candidates = [c for c in outcomes if isinstance(c, CandidateResult)]
+        failures = [c for c in outcomes if isinstance(c, CandidateFailure)]
+        if not candidates:
+            summary = "; ".join(
+                f"{f.algorithm} [{f.phase}] {f.error_type}" for f in failures
+            )
+            raise ExperimentFailedError(
+                f"experiment on dataset {dataset.name!r} failed: all "
+                f"{len(failures)} nominated candidate(s) were quarantined "
+                f"({summary})",
+                failures=failures,
+            )
         best = max(candidates, key=lambda c: c.validation_accuracy)
         result = SmartMLResult(
             dataset_name=dataset.name,
@@ -200,6 +237,7 @@ class SmartML:
             model=best.model,
             pipeline=pipeline,
             candidates=candidates,
+            failures=failures,
             nominations=nominations,
             metafeatures=metafeatures,
             used_meta_learning=used_meta_learning,
@@ -259,6 +297,26 @@ class SmartML:
         return result
 
     # ------------------------------------------------------------ internals
+    @staticmethod
+    def _pipeline_failure(
+        phase: str, dataset: Dataset, exc: Exception
+    ) -> ExperimentFailedError:
+        """Wrap a pipeline-phase crash as a structured experiment failure.
+
+        Infrastructure faults re-raise unchanged so the job service's retry
+        machinery still sees them; everything else becomes an
+        :class:`ExperimentFailedError` carrying one :class:`CandidateFailure`
+        record with ``algorithm="(pipeline)"``.
+        """
+        if is_infrastructure_fault(exc):
+            raise exc
+        failure = CandidateFailure.from_exception("(pipeline)", phase, exc)
+        return ExperimentFailedError(
+            f"experiment on dataset {dataset.name!r} failed during {phase}: "
+            f"{failure.error_type}: {failure.message}",
+            failures=[failure],
+        )
+
     @staticmethod
     def _build_pipeline(config: SmartMLConfig) -> Pipeline:
         steps = [Imputer()]

@@ -11,6 +11,12 @@ from repro.data.registry import (
     load_kb_corpus,
 )
 from repro.data.synthetic import SyntheticSpec, make_blobs, make_dataset
+from repro.data.validation import (
+    ValidationIssue,
+    ValidationReport,
+    ensure_valid_dataset,
+    validate_dataset,
+)
 from repro.data.writers import dataset_to_arff, dataset_to_csv, write_arff, write_csv
 
 __all__ = [
@@ -32,4 +38,8 @@ __all__ = [
     "load_eval_dataset",
     "kb_corpus_specs",
     "load_kb_corpus",
+    "ValidationIssue",
+    "ValidationReport",
+    "validate_dataset",
+    "ensure_valid_dataset",
 ]

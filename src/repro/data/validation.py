@@ -1,0 +1,248 @@
+"""Pre-flight dataset validation: a machine-readable lint for hostile input.
+
+A production SmartML service accepts arbitrary uploads, and AutoMLBench
+ranks AutoML frameworks on *failure rate on hard datasets* as a first-class
+axis: a dataset that will deterministically sink the pipeline (a single
+observed class, fewer rows than folds, infinities that poison every Gram
+matrix) must be rejected **at submit time** with a structured report, not
+minutes into tuning with a stack trace.
+
+:func:`validate_dataset` runs a fixed battery of checks and returns a
+:class:`ValidationReport` — a list of :class:`ValidationIssue` records, each
+with a stable ``code``, a severity, a human message, and a machine-readable
+``detail`` dict.  Severities:
+
+* **error** — the pipeline is guaranteed (or overwhelmingly likely) to fail
+  or produce meaningless output: the caller should refuse the dataset.
+  ``POST /experiments`` maps these to HTTP 400 with the report attached.
+* **warning** — the run can proceed but quality or stability may suffer
+  (constant columns, near-ID categorical columns, heavy missingness);
+  surfaced so clients and the ``repro validate`` CLI can lint uploads.
+
+The checks are pure numpy over the :class:`~repro.data.Dataset` container
+and never raise on hostile numerics themselves (``np.errstate`` guarded),
+so validation is safe to run on exactly the inputs it exists to reject.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+from repro.exceptions import DatasetValidationError
+
+__all__ = [
+    "ValidationIssue",
+    "ValidationReport",
+    "validate_dataset",
+    "ensure_valid_dataset",
+]
+
+#: Cap on per-issue column lists so a 10k-column hostile upload cannot
+#: inflate the report (the count is always exact; the listing is a sample).
+_MAX_LISTED_COLUMNS = 20
+
+
+@dataclass(frozen=True)
+class ValidationIssue:
+    """One validation finding."""
+
+    code: str
+    severity: str  # "error" | "warning"
+    message: str
+    detail: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "code": self.code,
+            "severity": self.severity,
+            "message": self.message,
+            "detail": dict(self.detail),
+        }
+
+
+@dataclass
+class ValidationReport:
+    """Everything :func:`validate_dataset` found, machine-readable."""
+
+    dataset_name: str
+    n_folds: int
+    issues: list[ValidationIssue] = field(default_factory=list)
+
+    @property
+    def errors(self) -> list[ValidationIssue]:
+        return [i for i in self.issues if i.severity == "error"]
+
+    @property
+    def warnings(self) -> list[ValidationIssue]:
+        return [i for i in self.issues if i.severity == "warning"]
+
+    @property
+    def ok(self) -> bool:
+        """True when the dataset carries no *errors* (warnings allowed)."""
+        return not self.errors
+
+    def to_dict(self) -> dict:
+        return {
+            "dataset_name": self.dataset_name,
+            "n_folds": self.n_folds,
+            "ok": self.ok,
+            "errors": [i.to_dict() for i in self.errors],
+            "warnings": [i.to_dict() for i in self.warnings],
+        }
+
+    def describe(self) -> str:
+        """Multi-line lint output for the ``repro validate`` CLI."""
+        lines = [
+            f"validation report for dataset {self.dataset_name!r} "
+            f"(n_folds={self.n_folds}): "
+            + ("OK" if self.ok else f"{len(self.errors)} error(s)")
+            + (f", {len(self.warnings)} warning(s)" if self.warnings else "")
+        ]
+        for issue in self.issues:
+            lines.append(f"  [{issue.severity}] {issue.code}: {issue.message}")
+        return "\n".join(lines)
+
+    def raise_if_errors(self) -> "ValidationReport":
+        """Raise :class:`~repro.exceptions.DatasetValidationError` on errors."""
+        if self.errors:
+            raise DatasetValidationError(self)
+        return self
+
+
+def _sample(indices: np.ndarray) -> list[int]:
+    return [int(j) for j in indices[:_MAX_LISTED_COLUMNS]]
+
+
+def validate_dataset(ds: Dataset, n_folds: int = 3) -> ValidationReport:
+    """Lint ``ds`` against the pipeline's hard requirements and soft hazards.
+
+    ``n_folds`` is the cross-validation fold count the experiment will use;
+    class-size checks are relative to it.  Never raises on hostile values —
+    use :meth:`ValidationReport.raise_if_errors` (or
+    :func:`ensure_valid_dataset`) to enforce.
+    """
+    issues: list[ValidationIssue] = []
+    n, d = ds.n_instances, ds.n_features
+    with np.errstate(all="ignore"):
+        # ---- errors: guaranteed grief -----------------------------------
+        observed_classes = np.unique(ds.y)
+        if observed_classes.size < 2:
+            issues.append(
+                ValidationIssue(
+                    code="single_class_target",
+                    severity="error",
+                    message=(
+                        "the target has a single observed class; "
+                        "classification needs at least two"
+                    ),
+                    detail={"observed_classes": int(observed_classes.size)},
+                )
+            )
+        if n < n_folds:
+            issues.append(
+                ValidationIssue(
+                    code="too_few_rows",
+                    severity="error",
+                    message=(
+                        f"{n} row(s) cannot populate {n_folds} "
+                        "cross-validation folds"
+                    ),
+                    detail={"n_instances": int(n), "n_folds": int(n_folds)},
+                )
+            )
+        counts = ds.class_counts()
+        small = np.flatnonzero((counts > 0) & (counts < n_folds))
+        if observed_classes.size >= 2 and small.size:
+            issues.append(
+                ValidationIssue(
+                    code="class_below_fold_count",
+                    severity="error",
+                    message=(
+                        f"{small.size} class(es) have fewer than "
+                        f"{n_folds} members and cannot be stratified "
+                        "across the folds"
+                    ),
+                    detail={
+                        "n_folds": int(n_folds),
+                        "classes": _sample(small),
+                        "counts": [int(counts[k]) for k in small[:_MAX_LISTED_COLUMNS]],
+                    },
+                )
+            )
+        inf_cols = np.flatnonzero(np.isinf(ds.X).any(axis=0)) if d else np.array([], int)
+        if inf_cols.size:
+            issues.append(
+                ValidationIssue(
+                    code="inf_values",
+                    severity="error",
+                    message=(
+                        f"{inf_cols.size} column(s) contain infinite values; "
+                        "encode missing data as empty cells / NaN instead"
+                    ),
+                    detail={"columns": _sample(inf_cols)},
+                )
+            )
+
+        # ---- warnings: proceed, but expect degradation -------------------
+        finite = np.where(np.isfinite(ds.X), ds.X, np.nan) if d else ds.X
+        observed_counts = np.sum(~np.isnan(finite), axis=0) if d else np.array([], int)
+        if d:
+            col_min = np.nanmin(np.where(np.isnan(finite), np.inf, finite), axis=0)
+            col_max = np.nanmax(np.where(np.isnan(finite), -np.inf, finite), axis=0)
+            constant = np.flatnonzero(
+                (observed_counts == 0) | (col_min == col_max)
+            )
+        else:
+            constant = np.array([], int)
+        if constant.size:
+            issues.append(
+                ValidationIssue(
+                    code="constant_columns",
+                    severity="warning",
+                    message=(
+                        f"{constant.size} column(s) are constant (or entirely "
+                        "missing) and carry no signal"
+                    ),
+                    detail={"columns": _sample(constant)},
+                )
+            )
+        cards = ds.category_cardinalities()
+        cat_idx = ds.categorical_indices
+        extreme = np.flatnonzero((cards > 10) & (cards >= 0.5 * max(1, n)))
+        if extreme.size:
+            issues.append(
+                ValidationIssue(
+                    code="extreme_cardinality",
+                    severity="warning",
+                    message=(
+                        f"{extreme.size} categorical column(s) have nearly one "
+                        "symbol per row (identifier-like; useless for learning)"
+                    ),
+                    detail={
+                        "columns": _sample(cat_idx[extreme]),
+                        "cardinalities": [int(c) for c in cards[extreme][:_MAX_LISTED_COLUMNS]],
+                    },
+                )
+            )
+        missing = ds.missing_ratio()
+        if missing > 0.3:
+            issues.append(
+                ValidationIssue(
+                    code="heavy_missingness",
+                    severity="warning",
+                    message=(
+                        f"{missing:.0%} of cells are missing; imputation will "
+                        "dominate the signal"
+                    ),
+                    detail={"missing_ratio": float(round(missing, 4))},
+                )
+            )
+    return ValidationReport(dataset_name=ds.name, n_folds=int(n_folds), issues=issues)
+
+
+def ensure_valid_dataset(ds: Dataset, n_folds: int = 3) -> ValidationReport:
+    """Validate and raise :class:`DatasetValidationError` on any error."""
+    return validate_dataset(ds, n_folds=n_folds).raise_if_errors()

@@ -30,7 +30,7 @@ from dataclasses import dataclass, field
 import numpy as np
 from scipy import stats
 
-from repro.exceptions import SearchError
+from repro.exceptions import SearchError, is_infrastructure_fault
 from repro.hpo.objective import CrossValObjective
 from repro.hpo.space import ParamSpace
 from repro.hpo.surrogate import RandomForestSurrogate
@@ -83,13 +83,21 @@ class SMACSettings:
 
 @dataclass
 class TrialRecord:
-    """One configuration's outcome."""
+    """One configuration's outcome.
+
+    A configuration whose evaluation raised a deterministic error is
+    recorded at ``cost = +inf`` with ``error`` set — quarantined, never
+    promoted, never re-proposed (its key is in the seen-set), and presented
+    to the surrogate at a finite penalty so the model steers away from the
+    failing region instead of exploding.
+    """
 
     config: Config
     cost: float
     n_folds: int
     elapsed_s: float
     was_incumbent: bool = False
+    error: str | None = None
 
 
 @dataclass
@@ -103,6 +111,10 @@ class SMACResult:
     n_fold_evals: int = 0
     elapsed_s: float = 0.0
     stop_reason: str = "budget"
+    #: Configurations quarantined at +inf cost (deterministic trial errors).
+    n_failed_trials: int = 0
+    #: One record per quarantined (config, fold): {"config", "fold", "error"}.
+    failures: list[dict] = field(default_factory=list)
 
     def trajectory(self) -> list[tuple[float, float]]:
         """(elapsed seconds, incumbent cost) at every incumbent change."""
@@ -129,6 +141,9 @@ class SMAC:
         # identity check can never confuse two lists at a recycled address.
         self._encoded_rows: list[np.ndarray] = []
         self._encoded_for: list[TrialRecord] | None = None
+        # Trial quarantine state, reset by every optimize() call.
+        self._trial_failures: list[dict] = []
+        self._config_errors: dict[tuple, str] = {}
 
     # ----------------------------------------------------------- public API
     def optimize(
@@ -143,6 +158,8 @@ class SMAC:
         incumbent: Config | None = None
         incumbent_cost = np.inf
         stop_reason = "budget"
+        self._trial_failures = []
+        self._config_errors = {}
 
         # Warm starts are consumed strictly front-first; deque keeps each
         # pop O(1) where list.pop(0) shifted the whole remainder.
@@ -197,7 +214,11 @@ class SMAC:
                 # budget still yields a (partially validated) incumbent.
                 fold_costs = []
                 for fold_id in range(objective.n_folds):
-                    fold_costs.append(objective.evaluate_fold(challenger, key, fold_id))
+                    fold_costs.append(
+                        self._fold_cost(objective, challenger, key, fold_id)
+                    )
+                    if not np.isfinite(fold_costs[-1]):
+                        break  # deterministic failure repeats on every fold
                     if (
                         self.settings.time_budget_s is not None
                         and time.monotonic() - started >= self.settings.time_budget_s
@@ -208,7 +229,8 @@ class SMAC:
                 incumbent_prefix = list(np.cumsum(fold_costs))
                 history.append(
                     TrialRecord(challenger, cost, len(fold_costs),
-                                time.monotonic() - started, was_incumbent=True)
+                                time.monotonic() - started, was_incumbent=True,
+                                error=self._config_errors.get(key))
                 )
                 continue
 
@@ -222,6 +244,7 @@ class SMAC:
                     len(objective.evaluated_folds(key)),
                     time.monotonic() - started,
                     was_incumbent=promoted,
+                    error=self._config_errors.get(key),
                 )
             )
             if promoted:
@@ -243,9 +266,36 @@ class SMAC:
             n_fold_evals=objective.n_fold_evaluations,
             elapsed_s=time.monotonic() - started,
             stop_reason=stop_reason,
+            n_failed_trials=sum(1 for r in history if np.isinf(r.cost)),
+            failures=list(self._trial_failures),
         )
 
     # ------------------------------------------------------------ internals
+    def _fold_cost(
+        self,
+        objective: CrossValObjective,
+        config: Config,
+        key: tuple,
+        fold_id: int,
+    ) -> float:
+        """One fold evaluation with deterministic errors quarantined at +inf.
+
+        Infrastructure faults (OOM, pool death) re-raise for the retry
+        machinery upstream; any other exception marks the configuration
+        failed — +inf loses every race and never becomes the incumbent —
+        and records a structured failure for :attr:`SMACResult.failures`.
+        """
+        try:
+            return objective.evaluate_fold(config, key, fold_id)
+        except Exception as exc:
+            if is_infrastructure_fault(exc):
+                raise
+            error = f"{type(exc).__name__}: {exc}"
+            self._trial_failures.append(
+                {"config": dict(config), "fold": int(fold_id), "error": error}
+            )
+            self._config_errors.setdefault(key, error)
+            return float("inf")
     def _race(
         self,
         challenger: Config,
@@ -266,12 +316,16 @@ class SMAC:
         challenger_costs: list[float] = []
         challenger_total = 0.0
         for fold_id in range(objective.n_folds):
-            fold_cost = objective.evaluate_fold(challenger, key, fold_id)
+            fold_cost = self._fold_cost(objective, challenger, key, fold_id)
             challenger_costs.append(fold_cost)
             challenger_total += fold_cost
+            if not np.isfinite(fold_cost):
+                # Quarantined: the failure is deterministic, so further folds
+                # would only repeat it.  +inf can never win the race.
+                return float("inf"), False, challenger_costs
             while len(incumbent_prefix) <= fold_id:
-                cost = objective.evaluate_fold(
-                    incumbent, incumbent_key, len(incumbent_prefix)
+                cost = self._fold_cost(
+                    objective, incumbent, incumbent_key, len(incumbent_prefix)
                 )
                 previous = incumbent_prefix[-1] if incumbent_prefix else 0.0
                 incumbent_prefix.append(previous + cost)
@@ -311,6 +365,15 @@ class SMAC:
 
         X = self._encoded_history(history)
         y = np.array([r.cost for r in history])
+        finite = y[np.isfinite(y)]
+        if finite.size == 0:
+            # Every trial so far was quarantined: the surrogate has nothing
+            # to model, so keep exploring at random.
+            return self.space.sample(self.rng)
+        # Quarantined trials enter the model at a finite penalty just above
+        # the worst observed cost: the surrogate steers away from the failing
+        # region without inf/NaN poisoning the forest.
+        y = np.where(np.isfinite(y), y, float(finite.max()) + 1.0)
         surrogate = RandomForestSurrogate(seed=int(self.rng.integers(0, 2**31 - 1)))
         surrogate.fit(X, y)
 

@@ -181,49 +181,61 @@ def _extract_metafeatures_uncached(ds: Dataset) -> MetaFeatures:
     numeric_idx = ds.numeric_indices
     cat_idx = ds.categorical_indices
 
-    probs = ds.class_distribution()
-    present = probs[probs > 0]
-    entropy = float(-(present * np.log2(present)).sum())
-    max_entropy = np.log2(ds.n_classes) if ds.n_classes > 1 else 1.0
+    # Hostile numerics guard: the extractor must stay warning-clean and
+    # finite on any container a client can upload (±inf cells, all-NaN or
+    # huge-scale columns, zero rows) — the REST layer exposes it directly
+    # via GET /metafeatures before any validation gate.  np.errstate keeps
+    # numpy's FP machinery quiet; degenerate statistics fill with zeros
+    # explicitly rather than propagating inf/NaN into the 25-vector.
+    with np.errstate(all="ignore"):
+        probs = ds.class_distribution()
+        probs = probs[np.isfinite(probs)] if probs.size else probs
+        if probs.size == 0:
+            probs = np.zeros(1)
+        present = probs[probs > 0]
+        entropy = float(-(present * np.log2(present)).sum()) if present.size else 0.0
+        max_entropy = np.log2(ds.n_classes) if ds.n_classes > 1 else 1.0
 
-    skews = []
-    kurts = []
-    for j in numeric_idx:
-        col = ds.X[:, j]
-        col = col[~np.isnan(col)]
-        if col.size >= 3 and np.ptp(col) > 1e-12:
-            skews.append(stats.skew(col))
-            kurts.append(stats.kurtosis(col))
-    skew_stats = _moment_stats(np.asarray(skews, dtype=np.float64))
-    kurt_stats = _moment_stats(np.asarray(kurts, dtype=np.float64))
+        skews = []
+        kurts = []
+        for j in numeric_idx:
+            col = ds.X[:, j]
+            # isfinite (not just ~isnan): an inf cell would otherwise ride
+            # into scipy's moment sums and come back as NaN plus warnings.
+            col = col[np.isfinite(col)]
+            if col.size >= 3 and np.ptp(col) > 1e-12:
+                skews.append(stats.skew(col))
+                kurts.append(stats.kurtosis(col))
+        skew_stats = _moment_stats(np.asarray(skews, dtype=np.float64))
+        kurt_stats = _moment_stats(np.asarray(kurts, dtype=np.float64))
 
-    cards = ds.category_cardinalities().astype(np.float64)
-    symbols_mean = float(cards.mean()) if cards.size else 0.0
+        cards = ds.category_cardinalities().astype(np.float64)
+        symbols_mean = float(cards.mean()) if cards.size else 0.0
 
-    return MetaFeatures(
-        n_instances=float(n),
-        log_n_instances=float(np.log(n)),
-        n_features=float(d),
-        log_n_features=float(np.log(d)) if d > 0 else 0.0,
-        n_classes=float(ds.n_classes),
-        n_numeric=float(numeric_idx.size),
-        n_categorical=float(cat_idx.size),
-        categorical_ratio=float(cat_idx.size / d) if d > 0 else 0.0,
-        dimensionality=float(d / n),
-        missing_ratio=ds.missing_ratio(),
-        class_entropy=entropy / max_entropy,
-        class_prob_min=float(probs.min()),
-        class_prob_max=float(probs.max()),
-        class_prob_mean=float(probs.mean()),
-        class_prob_std=float(probs.std()),
-        imbalance_ratio=float(probs.min() / probs.max()) if probs.max() > 0 else 0.0,
-        skewness_min=skew_stats[0],
-        skewness_max=skew_stats[1],
-        skewness_mean=skew_stats[2],
-        skewness_std=skew_stats[3],
-        kurtosis_min=kurt_stats[0],
-        kurtosis_max=kurt_stats[1],
-        kurtosis_mean=kurt_stats[2],
-        kurtosis_std=kurt_stats[3],
-        symbols_mean=symbols_mean,
-    )
+        return MetaFeatures(
+            n_instances=float(n),
+            log_n_instances=float(np.log(n)) if n > 0 else 0.0,
+            n_features=float(d),
+            log_n_features=float(np.log(d)) if d > 0 else 0.0,
+            n_classes=float(ds.n_classes),
+            n_numeric=float(numeric_idx.size),
+            n_categorical=float(cat_idx.size),
+            categorical_ratio=float(cat_idx.size / d) if d > 0 else 0.0,
+            dimensionality=float(d / n) if n > 0 else 0.0,
+            missing_ratio=ds.missing_ratio(),
+            class_entropy=entropy / max_entropy,
+            class_prob_min=float(probs.min()),
+            class_prob_max=float(probs.max()),
+            class_prob_mean=float(probs.mean()),
+            class_prob_std=float(probs.std()),
+            imbalance_ratio=float(probs.min() / probs.max()) if probs.max() > 0 else 0.0,
+            skewness_min=skew_stats[0],
+            skewness_max=skew_stats[1],
+            skewness_mean=skew_stats[2],
+            skewness_std=skew_stats[3],
+            kurtosis_min=kurt_stats[0],
+            kurtosis_max=kurt_stats[1],
+            kurtosis_mean=kurt_stats[2],
+            kurtosis_std=kurt_stats[3],
+            symbols_mean=symbols_mean,
+        )

@@ -37,8 +37,9 @@ import numpy as np
 
 from repro.classifiers import make_classifier
 from repro.core.config import SmartMLConfig
-from repro.core.result import CandidateResult
+from repro.core.result import CandidateFailure, CandidateResult
 from repro.evaluation.metrics import accuracy
+from repro.exceptions import SearchError, is_infrastructure_fault
 from repro.hpo.objective import CrossValObjective
 from repro.hpo.smac import SMAC, SMACSettings
 from repro.hpo.spaces import classifier_space
@@ -60,34 +61,9 @@ __all__ = [
 
 logger = logging.getLogger("repro.parallel")
 
-
-def is_infrastructure_fault(exc: BaseException) -> bool:
-    """Whether an exception is environmental rather than the user's fault.
-
-    The dispatcher already degrades ``process`` -> ``thread`` in-plan
-    (pool crash, shm exhaustion, unpicklable payload), so faults of this
-    class that still surface killed the *replay* too — a sick host, not a
-    bad request.  The job service retries these with bounded exponential
-    backoff; deterministic user errors (bad config, degenerate data, a
-    raising classifier) are never retried — re-running them burns a worker
-    to produce the same failure.
-
-    Fault-injection exceptions opt in by setting ``infrastructure_fault``
-    = True; real infrastructure faults are the OS-level families below.
-    """
-    if getattr(exc, "infrastructure_fault", False):
-        return True
-    import concurrent.futures
-
-    return isinstance(
-        exc,
-        (
-            MemoryError,
-            OSError,
-            ProcessBackendUnavailable,
-            concurrent.futures.BrokenExecutor,
-        ),
-    )
+# is_infrastructure_fault now lives in repro.exceptions (the SMAC loop needs
+# it too and importing this module from repro.hpo would be circular); the
+# name stays importable from here for existing callers.
 
 
 def tune_candidate(
@@ -102,29 +78,62 @@ def tune_candidate(
     n_classes: int,
     seed: int,
     fold_seed: int | None = None,
-) -> CandidateResult:
-    """One SMAC run for one nominated algorithm (any backend, any process)."""
-    space = classifier_space(algorithm)
-    objective = CrossValObjective(
-        lambda cfg, _algo=algorithm: make_classifier(_algo, **cfg),
-        X_train,
-        y_train,
-        n_classes=n_classes,
-        n_folds=config.n_folds,
-        seed=seed,
-        fold_seed=fold_seed,
-    )
-    settings = SMACSettings(
-        time_budget_s=budget_s,
-        max_config_evals=config.max_evals_per_algorithm,
-        seed=seed,
-    )
-    smac = SMAC(space, settings)
-    search = smac.optimize(objective, initial_configs=warm_configs)
+) -> CandidateResult | CandidateFailure:
+    """One SMAC run for one nominated algorithm (any backend, any process).
 
-    model = make_classifier(algorithm, **search.incumbent)
-    model.fit(X_train, y_train, n_classes=n_classes)
-    validation_accuracy = accuracy(y_val, model.predict(X_val))
+    **Fault quarantine**: a deterministic failure anywhere in the candidate
+    — building the space, splitting folds, the SMAC loop, the final refit —
+    is caught and returned as a structured :class:`CandidateFailure` instead
+    of raising, so one bad candidate can never sink the whole experiment.
+    Infrastructure faults (pool death, shm exhaustion, OOM) still raise:
+    those are the environment's fault and the job service retries them.
+    """
+    phase = "setup"
+    incumbent: dict | None = None
+    try:
+        space = classifier_space(algorithm)
+        objective = CrossValObjective(
+            lambda cfg, _algo=algorithm: make_classifier(_algo, **cfg),
+            X_train,
+            y_train,
+            n_classes=n_classes,
+            n_folds=config.n_folds,
+            seed=seed,
+            fold_seed=fold_seed,
+        )
+        settings = SMACSettings(
+            time_budget_s=budget_s,
+            max_config_evals=config.max_evals_per_algorithm,
+            seed=seed,
+        )
+        smac = SMAC(space, settings)
+
+        phase = "search"
+        search = smac.optimize(objective, initial_configs=warm_configs)
+        incumbent = search.incumbent
+        if not np.isfinite(search.incumbent_cost) and search.n_failed_trials:
+            # Every evaluated configuration was quarantined: the refit below
+            # would reproduce the same deterministic failure, so report the
+            # search-phase cause directly.
+            raise SearchError(
+                f"all {search.n_config_evals} evaluated configuration(s) "
+                f"failed; first cause: {search.failures[0]['error']}"
+                if search.failures
+                else "all evaluated configurations failed"
+            )
+
+        phase = "refit"
+        model = make_classifier(algorithm, **search.incumbent)
+        model.fit(X_train, y_train, n_classes=n_classes)
+        validation_accuracy = accuracy(y_val, model.predict(X_val))
+    except Exception as exc:
+        if is_infrastructure_fault(exc):
+            raise
+        failure = CandidateFailure.from_exception(
+            algorithm, phase, exc, config=incumbent, seed=seed
+        )
+        logger.warning("candidate quarantined: %s", failure.describe())
+        return failure
 
     return CandidateResult(
         algorithm=algorithm,
@@ -136,6 +145,7 @@ def tune_candidate(
         tuning_seconds=search.elapsed_s,
         warm_started=bool(warm_configs),
         model=model,
+        n_failed_trials=search.n_failed_trials,
     )
 
 
@@ -159,7 +169,7 @@ class CandidateTask:
     fold_seed: int
 
 
-def _process_entry(task: CandidateTask) -> CandidateResult:
+def _process_entry(task: CandidateTask) -> CandidateResult | CandidateFailure:
     """Worker-side task body: attach fold buffers, tune, return the result."""
     ctx = WorkerContext.get()
     X_train = ctx.attach(task.train_X)
@@ -191,8 +201,16 @@ def execute_candidates(
     X_val: np.ndarray,
     y_val: np.ndarray,
     n_classes: int,
-) -> list[CandidateResult]:
-    """Run the dispatch plan on the configured backend; nomination order out."""
+) -> list[CandidateResult | CandidateFailure]:
+    """Run the dispatch plan on the configured backend; nomination order out.
+
+    Deterministic per-candidate failures come back as structured
+    :class:`CandidateFailure` entries in their nomination slot (see
+    :func:`tune_candidate`); because every candidate's seed and the shared
+    ``fold_seed`` are fixed before dispatch, a quarantined candidate leaves
+    the surviving candidates' results bit-identical to a plan it was never
+    part of.
+    """
     if len(nominations) != len(seeds):
         raise ValueError("one pre-drawn seed per nomination is required")
     fold_seed = int(seeds[0]) if seeds else 0

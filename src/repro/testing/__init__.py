@@ -16,14 +16,17 @@ from repro.testing.faults import (
     JournalCrashPlan,
     count_journal_frames,
 )
+from repro.testing.hostile import HOSTILE_TRAITS, make_hostile_dataset
 
 __all__ = [
     "FaultScript",
     "FaultyRunner",
+    "HOSTILE_TRAITS",
     "InjectedInfraFault",
     "InjectedPoolLoss",
     "InjectedUserError",
     "InjectedWorkerCrash",
     "JournalCrashPlan",
     "count_journal_frames",
+    "make_hostile_dataset",
 ]

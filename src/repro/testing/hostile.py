@@ -1,0 +1,117 @@
+"""Hostile-dataset generator: adversarial inputs for robustness testing.
+
+AutoMLBench ranks AutoML frameworks on *failure rate on hard datasets* as
+a first-class axis.  This module manufactures the hard datasets: small,
+deterministic-from-seed tables exhibiting the pathologies real uploads
+show — a single observed class, classes too small to stratify, infinite
+cells, all-NaN and constant columns, identifier-like categoricals, values
+at the edge of float range, heavy missingness, duplicate rows.
+
+Every trait is independently toggleable so property tests can draw random
+trait subsets; :data:`HOSTILE_TRAITS` is the full menu.  The generator is
+pure: the same ``(seed, traits)`` pair always yields a bit-identical
+:class:`~repro.data.Dataset`, so failing hypothesis examples shrink and
+replay exactly.
+
+The robustness contract these datasets exercise (``tests/test_hostile_datasets.py``):
+feeding *any* generated dataset through validation + the full pipeline
+yields a result or a **structured** error
+(:class:`~repro.exceptions.DatasetValidationError` /
+:class:`~repro.exceptions.ExperimentFailedError`) — never an unhandled
+exception and never an uncaught numpy warning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.data.dataset import Dataset
+
+__all__ = ["HOSTILE_TRAITS", "make_hostile_dataset"]
+
+#: Every pathology the generator can inject, in application order.
+HOSTILE_TRAITS: tuple[str, ...] = (
+    "single_class",        # every label identical -> validation error
+    "lonely_class",        # one class with a single member -> stratification error
+    "tiny",                # fewer rows than any reasonable fold count
+    "inf_values",          # +/-inf cells -> validation error
+    "all_nan_column",      # a column that is entirely missing
+    "constant_column",     # a column with one repeated value
+    "heavy_missing",       # >30% of cells NaN
+    "extreme_cardinality", # a categorical column with ~one symbol per row
+    "huge_scale",          # values around 1e10 (overflow bait for moments)
+    "duplicate_rows",      # the same row repeated many times
+)
+
+
+def make_hostile_dataset(
+    seed: int,
+    traits: tuple[str, ...] | list[str] | None = None,
+    n_rows: int = 24,
+    n_features: int = 5,
+) -> Dataset:
+    """Build one adversarial dataset, deterministic in ``(seed, traits)``.
+
+    ``traits=None`` draws a random subset of :data:`HOSTILE_TRAITS` from
+    the seed itself (including, sometimes, the empty set — a merely
+    boring dataset is a valid member of the hostile corpus).  Unknown
+    trait names raise ``ValueError`` so test typos fail loudly.
+    """
+    rng = np.random.default_rng(seed)
+    if traits is None:
+        mask = rng.random(len(HOSTILE_TRAITS)) < 0.25
+        traits = tuple(t for t, m in zip(HOSTILE_TRAITS, mask) if m)
+    traits = tuple(traits)
+    unknown = set(traits) - set(HOSTILE_TRAITS)
+    if unknown:
+        raise ValueError(f"unknown hostile traits: {sorted(unknown)}")
+
+    if "tiny" in traits:
+        n_rows = int(rng.integers(1, 4))
+    n_rows = max(1, int(n_rows))
+    n_features = max(1, int(n_features))
+
+    X = rng.normal(size=(n_rows, n_features))
+    # A weakly learnable signal so trait-free draws are ordinary datasets.
+    y = (X[:, 0] > 0).astype(np.int64)
+    if y.min() == y.max() and n_rows >= 2:
+        y[0] = 1 - y[0]
+    categorical = np.zeros(n_features, dtype=bool)
+
+    if "single_class" in traits:
+        y[:] = 0
+    if "lonely_class" in traits and n_rows >= 2:
+        y[:] = 0
+        y[0] = 1
+    if "inf_values" in traits:
+        col = int(rng.integers(0, n_features))
+        row = int(rng.integers(0, n_rows))
+        X[row, col] = np.inf if rng.random() < 0.5 else -np.inf
+    if "all_nan_column" in traits:
+        X[:, int(rng.integers(0, n_features))] = np.nan
+    if "constant_column" in traits:
+        X[:, int(rng.integers(0, n_features))] = 1.5
+    if "heavy_missing" in traits:
+        holes = rng.random(X.shape) < 0.5
+        # Never NaN an inf cell back out: both traits must survive together.
+        holes &= ~np.isinf(X)
+        X[holes] = np.nan
+    if "extreme_cardinality" in traits:
+        col = int(rng.integers(0, n_features))
+        X[:, col] = np.arange(n_rows, dtype=np.float64)
+        categorical[col] = True
+    if "huge_scale" in traits:
+        col = int(rng.integers(0, n_features))
+        if not categorical[col]:
+            finite = np.isfinite(X[:, col])
+            X[finite, col] = X[finite, col] * 1e10 + 1e10
+    if "duplicate_rows" in traits and n_rows >= 4:
+        X[n_rows // 2:] = X[0]
+        y[n_rows // 2:] = y[0]
+
+    return Dataset(
+        X=X,
+        y=y,
+        categorical_mask=categorical,
+        name=f"hostile-{seed}-{'+'.join(traits) if traits else 'plain'}",
+    )

@@ -126,6 +126,7 @@ def test_status_transitions_and_phase_progress(server):
     assert detail["run_seconds"] >= 0.0
     assert detail["progress"]["phase"] is None
     assert detail["progress"]["phases_done"] == [
+        "validation",
         "preprocessing",
         "metafeatures",
         "algorithm_selection",

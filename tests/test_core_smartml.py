@@ -112,6 +112,7 @@ def test_bootstrapped_kb_nominations_flow(small_ds):
 def test_phases_timed(small_ds):
     result = SmartML().run(small_ds, SmartMLConfig(**FAST))
     expected = {
+        "validation",
         "preprocessing",
         "metafeatures",
         "algorithm_selection",

@@ -1,0 +1,153 @@
+"""Dataset validation: machine-readable lint for hostile uploads."""
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import Dataset
+from repro.data.validation import ensure_valid_dataset, validate_dataset
+from repro.exceptions import DatasetValidationError
+
+
+def _ds(X, y, categorical=None, name="lint"):
+    return Dataset(
+        X=np.asarray(X, dtype=np.float64),
+        y=np.asarray(y, dtype=np.int64),
+        categorical_mask=categorical,
+        name=name,
+    )
+
+
+def _good(n=30, seed=0):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, 4))
+    y = (X[:, 0] > 0).astype(np.int64)
+    y[0], y[1] = 0, 1  # both classes always observed
+    return _ds(X, y)
+
+
+def _codes(report, severity=None):
+    issues = report.issues if severity is None else getattr(report, severity)
+    return {i.code for i in issues}
+
+
+# ------------------------------------------------------------------ errors
+def test_clean_dataset_passes():
+    report = validate_dataset(_good(), n_folds=3)
+    assert report.ok
+    assert report.errors == []
+    assert report.to_dict()["ok"] is True
+
+
+def test_single_class_target_is_error():
+    ds = _ds(np.random.default_rng(0).normal(size=(20, 3)), np.zeros(20, dtype=int))
+    report = validate_dataset(ds, n_folds=2)
+    assert not report.ok
+    assert "single_class_target" in _codes(report, "errors")
+
+
+def test_too_few_rows_is_error():
+    ds = _ds([[1.0], [2.0]], [0, 1])
+    report = validate_dataset(ds, n_folds=3)
+    assert "too_few_rows" in _codes(report, "errors")
+
+
+def test_class_below_fold_count_is_error():
+    ds = _good(n=20)
+    ds.y[:] = 0
+    ds.y[0] = 1  # one lonely member of class 1
+    report = validate_dataset(ds, n_folds=2)
+    assert "class_below_fold_count" in _codes(report, "errors")
+
+
+def test_inf_values_is_error():
+    ds = _good()
+    ds.X[3, 1] = np.inf
+    ds.X[4, 2] = -np.inf
+    report = validate_dataset(ds)
+    assert "inf_values" in _codes(report, "errors")
+    issue = next(i for i in report.errors if i.code == "inf_values")
+    assert sorted(issue.detail["columns"]) == [1, 2]
+
+
+# ---------------------------------------------------------------- warnings
+def test_constant_and_all_nan_columns_warn():
+    ds = _good()
+    ds.X[:, 1] = 7.0          # constant
+    ds.X[:, 2] = np.nan       # entirely missing
+    report = validate_dataset(ds)
+    assert report.ok  # warnings never block
+    issue = next(i for i in report.warnings if i.code == "constant_columns")
+    assert set(issue.detail["columns"]) == {1, 2}
+
+
+def test_extreme_cardinality_warns():
+    n = 40
+    rng = np.random.default_rng(1)
+    X = rng.normal(size=(n, 2))
+    X[:, 1] = np.arange(n)  # one symbol per row
+    y = (X[:, 0] > 0).astype(np.int64)
+    y[0], y[1] = 0, 1
+    ds = _ds(X, y, categorical=np.array([False, True]))
+    report = validate_dataset(ds)
+    assert "extreme_cardinality" in _codes(report, "warnings")
+
+
+def test_heavy_missingness_warns():
+    ds = _good(n=40)
+    rng = np.random.default_rng(2)
+    ds.X[rng.random(ds.X.shape) < 0.5] = np.nan
+    report = validate_dataset(ds)
+    assert "heavy_missingness" in _codes(report, "warnings")
+
+
+def test_validation_never_raises_on_hostile_numerics():
+    ds = _good()
+    ds.X[0, 0] = np.inf
+    ds.X[1, 1] = -np.inf
+    ds.X[:, 2] = np.nan
+    ds.X[5, 3] = 1e308
+    import warnings
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")
+        report = validate_dataset(ds)
+    assert not report.ok
+
+
+# -------------------------------------------------------------- enforcement
+def test_raise_if_errors_carries_structured_report():
+    ds = _ds(np.ones((5, 2)), np.zeros(5, dtype=int))
+    with pytest.raises(DatasetValidationError) as err:
+        ensure_valid_dataset(ds, n_folds=2)
+    exc = err.value
+    assert exc.http_status == 400
+    payload = exc.payload
+    assert payload["validation"]["ok"] is False
+    codes = {i["code"] for i in payload["validation"]["errors"]}
+    assert "single_class_target" in codes
+    # The human message explains the failure in prose.
+    assert "single observed class" in str(exc)
+
+
+def test_ensure_valid_dataset_returns_report_when_clean():
+    report = ensure_valid_dataset(_good(), n_folds=3)
+    assert report.ok
+
+
+def test_column_listing_is_capped_but_count_exact():
+    n_cols = 50
+    X = np.ones((30, n_cols))
+    X[:, 0] = np.linspace(0, 1, 30)
+    y = (X[:, 0] > 0.5).astype(np.int64)
+    report = validate_dataset(_ds(X, y))
+    issue = next(i for i in report.warnings if i.code == "constant_columns")
+    assert len(issue.detail["columns"]) <= 20
+    assert f"{n_cols - 1} column(s)" in issue.message
+
+
+def test_describe_mentions_every_issue():
+    ds = _ds(np.ones((2, 2)), [0, 0])
+    report = validate_dataset(ds, n_folds=3)
+    text = report.describe()
+    for issue in report.issues:
+        assert issue.code in text
