@@ -15,6 +15,11 @@ consecutive nominations — and times each query through:
   nomination once any append had invalidated its caches).
 
 Nominations from the two paths are asserted identical on every query.
+
+A third row replays the identical workload (same rng seed, same batch
+sequence) into a sharded root (``--shards`` content-addressed shard
+logs) and asserts its nominations are byte-identical to the monolith's,
+timing populate, nominate, and startup for the sharded layout.
 Startup compares ``RecordStore`` open time via snapshot + log-tail replay
 (both the lazy open, after which the store assigns correct ids and
 accepts reads/writes, and the fully-materialised open with every frozen
@@ -38,7 +43,14 @@ from pathlib import Path
 
 import numpy as np
 
-from repro.kb import KnowledgeBase, Neighbor, RecordStore, weighted_nomination, zscore_normaliser
+from repro.kb import (
+    KnowledgeBase,
+    Neighbor,
+    RecordStore,
+    ShardedRecordStore,
+    weighted_nomination,
+    zscore_normaliser,
+)
 from repro.metafeatures import MetaFeatures
 
 OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_kb_scale.json"
@@ -154,6 +166,19 @@ def time_startup(path: Path, use_snapshot: bool, repeats: int, materialise: bool
         return best
 
 
+def time_sharded_startup(root: Path, repeats: int) -> float:
+    """Best-of-N fully-materialised open of a sharded root."""
+    best = np.inf
+    for _ in range(max(1, repeats)):
+        started = time.perf_counter()
+        store = ShardedRecordStore(root, snapshot_every=None)
+        for table in store.tables():
+            store.count(table)
+        best = min(best, time.perf_counter() - started)
+        store.close()
+    return best
+
+
 def load_state(path: Path) -> tuple[int, dict]:
     """Full deep state of a store (next id + every record of every table)."""
     store = RecordStore(path, snapshot_every=None)
@@ -173,6 +198,8 @@ def main() -> None:
                         help="rounds also timed through the seed full-scan "
                              "path (default: all of them)")
     parser.add_argument("--snapshot-every", type=int, default=5000)
+    parser.add_argument("--shards", type=int, default=4,
+                        help="shard count for the sharded-vs-monolith row")
     parser.add_argument("--startup-repeats", type=int, default=3)
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args()
@@ -196,6 +223,7 @@ def main() -> None:
         fast_s = 0.0
         seed_s = 0.0
         identical = True
+        recorded = []  # the sharded replay re-checks against these
         for q in range(args.queries):
             kb.add_result_batch(f"live{q}", random_metafeatures(rng),
                                 random_runs(rng, args.runs_per_dataset))
@@ -204,6 +232,7 @@ def main() -> None:
             started = time.perf_counter()
             fast = kb.nominate(query, n_algorithms=3, n_neighbors=3)
             fast_s += time.perf_counter() - started
+            recorded.append(fast)
 
             if q < seed_queries:
                 started = time.perf_counter()
@@ -227,6 +256,43 @@ def main() -> None:
         log_bytes = path.stat().st_size
         snapshot_bytes = Path(str(path) + ".snapshot").stat().st_size
 
+        # ------------------------------------------- sharded-vs-monolith row
+        # Replay the byte-identical workload (same rng seed, same batch and
+        # query sequence) into a sharded root.  Insertion order — and hence
+        # record ids and every float reduction — matches the monolith, so
+        # nominations must be *exactly* equal, not approximately.
+        print(f"sharded replay: same workload into {args.shards} shards ...")
+        replay_rng = np.random.default_rng(args.seed)
+        sharded_root = Path(tmp) / "kb-sharded"
+        sharded = KnowledgeBase(sharded_root, shards=args.shards,
+                                snapshot_every=args.snapshot_every)
+        started = time.perf_counter()
+        for i in range(n_populate):
+            sharded.add_result_batch(f"ds{i}", random_metafeatures(replay_rng),
+                                     random_runs(replay_rng, args.runs_per_dataset))
+        sharded_populate_s = time.perf_counter() - started
+        sharded.nominate(random_metafeatures(replay_rng))  # warm caches
+
+        sharded_fast_s = 0.0
+        sharded_identical = True
+        for q in range(args.queries):
+            sharded.add_result_batch(
+                f"live{q}", random_metafeatures(replay_rng),
+                random_runs(replay_rng, args.runs_per_dataset))
+            query = random_metafeatures(replay_rng)
+            started = time.perf_counter()
+            nominations = sharded.nominate(query, n_algorithms=3, n_neighbors=3)
+            sharded_fast_s += time.perf_counter() - started
+            sharded_identical = sharded_identical and nominations == recorded[q]
+        sharded.snapshot()
+        sharded.close()
+
+        sharded_startup_s = time_sharded_startup(sharded_root, args.startup_repeats)
+        sharded_log_bytes = sum(
+            p.stat().st_size for p in sharded_root.glob("shard-*.log"))
+        sharded_snapshot_bytes = sum(
+            p.stat().st_size for p in sharded_root.glob("shard-*.log.snapshot"))
+
     fast_per_query = fast_s / args.queries
     seed_per_query = seed_s / seed_queries if seed_queries else float("nan")
     payload = {
@@ -249,6 +315,13 @@ def main() -> None:
         "startup_state_identical": startup_identical,
         "log_bytes": log_bytes,
         "snapshot_bytes": snapshot_bytes,
+        "shards": args.shards,
+        "sharded_populate_seconds": round(sharded_populate_s, 3),
+        "sharded_nominate_seconds": round(sharded_fast_s / args.queries, 6),
+        "sharded_nominations_identical": sharded_identical,
+        "sharded_startup_seconds": round(sharded_startup_s, 6),
+        "sharded_log_bytes": sharded_log_bytes,
+        "sharded_snapshot_bytes": sharded_snapshot_bytes,
         "drift_threshold": 0.0,
         "python": platform.python_version(),
         "numpy": np.__version__,
@@ -259,6 +332,8 @@ def main() -> None:
         raise SystemExit("fast-path nominations diverged from the seed full-scan reference")
     if not startup_identical:
         raise SystemExit("snapshot-restored state diverged from the full log replay")
+    if not sharded_identical:
+        raise SystemExit("sharded-KB nominations diverged from the monolith's")
     print(f"wrote {OUTPUT}")
 
 

@@ -334,6 +334,9 @@ class JobManager:
         self.heartbeats: dict[str, float] = {}
         self.timeouts_total = 0
         self.retries_total = 0
+        # Landed KB appends by destination shard ("monolith" when the KB
+        # store is not sharded) — the single writer's routing gauge.
+        self.kb_shard_writes: dict[str, int] = {}
         self._run_ewma_s: float | None = None
         self._kb_queue: queue.SimpleQueue[_KBWrite | _RegistryWrite | None] = queue.SimpleQueue()
         if self.journal is not None:
@@ -620,6 +623,7 @@ class JobManager:
                 if name not in self._zombies
             }
             zombies = sorted(self._zombies)
+            kb_shard_writes = dict(sorted(self.kb_shard_writes.items()))
         journal_info = None
         if self.journal is not None:
             journal_info = {
@@ -628,6 +632,13 @@ class JobManager:
                 "healthy": bool(self.journal.healthy and not self.journal.dead),
                 "dropped_bytes_at_recovery": self.journal.dropped_bytes,
             }
+        kb = getattr(self.smartml, "kb", None)
+        kb_info = {
+            "degraded": bool(getattr(kb, "degraded", False)),
+            "shard_writes": kb_shard_writes,
+        }
+        if hasattr(kb, "health"):
+            kb_info["health"] = kb.health()
         return {
             "jobs": by_status,
             "queue": {"depth": depth, "max": self.max_queue},
@@ -640,6 +651,7 @@ class JobManager:
             "timeouts": self.timeouts_total,
             "retries": self.retries_total,
             "journal": journal_info,
+            "kb": kb_info,
             "draining": self._draining,
             "stopping": self._stopping,
         }
@@ -1150,29 +1162,56 @@ class JobManager:
             finally:
                 item.done.set()
 
+    def _kb_shard_of(self, item: _KBWrite) -> int | None:
+        """Which KB shard this write routes to (None on a monolithic store)."""
+        shard_for = getattr(self.smartml.kb, "shard_for", None)
+        if shard_for is None:
+            return None
+        try:
+            return shard_for(item.dataset_name, item.metafeatures)
+        except Exception:
+            return None
+
+    def _count_kb_write(self, shard: int | None) -> None:
+        key = "monolith" if shard is None else f"shard-{shard:03d}"
+        with self._lock:
+            self.kb_shard_writes[key] = self.kb_shard_writes.get(key, 0) + 1
+
     def _apply_kb_write(self, item: _KBWrite) -> int:
-        """One batched KB append, preceded by its journaled commit intent."""
+        """One batched KB append, preceded by its journaled commit intent.
+
+        Appends stay funnelled through this single writer thread even on a
+        sharded store — the global id sequence serialises batches anyway —
+        but each write is routed (and its journal intent tagged) with its
+        destination shard, so recovery and the ``/jobs/stats`` gauges can
+        reason per failure domain.
+        """
         kb = self.smartml.kb
         store = getattr(kb, "store", None)
+        shard = self._kb_shard_of(item)
         if self.journal is None or item.job is None or store is None:
-            return kb.add_result_batch(item.dataset_name, item.metafeatures, item.runs)
+            dataset_id = kb.add_result_batch(item.dataset_name, item.metafeatures, item.runs)
+            self._count_kb_write(shard)
+            return dataset_id
         with store.locked():
             predicted = store.peek_next_id()
             # Intent first: recovery checks whether this id materialised in
             # the store and suppresses the re-run's append if it did.
-            self.journal.append(
-                {
-                    "t": "kb_commit",
-                    "job": item.job.job_id,
-                    "kb_dataset_id": predicted,
-                    "n_rows": 1 + len(item.runs),
-                }
-            )
+            intent = {
+                "t": "kb_commit",
+                "job": item.job.job_id,
+                "kb_dataset_id": predicted,
+                "n_rows": 1 + len(item.runs),
+            }
+            if shard is not None:
+                intent["shard"] = shard
+            self.journal.append(intent)
             if self.journal.dead:
                 raise _SimulatedCrash("crash between KB intent and append")
             dataset_id = kb.add_result_batch(
                 item.dataset_name, item.metafeatures, item.runs
             )
+        self._count_kb_write(shard)
         return dataset_id
 
     def _apply_registry_write(self, item: _RegistryWrite):

@@ -7,8 +7,10 @@ This module provides that surface on the Python stdlib HTTP server:
 ========  =====================  ==============================================
 method    path                   behaviour
 ========  =====================  ==============================================
-GET       /health                liveness probe
-GET       /healthz               liveness probe (k8s-style alias)
+GET       /health                liveness probe + KB health (``kb_degraded``,
+                                 shard quarantine report, snapshot-fallback
+                                 and torn-frame counters)
+GET       /healthz               same payload (k8s-style alias)
 GET       /readyz                readiness: 200 when accepting work, 503 with
                                  failing checks (queue depth, worker liveness,
                                  journal health) when a balancer should back off
@@ -243,7 +245,25 @@ class SmartMLServer:
                     "warm_configs": n.warm_configs,
                 }
                 for n in nominations
-            ]
+            ],
+            # A quarantined shard means these nominations come from the
+            # surviving subset of the run history — callers may want to
+            # widen their fallback portfolio.
+            "kb_degraded": self._kb_degraded(),
+        }
+
+    def _kb_degraded(self) -> bool:
+        return bool(getattr(self.smartml.kb, "degraded", False))
+
+    def _health(self) -> dict:
+        """Liveness payload: alive even when degraded, but say so."""
+        kb = self.smartml.kb
+        health = kb.health() if hasattr(kb, "health") else {}
+        degraded = self._kb_degraded()
+        return {
+            "status": "degraded" if degraded else "ok",
+            "kb_degraded": degraded,
+            "kb": health,
         }
 
     def _submit_experiment(self, payload: dict) -> dict:
@@ -377,7 +397,7 @@ class SmartMLServer:
             def do_GET(self):  # noqa: N802 - http.server API
                 try:
                     if self.path in ("/health", "/healthz"):
-                        self._reply(200, {"status": "ok"})
+                        self._reply(200, server._health())
                     elif self.path == "/readyz":
                         ready, detail = server.jobs.readiness()
                         self._reply(200 if ready else 503, detail)

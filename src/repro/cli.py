@@ -14,6 +14,13 @@ APIs; this module is the command-line face of the Python reproduction:
     enforces, as a local report (exit 1 when the dataset would be rejected).
 ``repro nominate --dataset my.csv --target label --kb kb.jsonl``
     Algorithm selection only (no tuning).
+``repro kb fsck kb-root/ [--repair]``
+    Verify every frame CRC of a KB store (sharded root or jsonl log);
+    ``--repair`` salvages the valid prefix of damaged shards and rebuilds
+    the manifest, reporting what was dropped.
+``repro kb merge pooled/ instance-a/ instance-b/``
+    Deterministically union run histories from N instance roots —
+    content-digest dedup, order-independent, byte-identical output.
 ``repro serve --port 8080 --kb kb.jsonl --workers 2 --registry models/ --journal jobs.wal``
     Start the REST server with an async experiment worker pool, a durable
     model registry, and a crash-recoverable job journal (plus backpressure
@@ -68,7 +75,9 @@ def _load_dataset(args) -> object:
 
 
 def _open_kb(args) -> KnowledgeBase:
-    return KnowledgeBase(args.kb) if args.kb else KnowledgeBase()
+    if not args.kb:
+        return KnowledgeBase()
+    return KnowledgeBase(args.kb, shards=getattr(args, "shards", None))
 
 
 def cmd_datasets(args, out) -> int:
@@ -362,6 +371,73 @@ def cmd_models(args, out) -> int:
     return 0
 
 
+def cmd_kb(args, out) -> int:
+    from repro.kb.shards import fsck_store, merge_kb_roots
+
+    if args.kb_command == "fsck":
+        report = fsck_store(args.path, repair=args.repair)
+        if args.json:
+            print(json.dumps(report, indent=2), file=out)
+        else:
+            _print_fsck_report(report, out)
+        return 0 if report.get("healthy") or report.get("repaired") else 1
+    if args.kb_command == "merge":
+        report = merge_kb_roots(args.dest, args.sources, n_shards=args.shards)
+        if args.json:
+            print(json.dumps(report, indent=2), file=out)
+        else:
+            for source in report["sources"]:
+                print(
+                    f"  {source['root']}: {source['datasets']} dataset(s), "
+                    f"{source['runs']} run(s)"
+                    + (
+                        f", {source['orphan_runs']} orphan run(s) skipped"
+                        if source.get("orphan_runs")
+                        else ""
+                    ),
+                    file=out,
+                )
+            kind = "sharded" if report["sharded"] else "monolithic"
+            print(
+                f"merged into {report['dest']} ({kind}): "
+                f"{report['datasets']} unique dataset(s), "
+                f"{report['runs']} unique run(s)",
+                file=out,
+            )
+        return 0
+    raise SmartMLError(f"unknown kb command {args.kb_command!r}")
+
+
+def _print_fsck_report(report: dict, out) -> None:
+    if not report.get("sharded"):
+        status = report.get("status", "?")
+        print(
+            f"{report['root']}: {status} "
+            f"({report.get('records', 0)} record(s), "
+            f"{report.get('bytes_dropped', 0)} byte(s) unrecoverable)",
+            file=out,
+        )
+    else:
+        print(f"{report['root']}: {report['n_shards']} shard(s)", file=out)
+        for shard in report["shards"]:
+            line = (
+                f"  {shard['file']}: {shard['status']:9s} "
+                f"{shard['records']:5d} record(s) {shard['bytes_valid']:8d} bytes"
+            )
+            if shard.get("bytes_dropped"):
+                line += f"  ({shard['bytes_dropped']} byte(s) dropped"
+                if shard.get("records_lost_vs_manifest"):
+                    line += f", ~{shard['records_lost_vs_manifest']} record(s) lost"
+                line += ")"
+            if shard.get("detail"):
+                line += f"  -- {shard['detail']}"
+            print(line, file=out)
+    if report.get("repaired"):
+        print("repaired: logs truncated to their valid prefix, manifest rebuilt", file=out)
+    elif not report.get("healthy"):
+        print("unhealthy: re-run with --repair to salvage the valid prefix", file=out)
+
+
 def cmd_predict(args, out) -> int:
     from repro.api import SmartMLClient
 
@@ -398,7 +474,12 @@ def build_parser() -> argparse.ArgumentParser:
     sub.add_parser("datasets", help="list built-in evaluation datasets")
 
     p_boot = sub.add_parser("bootstrap", help="bootstrap a knowledge base")
-    p_boot.add_argument("--kb", help="knowledge base file (jsonl)")
+    p_boot.add_argument("--kb", help="knowledge base file (jsonl) or sharded root dir")
+    p_boot.add_argument(
+        "--shards", type=int,
+        help="create the KB as a sharded store with this many shards "
+        "(existing sharded roots are detected automatically)",
+    )
     p_boot.add_argument("--n", type=int, default=10, help="corpus datasets (default 10)")
     p_boot.add_argument("--configs", type=int, default=2, help="probes per algorithm")
     p_boot.add_argument("--max-instances", type=int, default=200, dest="max_instances")
@@ -450,8 +531,35 @@ def build_parser() -> argparse.ArgumentParser:
     p_nom.add_argument("--kb")
     p_nom.add_argument("--algorithms", type=int, default=3)
 
+    p_kb = sub.add_parser("kb", help="knowledge-base maintenance (fsck, merge)")
+    kb_sub = p_kb.add_subparsers(dest="kb_command", required=True)
+    p_fsck = kb_sub.add_parser(
+        "fsck", help="verify every frame CRC of a KB store; optionally repair"
+    )
+    p_fsck.add_argument("path", help="KB root: a sharded directory or a jsonl log")
+    p_fsck.add_argument(
+        "--repair", action="store_true",
+        help="truncate damaged shards to their valid prefix, drop unusable "
+        "snapshots, and rebuild the manifest (reports what was dropped)",
+    )
+    p_fsck.add_argument("--json", action="store_true", help="emit the report as JSON")
+    p_merge = kb_sub.add_parser(
+        "merge", help="deterministically union run histories from other KB roots"
+    )
+    p_merge.add_argument("dest", help="destination KB root (created sharded if missing)")
+    p_merge.add_argument("sources", nargs="+", help="source KB roots to union in")
+    p_merge.add_argument(
+        "--shards", type=int,
+        help="shard count when creating a new destination (default 4)",
+    )
+    p_merge.add_argument("--json", action="store_true", help="emit the report as JSON")
+
     p_serve = sub.add_parser("serve", help="start the REST server")
-    p_serve.add_argument("--kb")
+    p_serve.add_argument("--kb", help="knowledge base file (jsonl) or sharded root dir")
+    p_serve.add_argument(
+        "--shards", type=int,
+        help="create the KB as a sharded store with this many shards",
+    )
     p_serve.add_argument("--host", default="127.0.0.1")
     p_serve.add_argument("--port", type=int, default=8080)
     p_serve.add_argument(
@@ -540,6 +648,7 @@ COMMANDS = {
     "run": cmd_run,
     "validate": cmd_validate,
     "nominate": cmd_nominate,
+    "kb": cmd_kb,
     "serve": cmd_serve,
     "submit": cmd_submit,
     "status": cmd_status,

@@ -2,6 +2,15 @@
 
 from repro.kb.bootstrap import bootstrap_knowledge_base
 from repro.kb.knowledge_base import KnowledgeBase
+from repro.kb.shards import (
+    ShardedRecordStore,
+    dataset_content_digest,
+    fsck_store,
+    is_sharded_root,
+    merge_kb_roots,
+    run_content_digest,
+    shard_for_digest,
+)
 from repro.kb.similarity import (
     Neighbor,
     Nomination,
@@ -15,8 +24,15 @@ from repro.kb.store import RecordStore
 
 __all__ = [
     "RecordStore",
+    "ShardedRecordStore",
     "KnowledgeBase",
     "bootstrap_knowledge_base",
+    "dataset_content_digest",
+    "fsck_store",
+    "is_sharded_root",
+    "merge_kb_roots",
+    "run_content_digest",
+    "shard_for_digest",
     "Neighbor",
     "Nomination",
     "SimilarityIndex",

@@ -35,6 +35,14 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.exceptions import KnowledgeBaseError
+from repro.kb.shards import (
+    ShardedRecordStore,
+    dataset_content_digest,
+    is_sharded_root,
+    merge_kb_roots,
+    shard_for_digest,
+)
 from repro.kb.similarity import (
     Neighbor,
     Nomination,
@@ -71,6 +79,13 @@ class KnowledgeBase:
         is how a cold cache rebuild over live data is expressed:
         ``KnowledgeBase(store=kb.store)`` shares the records but none of
         the caches.
+    shards:
+        Open/create a **sharded** store (:class:`~repro.kb.shards.
+        ShardedRecordStore`) with this many content-addressed shards at
+        ``path`` (a directory).  An existing sharded root is recognised
+        automatically — ``KnowledgeBase("kb-root/")`` opens it with its
+        manifest's shard count, no flag needed; a plain file path without
+        ``shards`` keeps the classic monolithic JSON-lines log.
     """
 
     _UNSET = object()
@@ -82,6 +97,7 @@ class KnowledgeBase:
         drift_threshold: float = 0.0,
         snapshot_every: int | None = _UNSET,  # type: ignore[assignment]
         store: RecordStore | None = None,
+        shards: int | None = None,
     ):
         if store is not None and path is not None:
             raise ValueError("pass either path or store, not both")
@@ -90,9 +106,21 @@ class KnowledgeBase:
                 "snapshot_every configures a store the KB opens itself; "
                 "set it on the RecordStore you are passing instead"
             )
+        if store is not None and shards is not None:
+            raise ValueError("shards configures a store the KB opens itself")
+        if shards is not None and path is None:
+            raise ValueError("a sharded KB needs a path (its root directory)")
         if snapshot_every is self._UNSET:
             snapshot_every = 1000
-        self.store = store if store is not None else RecordStore(path, snapshot_every=snapshot_every)
+        if store is not None:
+            self.store = store
+        elif path is not None and (shards is not None or is_sharded_root(path)):
+            self.store = ShardedRecordStore(
+                path, n_shards=shards, snapshot_every=snapshot_every
+            )
+        else:
+            self.store = RecordStore(path, snapshot_every=snapshot_every)
+        self._snapshot_every = snapshot_every
         self.drift_threshold = float(drift_threshold)
         # Read caches, built lazily on first read and maintained
         # incrementally on every append (under the store lock, so cache
@@ -263,6 +291,64 @@ class KnowledgeBase:
         with self.store.locked():
             self._index = None
             self._boards = None
+
+    # ------------------------------------------------------------ robustness
+    @property
+    def degraded(self) -> bool:
+        """Whether the store quarantined a shard (serving from survivors)."""
+        return bool(getattr(self.store, "degraded", False))
+
+    def health(self) -> dict:
+        """Store robustness gauges, uniform across monolith and sharded."""
+        health = self.store.health()
+        health.setdefault("sharded", False)
+        health.setdefault("degraded", False)
+        return health
+
+    def shard_for(self, name: str, metafeatures: MetaFeatures) -> int | None:
+        """Which shard a dataset (and its runs) lands in; None if monolithic."""
+        store = self.store
+        if not isinstance(store, ShardedRecordStore):
+            return None
+        digest = dataset_content_digest(name, metafeatures.to_dict())
+        return shard_for_digest(digest, store.n_shards)
+
+    def merge(self, sources, *, n_shards: int | None = None) -> dict:
+        """Union other instance roots' run histories into this KB.
+
+        ``sources`` is a path or list of paths to other KB roots (sharded
+        directories or monolithic logs).  Content-digest dedup makes the
+        union idempotent and the canonical rebuild makes it
+        order-independent: merging the same roots in any order leaves
+        byte-identical files behind (see :func:`repro.kb.shards.
+        merge_kb_roots`).  The store is rebuilt and reopened; read caches
+        refresh on next use.  Refuses while degraded — repair first, or
+        quarantined records would silently vanish from the union.
+        """
+        if isinstance(sources, (str, Path)):
+            sources = [sources]
+        if self.degraded:
+            raise KnowledgeBaseError(
+                "refusing to merge a degraded KB: quarantined shards would "
+                "be silently dropped; run `repro kb fsck --repair` first"
+            )
+        path = getattr(self.store, "path", None)
+        if path is None:
+            path = getattr(self.store, "root", None)
+        if path is None:
+            raise KnowledgeBaseError("an in-memory KB has no root to merge into")
+        sharded = isinstance(self.store, ShardedRecordStore)
+        self.store.close()
+        try:
+            report = merge_kb_roots(path, list(sources), n_shards=n_shards)
+        finally:
+            if sharded:
+                self.store = ShardedRecordStore(path, snapshot_every=self._snapshot_every)
+            else:
+                self.store = RecordStore(path, snapshot_every=self._snapshot_every)
+            self._index = None
+            self._boards = None
+        return report
 
     # ----------------------------------------------------------- similarity
     def similar_datasets(self, metafeatures: MetaFeatures, k: int = 3) -> list[Neighbor]:

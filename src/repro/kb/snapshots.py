@@ -38,6 +38,7 @@ __all__ = [
     "unframe_blob",
     "frame_header_size",
     "iter_frames",
+    "scan_frames",
     "crc_tables",
     "verify_crc_tables",
 ]
@@ -144,6 +145,47 @@ def iter_frames(data: bytes, magic: bytes, format_version: int):
             return
         yield payload, end
         offset = end
+
+
+def scan_frames(
+    data: bytes, magic: bytes, format_version: int, offset: int = 0
+) -> tuple[list[bytes], int, str]:
+    """Walk frames like :func:`iter_frames` but *classify* how they end.
+
+    Returns ``(payloads, valid_end, tail)`` where ``tail`` is:
+
+    * ``"clean"`` — every byte from ``offset`` to EOF is valid frames;
+    * ``"torn"`` — the bytes after the last valid frame are consistent
+      with a single interrupted write: too short for a header, or an
+      intact header whose declared payload runs past EOF.  This is what a
+      crash mid-``write`` leaves behind and is safe to truncate away;
+    * ``"corrupt"`` — the trailing bytes are *not* a torn write: wrong
+      magic or schema mid-file, or a complete frame whose CRC fails.
+      That is bit rot or tampering, not a crash, and callers should
+      quarantine rather than silently truncate.
+
+    The distinction matters because a log writer appends header-first:
+    an interrupted write can only ever leave a header prefix or a payload
+    prefix, never a full-length frame with a bad checksum.
+    """
+    payloads: list[bytes] = []
+    total = len(data)
+    while offset < total:
+        remaining = total - offset
+        if remaining < _HEADER.size:
+            return payloads, offset, "torn"
+        got_magic, got_format, crc, length = _HEADER.unpack_from(data, offset)
+        if got_magic != magic or got_format != format_version:
+            return payloads, offset, "corrupt"
+        if length > remaining - _HEADER.size:
+            return payloads, offset, "torn"
+        end = offset + _HEADER.size + length
+        payload = data[offset + _HEADER.size : end]
+        if zlib.crc32(payload) != crc:
+            return payloads, offset, "corrupt"
+        payloads.append(payload)
+        offset = end
+    return payloads, offset, "clean"
 
 
 def crc_tables(tables: dict[str, bytes]) -> dict[str, int]:

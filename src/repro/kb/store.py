@@ -23,9 +23,11 @@ store is a single JSON-lines log with:
   assigning correct ids after reading the header, not after rebuilding
   every record ever written.  Tail entries touching a still-frozen table
   are buffered in order and folded in at materialisation.  Any mismatch
-  (missing, corrupt, or stale sidecar, rewritten log, different CPython)
-  silently falls back to the full replay — the log stays the single
-  source of truth.  Snapshots are written every ``snapshot_every``
+  (corrupt or stale sidecar, rewritten log, different CPython) falls back
+  to the full replay — the log stays the single source of truth — and is
+  *counted and logged*: ``snapshot_fallbacks`` / ``corrupt_frames_dropped``
+  feed the service's ``/healthz`` report so silent degradation shows up
+  in monitoring instead of only in latency graphs.  Snapshots are written every ``snapshot_every``
   appended records and on ``close()``, always via temp-file +
   ``os.replace``.  ``marshal`` is chosen over pickle deliberately: it is
   the fastest stdlib serialiser for the JSON-shaped dicts the log holds,
@@ -44,6 +46,7 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import marshal
 import os
 import sys
@@ -55,6 +58,8 @@ from repro.exceptions import KnowledgeBaseError
 from repro.kb.snapshots import atomic_write_bytes, crc_tables, verify_crc_tables
 
 __all__ = ["RecordStore"]
+
+logger = logging.getLogger("repro.kb.store")
 
 #: Version tag of the snapshot sidecar format.
 _SNAPSHOT_FORMAT = 2
@@ -94,6 +99,15 @@ class RecordStore:
         self._log_bytes = 0
         self._digest = hashlib.md5()
         self._entries_since_snapshot = 0
+        # Health counters, surfaced via /healthz: how often a present-but-
+        # unusable snapshot forced a full replay, and how many torn/invalid
+        # trailing records were repaired away at open.
+        self.snapshot_fallbacks = 0
+        self.corrupt_frames_dropped = 0
+        # Records appended by *this* process (excludes load-time replay) —
+        # a clean read-only session must not rewrite a large snapshot at
+        # close just because the open replayed an un-checkpointed tail.
+        self._session_appends = 0
         if self.path is not None:
             self._load()
             self._file = open(self.path, "a", encoding="utf-8", newline="")
@@ -135,6 +149,12 @@ class RecordStore:
                 is_final = i == n_parts - 1 or (i == n_parts - 2 and parts[-1] == b"")
                 if is_final:
                     # Torn final write: repair by truncating the tail.
+                    self.corrupt_frames_dropped += 1
+                    logger.warning(
+                        "%s: dropped torn final record (%d bytes) during open",
+                        self.path,
+                        len(raw) - self._log_bytes,
+                    )
                     self._truncate_to(raw[: self._log_bytes])
                     break
                 raise KnowledgeBaseError(
@@ -144,7 +164,8 @@ class RecordStore:
             self._digest.update(span)
             self._log_bytes += len(span)
             # Tail entries are "not yet snapshotted": a close() after a
-            # replay-heavy open checkpoints them for the next startup.
+            # replay-heavy open checkpoints them for the next startup —
+            # but only if this session also wrote (see close()).
             self._entries_since_snapshot += 1
 
     def _load_snapshot(self, raw: bytes) -> int:
@@ -161,27 +182,47 @@ class RecordStore:
         try:
             snap = marshal.loads(snapshot_path.read_bytes())
             if snap.get("format") != _SNAPSHOT_FORMAT:
-                return 0
+                return self._snapshot_fallback(
+                    f"schema version {snap.get('format')!r} != {_SNAPSHOT_FORMAT}"
+                )
             if tuple(snap.get("python", ())) != sys.version_info[:2]:
-                return 0  # marshal blobs are CPython-version-specific
+                # marshal blobs are CPython-version-specific
+                return self._snapshot_fallback("written by a different CPython version")
             offset = snap["log_offset"]
             if not isinstance(offset, int) or not 0 <= offset <= len(raw):
-                return 0
+                return self._snapshot_fallback(f"covers offset {offset!r} beyond the log")
             prefix_digest = hashlib.md5(raw[:offset])
             if prefix_digest.hexdigest() != snap["log_prefix_md5"]:
-                return 0  # log was rewritten (compaction/repair): replay it
+                # Expected after compaction/repair rewrote the log.
+                return self._snapshot_fallback("log prefix digest mismatch (log rewritten)")
             tables = snap["tables"]
             if not verify_crc_tables(tables, snap["table_crc32"]):
-                return 0  # bit rot in the sidecar: replay instead
+                return self._snapshot_fallback("table CRC32 mismatch (bit rot in sidecar)")
             next_id = int(snap["next_id"])
-        except Exception:
+        except Exception as exc:
             # A damaged snapshot must never take the store down — the log
             # has everything.
-            return 0
+            return self._snapshot_fallback(f"unreadable sidecar ({type(exc).__name__}: {exc})")
         self._frozen = dict(tables)
         self._next_id = next_id
         self._digest = prefix_digest
         return offset
+
+    def _snapshot_fallback(self, reason: str) -> int:
+        """Record (counter + warning) a present-but-unusable snapshot.
+
+        The fallback itself — full JSON replay of the log — is safe, but it
+        trades startup latency for it, so it must be visible in monitoring
+        rather than silent.
+        """
+        self.snapshot_fallbacks += 1
+        logger.warning(
+            "%s: snapshot %s unusable (%s); falling back to full log replay",
+            self.path,
+            self.snapshot_path,
+            reason,
+        )
+        return 0
 
     def _truncate_to(self, content: bytes) -> None:
         tmp = self.path.with_suffix(".repair")
@@ -277,6 +318,7 @@ class RecordStore:
         self._digest.update(data)
         self._log_bytes += len(data)
         self._entries_since_snapshot += len(entries)
+        self._session_appends += len(entries)
         if (
             self.snapshot_every is not None
             and self._entries_since_snapshot >= self.snapshot_every
@@ -447,10 +489,25 @@ class RecordStore:
             elif snapshot_path is not None and snapshot_path.exists():
                 snapshot_path.unlink()
 
+    def health(self) -> dict:
+        """Robustness counters for monitoring (``/healthz``)."""
+        with self._lock:
+            return {
+                "snapshot_fallbacks": self.snapshot_fallbacks,
+                "corrupt_frames_dropped": self.corrupt_frames_dropped,
+            }
+
     def close(self) -> None:
         with self._lock:
             if self._file is not None:
-                if self.snapshot_every is not None and self._entries_since_snapshot:
+                # Checkpoint only sessions that wrote something: a read-only
+                # open that merely replayed an un-checkpointed tail should
+                # not pay an O(store) snapshot rewrite on its way out.
+                if (
+                    self.snapshot_every is not None
+                    and self._entries_since_snapshot
+                    and self._session_appends
+                ):
                     self._write_snapshot()
                 self._file.close()
                 self._file = None

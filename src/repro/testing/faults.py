@@ -18,15 +18,22 @@ is replayable from its seed:
 * :func:`count_journal_frames` — how many valid frames a journal holds,
   so tests can enumerate every crash point a scenario produces and drive
   :class:`JournalCrashPlan` through all of them.
+
+:class:`JournalCrashPlan` doubles as the ``fault_hook`` of a
+:class:`~repro.kb.shards.ShardedRecordStore` — the shard logs use the
+same hook contract — so KB crash-consistency tests reuse it unchanged;
+:func:`count_shard_frames` and :func:`corrupt_shard` are the shard-level
+enumeration and bit-rot helpers.
 """
 
 from __future__ import annotations
 
 import threading
 import time
+from pathlib import Path
 
 from repro.api.journal import JOURNAL_FORMAT, JOURNAL_MAGIC
-from repro.kb.snapshots import iter_frames
+from repro.kb.snapshots import frame_header_size, iter_frames
 from repro.metafeatures import extract_metafeatures
 
 __all__ = [
@@ -37,7 +44,9 @@ __all__ = [
     "InjectedUserError",
     "InjectedWorkerCrash",
     "JournalCrashPlan",
+    "corrupt_shard",
     "count_journal_frames",
+    "count_shard_frames",
 ]
 
 
@@ -70,12 +79,52 @@ class InjectedWorkerCrash(RuntimeError):
 
 def count_journal_frames(path) -> int:
     """Valid frames currently in the journal at ``path`` (0 if absent)."""
-    from pathlib import Path
-
     path = Path(path)
     if not path.exists():
         return 0
     return sum(1 for _ in iter_frames(path.read_bytes(), JOURNAL_MAGIC, JOURNAL_FORMAT))
+
+
+def count_shard_frames(root) -> int:
+    """Total valid frames across every shard log under a sharded KB root.
+
+    This is the number of crash points an append scenario produced: drive
+    :class:`JournalCrashPlan` (as the store's ``fault_hook``) through
+    ``range(count_shard_frames(root))`` to explore all of them.
+    """
+    from repro.kb.shards import SHARD_FORMAT, SHARD_MAGIC
+
+    total = 0
+    for log_path in sorted(Path(root).glob("shard-*.log")):
+        total += sum(
+            1 for _ in iter_frames(log_path.read_bytes(), SHARD_MAGIC, SHARD_FORMAT)
+        )
+    return total
+
+
+def corrupt_shard(root, shard_index: int, offset: int | None = None) -> Path:
+    """Flip one payload byte of a shard log (deterministic bit rot).
+
+    By default the flipped byte is the first payload byte of the first
+    frame — mid-file, CRC-protected damage that quarantines the shard at
+    the next open (never the torn-tail shape, which is auto-repaired).
+    The shard's snapshot sidecar is corrupted too, so the damage cannot
+    hide behind a checkpoint that predates it.  Returns the log path.
+    """
+    log_path = Path(root) / f"shard-{shard_index:03d}.log"
+    raw = bytearray(log_path.read_bytes())
+    position = offset if offset is not None else frame_header_size()
+    if not raw:
+        raise ValueError(f"{log_path} is empty; nothing to corrupt")
+    position = min(position, len(raw) - 1)
+    raw[position] ^= 0xFF
+    log_path.write_bytes(bytes(raw))
+    snapshot = log_path.with_name(log_path.name + ".snapshot")
+    if snapshot.exists():
+        snap_raw = bytearray(snapshot.read_bytes())
+        snap_raw[min(frame_header_size(), len(snap_raw) - 1)] ^= 0xFF
+        snapshot.write_bytes(bytes(snap_raw))
+    return log_path
 
 
 class JournalCrashPlan:

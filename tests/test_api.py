@@ -33,7 +33,7 @@ def client(server):
 
 
 def test_health(client):
-    assert client.health() == {"status": "ok"}
+    assert client.health()["status"] == "ok"
 
 
 def test_upload_and_list(client):

@@ -1,0 +1,129 @@
+"""Crash-consistency property for sharded KB appends.
+
+Kill the writer at every frame boundary (before / torn / after), then
+fsck + restart: the surviving shard logs must be byte-identical to an
+uninterrupted run that performed exactly the batches that landed.
+"""
+
+import shutil
+import tempfile
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import SyntheticSpec, make_dataset
+from repro.kb import KnowledgeBase
+from repro.kb.shards import ShardedRecordStore, fsck_store
+from repro.metafeatures import extract_metafeatures
+from repro.testing.faults import JournalCrashPlan, count_shard_frames
+
+N_SHARDS = 3
+MAX_BATCHES = 6
+
+_MF = [
+    extract_metafeatures(
+        make_dataset(
+            SyntheticSpec(name=f"d{i}", n_instances=50, n_features=4, n_classes=2, seed=i)
+        )
+    )
+    for i in range(MAX_BATCHES)
+]
+
+
+def _open_kb(root) -> KnowledgeBase:
+    return KnowledgeBase(
+        store=ShardedRecordStore(root, n_shards=N_SHARDS, snapshot_every=None)
+    )
+
+
+def _apply_batches(kb: KnowledgeBase, n: int) -> int:
+    """Land up to ``n`` experiment batches; returns how many actually landed.
+
+    Each batch is one dataset + two runs — exactly one frame in one shard,
+    so frame index == batch index.  A sealed (crashed) store stops the loop.
+    """
+    landed = 0
+    for i in range(n):
+        runs = [
+            {"algorithm": "knn", "config": {"k": 3}, "accuracy": 0.7 + i / 100,
+             "n_folds": 3, "budget_s": 1.0},
+            {"algorithm": "lda", "config": {}, "accuracy": 0.5, "n_folds": 3,
+             "budget_s": 1.0},
+        ]
+        try:
+            kb.add_result_batch(f"d{i}", _MF[i], runs)
+        except Exception:
+            break
+        if kb.store.dead:
+            # The batch's frame was the crash point: whether it counts as
+            # landed depends on the injected bytes, which the byte-level
+            # comparison settles; stop driving either way.
+            break
+        landed += 1
+    return landed
+
+
+def _shard_logs(root) -> dict[str, bytes]:
+    return {p.name: p.read_bytes() for p in sorted(Path(root).glob("shard-*.log"))}
+
+
+def _reference_logs(n_batches: int) -> dict[str, bytes]:
+    tmp = Path(tempfile.mkdtemp(prefix="kb-ref-"))
+    try:
+        kb = _open_kb(tmp / "root")
+        _apply_batches(kb, n_batches)
+        kb.close()
+        return _shard_logs(tmp / "root")
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def _crash_recover_check(n_batches: int, at_frame: int, mode: str, cut_bytes: int = 3):
+    tmp = Path(tempfile.mkdtemp(prefix="kb-crash-"))
+    try:
+        root = tmp / "root"
+        kb = _open_kb(root)
+        plan = JournalCrashPlan(at_frame, mode=mode, cut_bytes=cut_bytes)
+        kb.store.fault_hook = plan
+        _apply_batches(kb, n_batches)
+        assert plan.fired and kb.store.dead
+        # No close(): the "process" died.  fsck sees at worst a torn tail.
+        report = fsck_store(root)
+        assert all(s["status"] in ("ok", "torn") for s in report["shards"]), report
+
+        recovered = KnowledgeBase(root)  # auto-repairs the torn tail
+        assert not recovered.degraded
+        landed = at_frame + (1 if mode == "after" else 0)
+        assert recovered.n_datasets() == landed
+        recovered.close()
+
+        assert _shard_logs(root) == _reference_logs(landed)
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+@pytest.mark.parametrize("mode", ["before", "torn", "after"])
+@pytest.mark.parametrize("at_frame", range(4))
+def test_every_crash_point_recovers(at_frame, mode):
+    _crash_recover_check(4, at_frame, mode)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    n_batches=st.integers(min_value=1, max_value=MAX_BATCHES),
+    at_frame=st.integers(min_value=0, max_value=MAX_BATCHES - 1),
+    mode=st.sampled_from(["before", "torn", "after"]),
+    cut_bytes=st.integers(min_value=1, max_value=64),
+)
+def test_crash_consistency_property(n_batches, at_frame, mode, cut_bytes):
+    at_frame = at_frame % n_batches
+    _crash_recover_check(n_batches, at_frame, mode, cut_bytes=cut_bytes)
+
+
+def test_count_shard_frames_enumerates_crash_points(tmp_path):
+    kb = _open_kb(tmp_path / "root")
+    _apply_batches(kb, 5)
+    kb.close()
+    assert count_shard_frames(tmp_path / "root") == 5  # one frame per batch

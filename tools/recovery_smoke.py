@@ -82,7 +82,7 @@ def main() -> int:
     client = SmartMLClient(port=port, connect_retry_s=30.0)
     server = _spawn_server(port, workdir)
     try:
-        assert client.health() == {"status": "ok"}, "server never came up"
+        assert client.health()["status"] == "ok", "server never came up"
         info = client.upload_csv(CSV, target="label", name="recovery-smoke")
         job = client.submit_experiment(info["dataset_id"], config=FAST_CONFIG)
         job_id = job["job_id"]
